@@ -1,0 +1,62 @@
+"""Ablation (§2.3 "Scheduling"): one-shot vs iterative vs polynomial-decay
+pruning schedules at the same final compression.
+
+The paper catalogs these scheduling families but does not benchmark them;
+this ablation exercises the schedule substrate end-to-end: each iterative
+round prunes to the intermediate target and fine-tunes briefly.
+"""
+
+import numpy as np
+
+from common import MODEL_KW, SCALE, _CIFAR_KW, cifar_ft_config, pretrain_config
+from repro.data import DataLoader
+from repro.experiment import PruningExperiment, ExperimentSpec, Trainer, build_dataset
+from repro.metrics import evaluate
+from repro.models import create_model
+from repro.models.pretrained import get_pretrained_state
+from repro.pruning import GlobalMagWeight, Pruner, iterative_linear, one_shot, polynomial_decay
+
+FINAL_COMPRESSION = 8.0
+
+
+def _run_schedule(schedule_name, targets):
+    dataset = build_dataset("cifar10", **_CIFAR_KW)
+    spec = ExperimentSpec(
+        model="resnet-20", dataset="cifar10", strategy="global_weight",
+        compression=FINAL_COMPRESSION, model_kwargs=MODEL_KW["resnet-20"],
+        dataset_kwargs=dict(_CIFAR_KW), pretrain=pretrain_config(),
+    )
+    exp = PruningExperiment(spec)
+    model = exp.load_pretrained()
+    pruner = Pruner(model, GlobalMagWeight())
+    ft = cifar_ft_config()
+    for target in targets:
+        pruner.prune(target)
+        trainer = Trainer(model, dataset, ft, seed=0, masks=pruner.registry)
+        trainer.run()
+    loader = DataLoader(dataset.val, batch_size=128,
+                        transform=dataset.eval_transform())
+    top1 = evaluate(model, loader)["top1"]
+    return schedule_name, pruner.actual_compression(), top1
+
+
+def _generate():
+    steps = 3
+    rows = [
+        _run_schedule("one-shot", one_shot(FINAL_COMPRESSION)),
+        _run_schedule("iterative-linear", iterative_linear(FINAL_COMPRESSION, steps)),
+        _run_schedule("polynomial-decay", polynomial_decay(FINAL_COMPRESSION, steps)),
+    ]
+    return rows
+
+
+def test_schedule_ablation(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    print(f"\n== Schedule ablation: global magnitude to {FINAL_COMPRESSION}x ==")
+    for name, comp, top1 in rows:
+        print(f"  {name:18s} final compression {comp:5.2f}x  top-1 {top1:.3f}")
+    # all schedules must land on the same final compression
+    comps = [c for _, c, _ in rows]
+    assert max(comps) - min(comps) < 0.1
+    # and produce functional models
+    assert all(t > 0.15 for _, _, t in rows)

@@ -1,0 +1,15 @@
+"""§4.2 headline statistics: 81 papers, 49 datasets, 132 architectures,
+195 (dataset, architecture) combinations."""
+
+from repro.meta import build_corpus, corpus_stats
+
+
+def test_corpus_stats(benchmark):
+    stats = benchmark(lambda: corpus_stats(build_corpus()))
+    print(f"\n== Corpus statistics (§4.2) ==\n{stats}")
+    assert stats == {
+        "n_papers": 81,
+        "n_datasets": 49,
+        "n_architectures": 132,
+        "n_pairs": 195,
+    }

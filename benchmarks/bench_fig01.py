@@ -1,0 +1,60 @@
+"""Figure 1: size/FLOPs vs Top-1/Top-5 for original and pruned models.
+
+Prints each architecture family's published frontier and the normalized
+pruned points from the corpus, for all four metric combinations.  Checks
+the paper's qualitative conclusions: pruned models can beat their own
+architecture's frontier but rarely beat a better architecture family
+(EfficientNet dominates; it has no pruned points).
+"""
+
+import numpy as np
+
+from repro.meta import build_corpus, fig1_series
+
+
+def _generate():
+    corpus = build_corpus()
+    out = {}
+    for x in ("params", "flops"):
+        for y in ("top1", "top5"):
+            out[(x, y)] = fig1_series(corpus, x_metric=x, y_metric=y)
+    return out
+
+
+def test_fig1(benchmark):
+    panels = benchmark(_generate)
+    families, pruned = panels[("params", "top1")]
+
+    print("\n== Figure 1: speed and size tradeoffs, original vs pruned ==")
+    for fam, curve in families.items():
+        pts = ", ".join(
+            f"{n}({x/1e6:.1f}M,{y:.1f}%)"
+            for n, x, y in zip(curve["names"], curve["xs"], curve["top1s"])
+        )
+        print(f"  frontier {fam:14s}: {pts}")
+    for fam, pts in pruned.items():
+        xs, ys = np.array(pts["xs"]), np.array(pts["ys"])
+        print(
+            f"  pruned   {fam:14s}: {len(xs)} points, "
+            f"params {xs.min()/1e6:.1f}M-{xs.max()/1e6:.1f}M, "
+            f"top1 {ys.min():.1f}-{ys.max():.1f}%"
+        )
+
+    # Paper conclusion 1: pruning sometimes increases accuracy over baseline.
+    base = {"VGG": 71.6, "ResNet": 76.1, "MobileNet-v2": 72.0}
+    improved = any(
+        max(pts["ys"]) > base[fam] for fam, pts in pruned.items() if fam in base
+    )
+    assert improved, "some pruned models should beat their dense baseline"
+
+    # Paper conclusion 2 (footnote 2): no pruned EfficientNets.
+    assert "EfficientNet" not in pruned
+
+    # Paper conclusion 3: a better architecture beats pruning — the
+    # EfficientNet frontier dominates every pruned point at equal size.
+    eff = families["EfficientNet"]
+    for fam, pts in pruned.items():
+        for x, y in zip(pts["xs"], pts["ys"]):
+            idx = np.searchsorted(eff["xs"], x)
+            if idx < len(eff["xs"]):
+                assert y < eff["top1s"][idx] + 1.0

@@ -1,0 +1,35 @@
+"""Figure 2: reported comparisons between papers (two histograms)."""
+
+from repro.meta import build_corpus, comparison_stats, in_degree_histogram, out_degree_histogram
+from repro.plotting import render_histogram
+
+
+def _generate():
+    corpus = build_corpus()
+    return (
+        in_degree_histogram(corpus),
+        out_degree_histogram(corpus),
+        comparison_stats(corpus),
+    )
+
+
+def test_fig2(benchmark):
+    in_hist, out_hist, stats = benchmark(_generate)
+
+    print("\n== Figure 2 top: number of papers comparing to a given paper ==")
+    labels = [str(k) for k in in_hist]
+    counts = [b["peer_reviewed"] + b["other"] for b in in_hist.values()]
+    print(render_histogram(labels, counts))
+
+    print("\n== Figure 2 bottom: number of papers a given paper compares to ==")
+    labels = [str(k) for k in out_hist]
+    counts = [b["peer_reviewed"] + b["other"] for b in out_hist.values()]
+    print(render_histogram(labels, counts))
+    print(f"\nstats: { {k: round(v, 3) for k, v in stats.items()} }")
+
+    # §4.1's stated fractions
+    assert stats["frac_compare_to_none"] > 0.25
+    assert stats["frac_compare_to_at_most_one"] > 0.5
+    assert stats["frac_compare_to_at_most_three"] > 0.9
+    assert stats["max_in_degree"] <= 18
+    assert stats["n_never_compared_to"] >= 24

@@ -1,0 +1,48 @@
+"""Figure 3: fragmentation of self-reported results across the four most
+common configurations and four metric pairs."""
+
+from repro.meta import FIG3_PAIRS, build_corpus, fig3_panels
+
+
+def _generate():
+    corpus = build_corpus()
+    return corpus, fig3_panels(corpus)
+
+
+def test_fig3(benchmark):
+    corpus, panels = benchmark(_generate)
+
+    print("\n== Figure 3: self-reported results on common configurations ==")
+    for (col, x_m, y_m), curves in sorted(panels.items()):
+        methods = ", ".join(sorted({c.label for c in curves})[:6])
+        more = "..." if len(curves) > 6 else ""
+        print(f"  [{col} | {x_m} vs {y_m}] {len(curves)} curves: {methods}{more}")
+
+    # "only 37 out of the 81 papers in our corpus report any results using
+    #  any of these configurations"
+    users = {
+        p.key
+        for p in corpus.papers.values()
+        if any(pair in p.pairs for pair in FIG3_PAIRS)
+    }
+    print(f"\npapers reporting on these configurations: {len(users)} / 81")
+    assert len(users) == 37
+
+    # fragmentation: each panel holds only a small subset of all methods
+    all_methods = {c.label for cs in panels.values() for c in cs}
+    for curves in panels.values():
+        assert len(curves) < len(all_methods)
+
+    # later methods do not consistently dominate earlier ones: check that in
+    # the VGG-16 compression/top1 panel, some pre-2017 curve beats some
+    # post-2017 curve at a comparable x
+    key = ("VGG-16 on ImageNet", "compression", "delta_top1")
+    old = [c for c in panels[key] if c.year <= 2016]
+    new = [c for c in panels[key] if c.year >= 2018]
+    assert old and new
+    crossings = 0
+    for o in old:
+        for n in new:
+            if max(o.ys) > min(n.ys):
+                crossings += 1
+    assert crossings > 0, "method year should not determine ranking"

@@ -1,0 +1,44 @@
+"""Figure 4: how many (dataset, architecture) pairs papers use, and how many
+points they report per tradeoff curve (MNIST excluded)."""
+
+from repro.meta import build_corpus, pairs_per_paper_histogram, points_per_curve_histogram
+from repro.plotting import render_histogram
+
+
+def _generate():
+    corpus = build_corpus()
+    return (
+        pairs_per_paper_histogram(corpus, exclude_mnist=True),
+        points_per_curve_histogram(corpus),
+    )
+
+
+def test_fig4(benchmark):
+    pairs_hist, points_hist = benchmark(_generate)
+
+    print("\n== Figure 4 top: number of (dataset, architecture) pairs used ==")
+    print(render_histogram(
+        [str(k) for k in pairs_hist],
+        [b["peer_reviewed"] + b["other"] for b in pairs_hist.values()],
+    ))
+    print("\n== Figure 4 bottom: points used to characterize tradeoff curve ==")
+    print(render_histogram(
+        [str(k) for k in points_hist],
+        [b["peer_reviewed"] + b["other"] for b in points_hist.values()],
+    ))
+
+    # "most papers report on three or fewer pairs"
+    total_pairs = sum(b["peer_reviewed"] + b["other"] for b in pairs_hist.values())
+    small_pairs = sum(
+        b["peer_reviewed"] + b["other"] for k, b in pairs_hist.items() if k <= 3
+    )
+    assert small_pairs / total_pairs > 0.4
+
+    # "most papers characterize their tradeoff using a single point" — the
+    # one-point bin is the mode
+    mode = max(points_hist, key=lambda k: points_hist[k]["peer_reviewed"] + points_hist[k]["other"])
+    assert mode == 1
+
+    # the pattern holds for peer-reviewed papers too
+    pr_mode = max(points_hist, key=lambda k: points_hist[k]["peer_reviewed"])
+    assert pr_mode == 1

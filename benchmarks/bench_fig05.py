@@ -1,0 +1,38 @@
+"""Figure 5: ResNet-50 on ImageNet — variability of unstructured
+magnitude-based pruning variants rivals variability across entirely
+different pruning methods (§4.5's confounding-variables evidence)."""
+
+import numpy as np
+
+from repro.meta import build_corpus, fig5_split
+
+
+def _generate():
+    return fig5_split(build_corpus())
+
+
+def test_fig5(benchmark):
+    magnitude, others = benchmark(_generate)
+
+    def describe(curves):
+        ys = np.array([y for c in curves for y in c.ys])
+        return ys, float(np.percentile(ys, 90) - np.percentile(ys, 10))
+
+    mag_ys, mag_spread = describe(magnitude)
+    oth_ys, oth_spread = describe(others)
+
+    print("\n== Figure 5: pruning ResNet-50 on ImageNet ==")
+    print(f"  magnitude variants : {len(magnitude)} curves "
+          f"({', '.join(c.label for c in magnitude)})")
+    print(f"    top-1 range {mag_ys.min():.1f}-{mag_ys.max():.1f}%, "
+          f"P10-P90 spread {mag_spread:.2f} pp")
+    print(f"  all other methods  : {len(others)} curves")
+    print(f"    top-1 range {oth_ys.min():.1f}-{oth_ys.max():.1f}%, "
+          f"P10-P90 spread {oth_spread:.2f} pp")
+    ratio = mag_spread / oth_spread
+    print(f"  spread ratio (magnitude / others): {ratio:.2f}")
+
+    # The paper's point: same-scoring-function variability is comparable to
+    # cross-method variability (ratio near 1, certainly not << 1).
+    assert len(magnitude) >= 5 and len(others) >= 5
+    assert ratio > 0.4

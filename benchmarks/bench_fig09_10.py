@@ -1,0 +1,37 @@
+"""Figures 9-10 (appendix): CIFAR-VGG on CIFAR-10 — accuracy vs compression
+ratio and vs theoretical speedup (reuses the Figure 7 sweep)."""
+
+from common import PAPER_STRATEGIES, cached_sweep
+from repro.plotting import curves_from_results, export_curves_csv, render_curves
+from repro.pruning import PAPER_LABELS
+
+
+def _sweep():
+    return cached_sweep(
+        name="fig07_cifarvgg", model="cifar-vgg", dataset="cifar10",
+        strategies=PAPER_STRATEGIES,
+    )
+
+
+def test_fig9_fig10(benchmark):
+    rs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    comp_curves = curves_from_results(list(rs), labels=PAPER_LABELS)
+    print(render_curves(comp_curves, title="Fig 9: CIFAR-VGG, accuracy vs compression"))
+    export_curves_csv(comp_curves, "fig09_cifarvgg_compression")
+
+    speed_curves = curves_from_results(
+        list(rs), x_attr="theoretical_speedup", labels=PAPER_LABELS
+    )
+    print(render_curves(speed_curves, title="Fig 10: CIFAR-VGG, accuracy vs speedup",
+                        x_label="theoretical speedup"))
+    export_curves_csv(speed_curves, "fig10_cifarvgg_speedup")
+
+    # Both views must exist for every strategy (§6: report both metrics).
+    assert len(comp_curves) == len(speed_curves) == 5
+    # Speedup x-coordinates differ from compression x-coordinates (the whole
+    # point of reporting both).
+    for cc, sc in zip(comp_curves, speed_curves):
+        if cc.label == "Random":
+            continue  # random prunes uniformly: speedup ~ compression
+        assert any(abs(a - b) > 0.05 for a, b in zip(cc.xs, sc.xs))

@@ -1,0 +1,32 @@
+"""Figures 11-12 (appendix): ResNet-20 on CIFAR-10 — accuracy vs
+compression and vs theoretical speedup, five strategies."""
+
+from common import PAPER_STRATEGIES, SCALE, cached_sweep, print_accuracy_table
+from repro.plotting import curves_from_results, export_curves_csv, render_curves
+from repro.pruning import PAPER_LABELS
+
+
+def _sweep():
+    seeds = (0, 1, 2) if SCALE == "full" else (0,)
+    return cached_sweep(
+        name="fig11_resnet20", model="resnet-20", dataset="cifar10",
+        strategies=PAPER_STRATEGIES, seeds=seeds,
+    )
+
+
+def test_fig11_fig12(benchmark):
+    rs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_accuracy_table(rs, title="Fig 11: ResNet-20 on CIFAR-10 (Top-1)")
+
+    comp_curves = curves_from_results(list(rs), labels=PAPER_LABELS)
+    export_curves_csv(comp_curves, "fig11_resnet20_compression")
+    speed_curves = curves_from_results(
+        list(rs), x_attr="theoretical_speedup", labels=PAPER_LABELS
+    )
+    print(render_curves(speed_curves, title="Fig 12: ResNet-20, accuracy vs speedup",
+                        x_label="theoretical speedup"))
+    export_curves_csv(speed_curves, "fig12_resnet20_speedup")
+
+    assert len(comp_curves) == 5
+    baseline = comp_curves[0].ys[0]
+    assert baseline > 0.5, "pretrained ResNet-20 must be well above chance"

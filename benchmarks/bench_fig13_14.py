@@ -1,0 +1,30 @@
+"""Figures 13-14 (appendix): ResNet-56 on CIFAR-10 — accuracy vs
+compression and vs theoretical speedup (reuses the Figure 7 sweep)."""
+
+from common import PAPER_STRATEGIES, cached_sweep
+from repro.plotting import curves_from_results, export_curves_csv, render_curves
+from repro.pruning import PAPER_LABELS
+
+
+def _sweep():
+    return cached_sweep(
+        name="fig07_resnet56", model="resnet-56", dataset="cifar10",
+        strategies=PAPER_STRATEGIES,
+    )
+
+
+def test_fig13_fig14(benchmark):
+    rs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    comp_curves = curves_from_results(list(rs), labels=PAPER_LABELS)
+    print(render_curves(comp_curves, title="Fig 13: ResNet-56, accuracy vs compression"))
+    export_curves_csv(comp_curves, "fig13_resnet56_compression")
+
+    speed_curves = curves_from_results(
+        list(rs), x_attr="theoretical_speedup", labels=PAPER_LABELS
+    )
+    print(render_curves(speed_curves, title="Fig 14: ResNet-56, accuracy vs speedup",
+                        x_label="theoretical speedup"))
+    export_curves_csv(speed_curves, "fig14_resnet56_speedup")
+
+    assert len(comp_curves) == 5 and len(speed_curves) == 5

@@ -1,0 +1,31 @@
+"""Figures 15-16 (appendix): ResNet-110 on CIFAR-10 — accuracy vs
+compression and vs theoretical speedup, five strategies."""
+
+from common import PAPER_STRATEGIES, SCALE, cached_sweep, print_accuracy_table
+from repro.plotting import curves_from_results, export_curves_csv, render_curves
+from repro.pruning import PAPER_LABELS
+
+
+def _sweep():
+    # the deepest model in the study: one seed in smoke mode
+    seeds = (0, 1, 2) if SCALE == "full" else (0,)
+    return cached_sweep(
+        name="fig15_resnet110", model="resnet-110", dataset="cifar10",
+        strategies=PAPER_STRATEGIES, seeds=seeds,
+    )
+
+
+def test_fig15_fig16(benchmark):
+    rs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_accuracy_table(rs, title="Fig 15: ResNet-110 on CIFAR-10 (Top-1)")
+
+    comp_curves = curves_from_results(list(rs), labels=PAPER_LABELS)
+    export_curves_csv(comp_curves, "fig15_resnet110_compression")
+    speed_curves = curves_from_results(
+        list(rs), x_attr="theoretical_speedup", labels=PAPER_LABELS
+    )
+    print(render_curves(speed_curves, title="Fig 16: ResNet-110, accuracy vs speedup",
+                        x_label="theoretical speedup"))
+    export_curves_csv(speed_curves, "fig16_resnet110_speedup")
+
+    assert len(comp_curves) == 5

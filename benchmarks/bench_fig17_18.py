@@ -1,0 +1,33 @@
+"""Figures 17-18 (appendix): ResNet-18 on ImageNet — accuracy vs compression
+and vs theoretical speedup (reuses the Figure 6 sweep)."""
+
+from common import SCALE, cached_sweep
+from repro.plotting import curves_from_results, export_curves_csv, render_curves
+from repro.pruning import PAPER_LABELS
+
+
+def _sweep():
+    return cached_sweep(
+        name="fig06_resnet18_imagenet",
+        model="resnet-18",
+        dataset="imagenet",
+        strategies=["global_weight", "layer_weight", "global_gradient", "layer_gradient"],
+        seeds=(0, 1, 2) if SCALE == "full" else (0,),
+    )
+
+
+def test_fig17_fig18(benchmark):
+    rs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    comp_curves = curves_from_results(list(rs), labels=PAPER_LABELS)
+    print(render_curves(comp_curves, title="Fig 17: ResNet-18/ImageNet, acc vs compression"))
+    export_curves_csv(comp_curves, "fig17_resnet18_compression")
+
+    speed_curves = curves_from_results(
+        list(rs), x_attr="theoretical_speedup", labels=PAPER_LABELS
+    )
+    print(render_curves(speed_curves, title="Fig 18: ResNet-18/ImageNet, acc vs speedup",
+                        x_label="theoretical speedup"))
+    export_curves_csv(speed_curves, "fig18_resnet18_speedup")
+
+    assert len(comp_curves) == 4 and len(speed_curves) == 4

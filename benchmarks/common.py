@@ -1,0 +1,166 @@
+"""Shared benchmark infrastructure.
+
+Every figure/table benchmark prints the same rows/series the paper reports
+and (for experiment-driven figures) reuses sweeps cached on disk under
+``artifacts/results/`` so that appendix figures sharing data with main-text
+figures (e.g. Figures 13-14 reuse Figure 7's ResNet-56 sweep) cost nothing
+extra.
+
+Scale control: ``REPRO_BENCH_SCALE=smoke`` (default) runs CPU-friendly
+configurations; ``full`` widens seeds/epochs/datasets toward the paper's
+protocol.  EXPERIMENTS.md records the scale used for the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.experiment import (
+    OptimizerConfig,
+    PruningResult,
+    ResultSet,
+    TrainConfig,
+    run_sweep,
+)
+from repro.models import create_model
+from repro.pruning import GlobalMagWeight, Pruner, create_strategy
+from repro.utils import artifacts_dir
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+#: the paper's five baseline strategies (§7.2) in figure-legend order
+PAPER_STRATEGIES = [
+    "global_weight",
+    "layer_weight",
+    "global_gradient",
+    "layer_gradient",
+    "random",
+]
+
+#: §6's recommended compression set {2,4,8,16,32} plus the control
+COMPRESSIONS = [1, 2, 4, 8, 16, 32]
+
+SEEDS = (0, 1, 2) if SCALE == "full" else (0, 1)
+
+_CIFAR_KW = dict(
+    n_train=2500 if SCALE == "full" else 1000,
+    n_val=640 if SCALE == "full" else 320,
+    size=16,
+    noise=0.5,
+)
+_IMAGENET_KW = dict(
+    n_train=2500 if SCALE == "full" else 1000,
+    n_val=640 if SCALE == "full" else 320,
+    n_classes=20,
+    size=16,
+)
+
+#: width scales per architecture, chosen so topology is intact but the CPU
+#: budget holds (see DESIGN.md substitution table)
+MODEL_KW = {
+    "cifar-vgg": dict(width_scale=0.25, input_size=16),
+    "resnet-56": dict(width_scale=0.375),
+    "resnet-20": dict(width_scale=0.5),
+    "resnet-110": dict(width_scale=0.25),
+    "resnet-18": dict(width_scale=0.25, num_classes=20),
+}
+
+
+def pretrain_config(lr: float = 2e-3) -> TrainConfig:
+    return TrainConfig(
+        epochs=12 if SCALE == "full" else 8,
+        batch_size=32,
+        optimizer=OptimizerConfig("adam", lr),
+        early_stop_patience=None,
+    )
+
+
+def cifar_ft_config() -> TrainConfig:
+    """Appendix C.2 CIFAR recipe (Adam 3e-4 fixed), epoch-scaled."""
+    return TrainConfig(
+        epochs=4 if SCALE == "full" else 2,
+        batch_size=32,
+        optimizer=OptimizerConfig("adam", 3e-4),
+        early_stop_patience=3,
+    )
+
+
+def imagenet_ft_config() -> TrainConfig:
+    """Appendix C.2 ImageNet recipe (SGD+Nesterov 0.9, 1e-3), scaled."""
+    return TrainConfig(
+        epochs=4 if SCALE == "full" else 2,
+        batch_size=64,
+        optimizer=OptimizerConfig("sgd", lr=1e-3, momentum=0.9, nesterov=True),
+        early_stop_patience=3,
+    )
+
+
+def reachable_compressions(model_name: str, compressions: Sequence[float]) -> List[float]:
+    """Drop targets above what non-prunable tensors allow for this model."""
+    model = create_model(model_name, **MODEL_KW[model_name])
+    cap = Pruner(model, GlobalMagWeight()).achievable_compression()
+    kept = [c for c in compressions if c < cap * 0.95]
+    return kept
+
+
+def cached_sweep(
+    name: str,
+    model: str,
+    dataset: str,
+    strategies: Sequence[str],
+    compressions: Optional[Sequence[float]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    pretrain_lr: float = 2e-3,
+    pretrain_seed: int = 0,
+) -> ResultSet:
+    """Run (or load) a named experiment sweep.
+
+    The cache key includes the scale so smoke/full results never mix.
+    """
+    path = artifacts_dir("results") / f"{name}_{SCALE}.json"
+    if path.exists():
+        return ResultSet.load(path)
+    comps = reachable_compressions(model, compressions or COMPRESSIONS)
+    ds_kw = _IMAGENET_KW if dataset == "imagenet" else _CIFAR_KW
+    ft = imagenet_ft_config() if dataset == "imagenet" else cifar_ft_config()
+    results = run_sweep(
+        model=model,
+        dataset=dataset,
+        strategies=list(strategies),
+        compressions=comps,
+        seeds=list(seeds if seeds is not None else SEEDS),
+        model_kwargs=MODEL_KW[model],
+        dataset_kwargs=dict(ds_kw),
+        pretrain=pretrain_config(pretrain_lr),
+        finetune=ft,
+        pretrain_seed=pretrain_seed,
+        progress=lambda msg: print(f"    {name}: {msg}", flush=True),
+    )
+    results.save(path)
+    return results
+
+
+def print_accuracy_table(
+    results: ResultSet,
+    x_attr: str = "compression",
+    y_attr: str = "top1",
+    title: str = "",
+) -> None:
+    """Paper-style rows: one line per (strategy, operating point)."""
+    from repro.experiment import aggregate_curve
+    from repro.pruning import PAPER_LABELS
+
+    if title:
+        print(f"\n== {title} ==")
+    header = f"{'strategy':18s} " + " ".join(
+        f"{x_attr[:4]}={c:<5g}" for c in results.compressions()
+    )
+    print(header)
+    for strat in results.strategies():
+        points = aggregate_curve(results.filter(strategy=strat), x_attr="compression", y_attr=y_attr)
+        cells = " ".join(f"{p.mean:.3f}±{p.std:.2f}" for p in points)
+        print(f"{PAPER_LABELS.get(strat, strat):18s} {cells}")

@@ -1,0 +1,11 @@
+"""Benchmark session configuration."""
+
+import os
+import sys
+
+# Benchmarks import shared helpers from this directory.
+sys.path.insert(0, os.path.dirname(__file__))
+
+# Artifacts (pretrained checkpoints, cached sweeps, figure CSVs) default to
+# the repository-local ./artifacts directory.
+os.environ.setdefault("REPRO_ARTIFACTS", os.path.join(os.path.dirname(__file__), "..", "artifacts"))

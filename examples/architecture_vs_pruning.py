@@ -1,0 +1,67 @@
+"""§3.3-style question: prune a big architecture, or switch to an
+efficient one?
+
+Compares (a) a width-scaled CIFAR-VGG pruned to various ratios against
+(b) a small depthwise-separable MobileNet trained directly, at matched
+parameter budgets — the Figure 1 comparison, run live on the synthetic
+dataset instead of from corpus numbers.
+
+    python examples/architecture_vs_pruning.py
+"""
+
+import os
+
+os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
+
+from repro.data import DataLoader, SyntheticCIFAR10
+from repro.experiment import OptimizerConfig, TrainConfig, Trainer
+from repro.metrics import evaluate, nonzero_params, total_params
+from repro.models import create_model
+from repro.pruning import GlobalMagWeight, Pruner
+
+
+def main() -> None:
+    dataset = SyntheticCIFAR10(n_train=800, n_val=256, size=16, seed=0)
+    val = DataLoader(dataset.val, batch_size=128, transform=dataset.eval_transform())
+    pre = TrainConfig(epochs=6, batch_size=32,
+                      optimizer=OptimizerConfig("adam", 2e-3),
+                      early_stop_patience=None)
+    ft = TrainConfig(epochs=2, batch_size=32,
+                     optimizer=OptimizerConfig("adam", 3e-4),
+                     early_stop_patience=3)
+
+    # (a) big VGG, pruned progressively
+    print("training CIFAR-VGG (the 'big' architecture) ...")
+    vgg = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    Trainer(vgg, dataset, pre, seed=0).run()
+    state = vgg.state_dict()
+
+    rows = []
+    for c in (1, 2, 4, 8, 16):
+        model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+        model.load_state_dict(state)
+        if c > 1:
+            registry = Pruner(model, GlobalMagWeight()).prune(c)
+            Trainer(model, dataset, ft, seed=0, masks=registry).run()
+        rows.append((f"VGG pruned {c}x", nonzero_params(model),
+                     evaluate(model, val)["top1"]))
+
+    # (b) an efficient architecture trained directly
+    print("training MobileNet-small (the 'efficient' architecture) ...")
+    mobile = create_model("mobilenet-small", width_scale=0.5, seed=0)
+    Trainer(mobile, dataset, pre, seed=0).run()
+    rows.append(("MobileNet-small", nonzero_params(mobile),
+                 evaluate(mobile, val)["top1"]))
+
+    print(f"\n{'model':20s} {'nonzero params':>14s} {'top-1':>7s}")
+    for name, params, top1 in sorted(rows, key=lambda r: -r[1]):
+        print(f"{name:20s} {params:14,d} {top1:7.3f}")
+    print(
+        "\nThe paper's Figure 1 conclusion: pruning improves a given\n"
+        "architecture's size/accuracy tradeoff, but an architecture designed\n"
+        "for efficiency often dominates a heavily-pruned larger one."
+    )
+
+
+if __name__ == "__main__":
+    main()

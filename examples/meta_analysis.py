@@ -1,0 +1,71 @@
+"""Reproduce the paper's meta-analysis artifacts from the corpus database:
+Table 1, the §4.1/§4.2 statistics, and the Figure 2/4 histograms.
+
+    python examples/meta_analysis.py
+"""
+
+from repro.meta import (
+    build_corpus,
+    comparison_stats,
+    corpus_stats,
+    fig5_split,
+    in_degree_histogram,
+    never_compared_to,
+    out_degree_histogram,
+    pairs_per_paper_histogram,
+    points_per_curve_histogram,
+    table1,
+)
+from repro.plotting import render_histogram
+
+
+def main() -> None:
+    corpus = build_corpus()
+
+    print("== Corpus (§3.1, §4.2) ==")
+    for key, val in corpus_stats(corpus).items():
+        print(f"  {key:18s}: {val}")
+
+    print("\n== Table 1: (dataset, architecture) pairs in >=4 papers ==")
+    print(f"  {'Dataset':10s} {'Architecture':16s} {'# Papers':>8s}")
+    for ds, arch, n in table1(corpus):
+        print(f"  {ds:10s} {arch:16s} {n:8d}")
+
+    print("\n== Comparison graph (§4.1, Figure 2) ==")
+    stats = comparison_stats(corpus)
+    print(f"  papers comparing to NO prior method : {stats['frac_compare_to_none']:.0%}")
+    print(f"  papers comparing to at most one     : {stats['frac_compare_to_at_most_one']:.0%}")
+    print(f"  papers comparing to at most three   : {stats['frac_compare_to_at_most_three']:.0%}")
+    print(f"  most-compared-to paper in-degree    : {stats['max_in_degree']}")
+    print(f"  modern papers never compared to     : {stats['n_never_compared_to']}")
+
+    hist = in_degree_histogram(corpus)
+    print("\n  Figure 2 top (in-degree):")
+    print(render_histogram([str(k) for k in hist],
+                           [b["peer_reviewed"] + b["other"] for b in hist.values()]))
+    hist = out_degree_histogram(corpus)
+    print("\n  Figure 2 bottom (out-degree):")
+    print(render_histogram([str(k) for k in hist],
+                           [b["peer_reviewed"] + b["other"] for b in hist.values()]))
+
+    print("\n== Figure 4 (results per paper, MNIST excluded) ==")
+    hist = pairs_per_paper_histogram(corpus)
+    print(render_histogram([str(k) for k in hist],
+                           [b["peer_reviewed"] + b["other"] for b in hist.values()],
+                           title="  pairs per paper"))
+    hist = points_per_curve_histogram(corpus)
+    print(render_histogram([str(k) for k in hist],
+                           [b["peer_reviewed"] + b["other"] for b in hist.values()],
+                           title="  points per tradeoff curve"))
+
+    print("\n== Figure 5 (ResNet-50/ImageNet variability) ==")
+    mag, others = fig5_split(corpus)
+    print(f"  unstructured-magnitude variants: {len(mag)} curves")
+    print(f"  all other methods              : {len(others)} curves")
+
+    few = never_compared_to(corpus)[:8]
+    print(f"\nexamples of never-compared-to papers: {', '.join(few)} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure-6-style demonstration: parameter count and FLOPs are NOT
+interchangeable efficiency metrics.
+
+Prunes the same checkpoint with Global vs Layerwise magnitude at matched
+*compression ratios*, then shows the achieved *theoretical speedups*
+diverge: global pruning concentrates on cheap (late, FC-ish) weights, so
+it compresses parameters without reducing FLOPs proportionally.
+
+    python examples/metrics_not_interchangeable.py
+"""
+
+import os
+
+os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
+
+from repro.data import SyntheticCIFAR10
+from repro.experiment import OptimizerConfig, TrainConfig, Trainer
+from repro.metrics import flops_by_layer, theoretical_speedup
+from repro.models import create_model
+from repro.pruning import GlobalMagWeight, LayerMagWeight, Pruner
+
+COMPRESSIONS = [2, 4, 8, 16]
+
+
+def main() -> None:
+    dataset = SyntheticCIFAR10(n_train=600, n_val=160, size=16, seed=0)
+    base = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    cfg = TrainConfig(epochs=4, batch_size=32,
+                      optimizer=OptimizerConfig("adam", 2e-3),
+                      early_stop_patience=None)
+    print("pretraining CIFAR-VGG ...")
+    Trainer(base, dataset, cfg, seed=0).run()
+    state = base.state_dict()
+    shape = dataset.train.sample_shape
+
+    print(f"\n{'compression':>12s} {'Global speedup':>15s} {'Layer speedup':>14s}")
+    for c in COMPRESSIONS:
+        speedups = {}
+        for name, cls in (("global", GlobalMagWeight), ("layer", LayerMagWeight)):
+            model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+            model.load_state_dict(state)
+            Pruner(model, cls()).prune(c)
+            speedups[name] = theoretical_speedup(model, shape)
+        print(f"{c:>11d}x {speedups['global']:>14.2f}x {speedups['layer']:>13.2f}x")
+
+    # Where do the FLOPs live?  Per-layer view at 8x global pruning.
+    model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    model.load_state_dict(state)
+    Pruner(model, GlobalMagWeight()).prune(8)
+    dense = flops_by_layer(model, shape)
+    eff = flops_by_layer(model, shape, effective=True)
+    print("\nper-layer FLOPs surviving 8x GLOBAL pruning:")
+    for layer in dense:
+        frac = eff[layer] / dense[layer]
+        print(f"  {layer:22s} {dense[layer]/1e3:9.1f}k MACs  -> {frac:5.1%} kept")
+    print(
+        "\nEarly conv layers (many FLOPs per weight) survive global pruning;\n"
+        "late layers are gutted.  Hence: same parameter compression, very\n"
+        "different speedup — reporting only one metric misleads (§7.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

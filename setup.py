@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+``pip install -e .`` cannot build a modern editable wheel.  This shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+with older tooling) perform the equivalent legacy editable install.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "What is the State of Neural Network Pruning?"
+(Blalock, Gonzalez Ortiz, Frankle & Guttag, MLSys 2020).
+
+Top-level packages:
+
+* :mod:`repro.autograd` — pure-NumPy reverse-mode autodiff engine.
+* :mod:`repro.nn` — layers and module system.
+* :mod:`repro.optim` — SGD/Adam, LR schedules, early stopping.
+* :mod:`repro.data` — datasets, loaders, synthetic CIFAR/ImageNet/MNIST.
+* :mod:`repro.models` — LeNet/VGG/ResNet/MobileNet zoo.
+* :mod:`repro.pruning` — the ShrinkBench core: masks, scores, strategies.
+* :mod:`repro.metrics` — size, FLOPs, compression ratio, speedup, accuracy.
+* :mod:`repro.experiment` — train → prune → fine-tune → evaluate harness.
+* :mod:`repro.meta` — the 81-paper corpus meta-analysis (Figures 1-5, Table 1).
+* :mod:`repro.plotting` — tradeoff curves, ASCII plots, CSV export.
+"""
+
+from .utils.threads import configure_blas_threads_from_env as _configure_blas
+
+# Pin the BLAS pool before any heavy numpy work (see repro.utils.threads).
+_configure_blas()
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

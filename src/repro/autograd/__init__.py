@@ -1,0 +1,57 @@
+"""Pure-NumPy reverse-mode autograd engine (the PyTorch substitute).
+
+Public surface:
+
+* :class:`Tensor` — array wrapper with ``backward()``.
+* :func:`no_grad` — context manager disabling tape recording.
+* conv/pool ops in :mod:`repro.autograd.conv`.
+* fused NN functionals in :mod:`repro.autograd.functional`.
+* :func:`gradcheck` for finite-difference validation.
+"""
+
+from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack, unbroadcast
+from .conv import (
+    avg_pool2d,
+    conv2d,
+    conv_output_shape,
+    depthwise_conv2d,
+    global_avg_pool2d,
+    max_pool2d,
+)
+from .functional import (
+    batch_norm2d,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    softmax,
+)
+from .gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "cat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "conv_output_shape",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "batch_norm2d",
+    "dropout",
+    "linear",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,282 @@
+"""Convolution and pooling ops for the NumPy autograd engine.
+
+Implements im2col-based 2-D convolution (with stride/padding/groups), a fast
+dedicated depthwise convolution, and max/avg pooling — all as differentiable
+ops on :class:`repro.autograd.tensor.Tensor`.
+
+The forward pass uses ``numpy.lib.stride_tricks.sliding_window_view`` plus a
+single large matmul per layer, which keeps the hot path inside BLAS.  The
+backward pass for the input gradient uses a small K×K Python loop (at most 49
+iterations for a 7×7 kernel) over fully-vectorised slice additions — the
+standard fast col2im formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "conv_output_shape",
+]
+
+
+def conv_output_shape(
+    in_hw: Tuple[int, int], kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output shape of a conv/pool with the given geometry."""
+    h = (in_hw[0] + 2 * padding - kernel[0]) // stride + 1
+    w = (in_hw[1] + 2 * padding - kernel[1]) // stride + 1
+    if h <= 0 or w <= 0:
+        raise ValueError(
+            f"Non-positive conv output {h}x{w} for input {in_hw}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return h, w
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract sliding patches as a GEMM-ready matrix.
+
+    Returns ``cols`` of shape ``(N*OH*OW, C*kh*kw)`` (C-contiguous) so that
+    both the forward pass and the two backward passes are single large BLAS
+    GEMMs rather than batched small ones.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, h, w = x.shape
+    oh, ow = (h - kh) // stride + 1, (w - kw) // stride + 1
+    # windows: strided view (N, C, OH, OW, kh, kw)
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[
+        :, :, ::stride, ::stride, :, :
+    ]
+    # -> (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw); one materializing copy.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return cols, (oh, ow)
+
+
+def _col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter patch grads back to the image.
+
+    ``dcols`` has shape ``(N*OH*OW, C*kh*kw)``.  The scatter uses a kh×kw
+    loop of fully-vectorised strided adds (the standard fast col2im).
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_shape((h, w), (kh, kw), stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    # One sequential materializing copy into (kh, kw, N, C, OH, OW) so each
+    # scatter-add below reads a contiguous source block.
+    d6 = np.ascontiguousarray(
+        dcols.reshape(n, oh, ow, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
+    )
+    for i in range(kh):
+        hi = i + stride * oh
+        for j in range(kw):
+            wj = j + stride * ow
+            dx[:, :, i:hi:stride, j:wj:stride] += d6[i, j]
+    if padding:
+        dx = dx[:, :, padding:-padding, padding:-padding]
+    return dx
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over NCHW input.
+
+    Parameters
+    ----------
+    x: input of shape ``(N, C_in, H, W)``.
+    weight: filters of shape ``(C_out, C_in // groups, KH, KW)``.
+    bias: optional per-output-channel bias of shape ``(C_out,)``.
+    groups: number of filter groups; ``groups == C_in`` with matching
+        ``C_out`` dispatches to the fast depthwise path.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError(f"groups={groups} must divide C_in={c_in}, C_out={c_out}")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_g} input channels/group, got {c_in // groups}"
+        )
+    if groups > 1 and groups == c_in and c_out == c_in:
+        return depthwise_conv2d(x, weight, bias, stride=stride, padding=padding)
+    if groups == 1:
+        return _conv2d_dense(x, weight, bias, stride, padding)
+    # General grouped conv: run the dense path per group and concatenate.
+    from .tensor import cat
+
+    cg_in, cg_out = c_in // groups, c_out // groups
+    outs = []
+    for g in range(groups):
+        xg = x[:, g * cg_in : (g + 1) * cg_in]
+        wg = weight[g * cg_out : (g + 1) * cg_out]
+        bg = bias[g * cg_out : (g + 1) * cg_out] if bias is not None else None
+        outs.append(_conv2d_dense(xg, wg, bg, stride, padding))
+    return cat(outs, axis=1)
+
+
+def _conv2d_dense(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: int,
+    padding: int,
+) -> Tensor:
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    cols, (oh, ow) = _im2col(x.data, kh, kw, stride, padding)  # (N*P, K)
+    w_mat = weight.data.reshape(c_out, -1)  # (F, K)
+    out2d = cols @ w_mat.T  # single GEMM -> (N*P, F)
+    out = np.moveaxis(out2d.reshape(n, oh, ow, c_out), 3, 1)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+    else:
+        out = np.ascontiguousarray(out)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        # (N,F,OH,OW) -> (N*P, F); one materializing copy.
+        g2d = np.moveaxis(g, 1, 3).reshape(n * oh * ow, c_out)
+        gw = (g2d.T @ cols).reshape(weight.shape)  # single GEMM
+        dcols = g2d @ w_mat  # single GEMM -> (N*P, K)
+        gx = _col2im(dcols, x.shape, kh, kw, stride, padding)
+        if bias is None:
+            return gx, gw
+        gb = g.sum(axis=(0, 2, 3))
+        return gx, gw, gb
+
+    return Tensor._make(out, parents, backward)
+
+
+def depthwise_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution: one filter per input channel.
+
+    ``weight`` has shape ``(C, 1, KH, KW)``; output has C channels.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    n, c, h, w = x.shape
+    c_out, one, kh, kw = weight.shape
+    if c_out != c or one != 1:
+        raise ValueError(f"depthwise weight must be (C,1,KH,KW); got {weight.shape}")
+    xp = (
+        np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if padding
+        else x.data
+    )
+    oh, ow = conv_output_shape((h, w), (kh, kw), stride, padding)
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[
+        :, :, ::stride, ::stride
+    ]  # (N,C,OH,OW,kh,kw)
+    wk = weight.data.reshape(c, kh, kw)
+    out = np.einsum("nchwij,cij->nchw", windows, wk, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c, 1, 1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        gw = np.einsum("nchwij,nchw->cij", windows, g, optimize=True).reshape(
+            weight.shape
+        )
+        # Input grad: scatter g*w back via the K×K loop.
+        dxp = np.zeros_like(xp)
+        for i in range(kh):
+            hi = i + stride * oh
+            for j in range(kw):
+                wj = j + stride * ow
+                dxp[:, :, i:hi:stride, j:wj:stride] += (
+                    g * wk[None, :, i, j, None, None]
+                )
+        gx = dxp[:, :, padding : padding + h, padding : padding + w] if padding else dxp
+        if bias is None:
+            return gx, gw
+        return gx, gw, g.sum(axis=(0, 2, 3))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping or strided windows (NCHW)."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh, ow = conv_output_shape((h, w), (kernel, kernel), stride, 0)
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))[
+        :, :, ::stride, ::stride
+    ]  # (N,C,OH,OW,k,k)
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(g: np.ndarray):
+        dx = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kernel)
+        ni, ci, oi, oj = np.indices(arg.shape, sparse=False)
+        rows = oi * stride + ki
+        cols_ = oj * stride + kj
+        np.add.at(dx, (ni, ci, rows, cols_), g)
+        return (dx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over windows (NCHW)."""
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh, ow = conv_output_shape((h, w), (kernel, kernel), stride, 0)
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))[
+        :, :, ::stride, ::stride
+    ]
+    out = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray):
+        dx = np.zeros_like(x.data)
+        gs = g * scale
+        for i in range(kernel):
+            hi = i + stride * oh
+            for j in range(kernel):
+                wj = j + stride * ow
+                dx[:, :, i:hi:stride, j:wj:stride] += gs
+        return (dx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dims: (N,C,H,W) -> (N,C)."""
+    return x.mean(axis=(2, 3))

@@ -1,0 +1,180 @@
+"""Fused neural-network functionals: softmax, losses, batch norm.
+
+These are implemented as dedicated autograd ops (rather than compositions of
+primitive ops) for numerical stability and speed, exactly as deep-learning
+frameworks do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "batch_norm2d",
+    "dropout",
+    "linear",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    sm = np.exp(out)
+
+    def backward(g: np.ndarray):
+        return (g - sm * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities.
+
+    ``targets`` is an integer class-index array of shape ``(N,)``.
+    """
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets)
+    n = log_probs.shape[0]
+    picked = log_probs.data[np.arange(n), targets]
+    out = np.asarray(-picked.mean(), dtype=log_probs.dtype)
+
+    def backward(g: np.ndarray):
+        dx = np.zeros_like(log_probs.data)
+        dx[np.arange(n), targets] = -1.0 / n
+        return (dx * g,)
+
+    return Tensor._make(out, (log_probs,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy from raw logits (fused, stable).
+
+    The backward pass is the classic ``(softmax - onehot) / N``.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets)
+    n = logits.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - lse
+    out = np.asarray(-log_probs[np.arange(n), targets].mean(), dtype=logits.dtype)
+    sm = np.exp(log_probs)
+
+    def backward(g: np.ndarray):
+        dx = sm.copy()
+        dx[np.arange(n), targets] -= 1.0
+        return (dx * (g / n),)
+
+    return Tensor._make(out, (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    pred, target = as_tensor(pred), as_tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    x = as_tensor(x)
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+
+    def backward(g: np.ndarray):
+        return (g * keep,)
+
+    return Tensor._make(x.data * keep, (x,), backward)
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over (N,H,W) per channel for NCHW input.
+
+    At train time uses batch statistics and updates the running buffers
+    in place; at eval time uses the running buffers.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    if training:
+        axes = (0, 2, 3)
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        m = n * h * w
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        # Unbiased variance in the running buffer, biased in the normalizer
+        # (PyTorch semantics).
+        unbiased = var * (m / max(m - 1, 1))
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out = gamma.data[None, :, None, None] * x_hat + beta.data[None, :, None, None]
+
+    def backward(g: np.ndarray):
+        axes = (0, 2, 3)
+        g_gamma = (g * x_hat).sum(axis=axes)
+        g_beta = g.sum(axis=axes)
+        if not training:
+            gx = g * (gamma.data * inv_std)[None, :, None, None]
+            return gx, g_gamma, g_beta
+        m = n * h * w
+        g_xhat = g * gamma.data[None, :, None, None]
+        # Standard batch-norm backward (Ioffe & Szegedy 2015, vectorised).
+        sum_gxhat = g_xhat.sum(axis=axes, keepdims=True)
+        sum_gxhat_xhat = (g_xhat * x_hat).sum(axis=axes, keepdims=True)
+        gx = (
+            inv_std[None, :, None, None]
+            / m
+            * (m * g_xhat - sum_gxhat - x_hat * sum_gxhat_xhat)
+        )
+        return gx.astype(g.dtype), g_gamma, g_beta
+
+    return Tensor._make(out.astype(x.dtype), (x, gamma, beta), backward)

@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every op's backward pass against central
+finite differences — the gold-standard correctness check for autodiff.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    x = inputs[index]
+    grad = np.zeros_like(x.data, dtype=np.float64)
+    flat = x.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(fn(*inputs).data.sum())
+        flat[i] = orig - eps
+        lo = float(fn(*inputs).data.sum())
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    eps: float = 1e-3,
+) -> bool:
+    """Check analytic grads of ``fn`` against finite differences.
+
+    Inputs must be float tensors with ``requires_grad=True``.  Raises
+    ``AssertionError`` with a diagnostic message on mismatch; returns True
+    otherwise.  Tolerances are loose because the engine runs float32.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs err {worst:.4g}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,646 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module provides :class:`Tensor`, a thin wrapper around ``numpy.ndarray``
+that records a tape of operations and supports backpropagation through
+arbitrary DAGs of the supported ops.  It is the substrate that replaces
+PyTorch for this reproduction: ShrinkBench-style pruning only needs access to
+parameter values and their gradients, both of which this engine exposes.
+
+Design notes
+------------
+* Every differentiable op creates a new ``Tensor`` whose ``_parents`` hold the
+  input tensors and whose ``_backward`` closure scatters the output gradient
+  to the parents.  ``Tensor.backward()`` topologically sorts the graph and
+  runs the closures in reverse order.
+* Gradients are plain ``numpy.ndarray`` objects stored on ``Tensor.grad`` and
+  are accumulated (summed) across uses, exactly like PyTorch leaf semantics.
+* Broadcasting is fully supported; :func:`unbroadcast` reduces an upstream
+  gradient back to the shape of the broadcast operand.
+* All computation is vectorised NumPy; there are no per-element Python loops
+  on the hot paths (see the ml-systems performance guide).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block, ops return plain result tensors with
+    no parents, mirroring ``torch.no_grad``.  Used by evaluation loops and by
+    in-place parameter updates in the optimizers.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new ops will be recorded on the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting.
+
+    Broadcasting replicates values along new leading axes and along axes of
+    size one; its adjoint is summation over the replicated axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dims introduced by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dims that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array data.  Anything accepted by ``np.asarray``; floats are stored
+        as ``float32`` by default to mirror deep-learning practice.
+    requires_grad:
+        If True, gradients will be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        # float16 is upcast for numerical safety; float64 is preserved so the
+        # gradcheck suite can validate ops in double precision.  Python
+        # scalars/lists default to float32 to match deep-learning practice.
+        if arr.dtype == np.float16:
+            arr = arr.astype(np.float32)
+        elif arr.dtype == np.float64 and not isinstance(
+            data, (np.ndarray, np.generic)
+        ):
+            arr = arr.astype(np.float32)
+        elif arr.dtype.kind not in "fiub":
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_part})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, recording the tape edge if grad is enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (allocating on first use)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ones for scalar outputs (the common
+            ``loss.backward()`` case); required for non-scalar outputs.
+        """
+        gdtype = self.data.dtype if self.data.dtype.kind == "f" else np.float32
+        if grad is None:
+            if self.size != 1:
+                raise ValueError(
+                    "backward() without a gradient argument requires a scalar "
+                    f"output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data, dtype=gdtype)
+        grad = np.asarray(grad, dtype=gdtype).reshape(self.shape)
+
+        # Topological order via iterative DFS (avoids recursion limits on
+        # deep networks like ResNet-110).
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and (p.requires_grad or p._parents):
+                    stack.append((p, False))
+
+        # Seed and propagate.  Intermediate gradients live in a side table so
+        # that only leaves (requires_grad with no parents) keep .grad.
+        grads = {id(self): grad}
+        self_is_leaf = self.requires_grad and self._backward is None
+        if self_is_leaf:
+            self._accumulate(grad)
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is not None:
+                node._backward_dispatch(g, grads)
+
+    def _backward_dispatch(self, g: np.ndarray, grads: dict) -> None:
+        """Run this node's backward closure, routing parent grads."""
+        # The closure returns one gradient array per parent (or None).
+        parent_grads = self._backward(g)
+        if parent_grads is None:
+            return
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pg in zip(self._parents, parent_grads):
+            if pg is None:
+                continue
+            if parent._backward is None:
+                # Leaf: accumulate into .grad
+                parent._accumulate(pg)
+            else:
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pg
+                else:
+                    grads[key] = pg
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data + b.data
+
+        def backward(g: np.ndarray):
+            return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray):
+            return (-g,)
+
+        return Tensor._make(-a.data, (a,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data - b.data
+
+        def backward(g: np.ndarray):
+            return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data * b.data
+
+        def backward(g: np.ndarray):
+            ga = unbroadcast(g * b.data, a.shape) if a.requires_grad or a._parents else None
+            gb = unbroadcast(g * a.data, b.shape) if b.requires_grad or b._parents else None
+            return ga, gb
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data / b.data
+
+        def backward(g: np.ndarray):
+            ga = unbroadcast(g / b.data, a.shape)
+            gb = unbroadcast(-g * a.data / (b.data * b.data), b.shape)
+            return ga, gb
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        a = self
+        out_data = a.data ** exponent
+
+        def backward(g: np.ndarray):
+            return (g * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def backward(g: np.ndarray):
+            if a.data.ndim == 1 and b.data.ndim == 1:
+                # inner product
+                return g * b.data, g * a.data
+            ga = gb = None
+            a_d, b_d = a.data, b.data
+            # Promote 1-D operands to 2-D for a uniform rule, then squeeze.
+            a2 = a_d[None, :] if a_d.ndim == 1 else a_d
+            b2 = b_d[:, None] if b_d.ndim == 1 else b_d
+            g2 = g
+            if a_d.ndim == 1:
+                g2 = np.expand_dims(g2, -2)
+            if b_d.ndim == 1:
+                g2 = np.expand_dims(g2, -1)
+            ga = g2 @ np.swapaxes(b2, -1, -2)
+            gb = np.swapaxes(a2, -1, -2) @ g2
+            if a_d.ndim == 1:
+                ga = ga.reshape(a_d.shape) if ga.ndim <= 1 else unbroadcast(
+                    ga.sum(axis=-2), a_d.shape
+                )
+            else:
+                ga = unbroadcast(ga, a_d.shape)
+            if b_d.ndim == 1:
+                gb = gb.reshape(b_d.shape) if gb.ndim <= 1 else unbroadcast(
+                    gb.sum(axis=-1), b_d.shape
+                )
+            else:
+                gb = unbroadcast(gb, b_d.shape)
+            return ga, gb
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinear ops
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def backward(g: np.ndarray):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+        out_data = np.log(a.data)
+
+        def backward(g: np.ndarray):
+            return (g / a.data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def backward(g: np.ndarray):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+        out_data = np.abs(a.data)
+
+        def backward(g: np.ndarray):
+            return (g * np.sign(a.data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def backward(g: np.ndarray):
+            return (g * (1.0 - out_data * out_data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(g: np.ndarray):
+            return (g * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        out_data = np.maximum(a.data, 0)
+
+        def backward(g: np.ndarray):
+            return (g * (a.data > 0),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        a = self
+        out_data = np.clip(a.data, lo, hi)
+        passthrough = (a.data >= lo) & (a.data <= hi)
+
+        def backward(g: np.ndarray):
+            return (g * passthrough,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = np.maximum(a.data, b.data)
+        a_wins = a.data >= b.data
+
+        def backward(g: np.ndarray):
+            return (
+                unbroadcast(g * a_wins, a.shape),
+                unbroadcast(g * ~a_wins, b.shape),
+            )
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            g_exp = g
+            if axis is not None and not keepdims:
+                ax = axis if isinstance(axis, tuple) else (axis,)
+                ax = tuple(d % a.ndim for d in ax)
+                for d in sorted(ax):
+                    g_exp = np.expand_dims(g_exp, d)
+            return (np.broadcast_to(g_exp, a.shape).astype(g.dtype),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = a.size
+        else:
+            ax = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([a.shape[d % a.ndim] for d in ax]))
+
+        def backward(g: np.ndarray):
+            g_exp = g
+            if axis is not None and not keepdims:
+                axs = axis if isinstance(axis, tuple) else (axis,)
+                axs_n = tuple(d % a.ndim for d in axs)
+                for d in sorted(axs_n):
+                    g_exp = np.expand_dims(g_exp, d)
+            return (
+                (np.broadcast_to(g_exp, a.shape) / count).astype(g.dtype),
+            )
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        sq = centered * centered
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            g_exp = g
+            out_exp = out_data
+            if axis is not None and not keepdims:
+                axs = axis if isinstance(axis, tuple) else (axis,)
+                axs_n = tuple(d % a.ndim for d in axs)
+                for d in sorted(axs_n):
+                    g_exp = np.expand_dims(g_exp, d)
+                    out_exp = np.expand_dims(out_exp, d)
+            winners = a.data == out_exp
+            # Split gradient equally among ties, matching numerical gradcheck.
+            counts = winners.sum(
+                axis=axis if axis is not None else None, keepdims=True
+            )
+            return ((winners / counts * g_exp).astype(g.dtype),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        out_data = a.data.reshape(shape)
+
+        def backward(g: np.ndarray):
+            return (g.reshape(a.shape),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        a = self
+        out_data = a.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(g: np.ndarray):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(lead + (-1,))
+
+    def __getitem__(self, idx) -> "Tensor":
+        a = self
+        out_data = a.data[idx]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(a.data, dtype=g.dtype)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def pad2d(self, pad: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dims by ``pad`` on each side."""
+        if pad == 0:
+            return self
+        a = self
+        widths = [(0, 0)] * (a.ndim - 2) + [(pad, pad), (pad, pad)]
+        out_data = np.pad(a.data, widths)
+
+        def backward(g: np.ndarray):
+            sl = [slice(None)] * (a.ndim - 2) + [
+                slice(pad, -pad),
+                slice(pad, -pad),
+            ]
+            return (g[tuple(sl)],)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (no grad)
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __eq__(self, other):  # type: ignore[override]
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        grads = []
+        for i, t in enumerate(tensors):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(sl)])
+        return tuple(grads)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        parts = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return Tensor._make(out_data, tensors, backward)

@@ -1,0 +1,26 @@
+"""Data pipeline: datasets, loaders, transforms, synthetic generators."""
+
+from .dataset import ArrayDataset, Dataset, Subset, train_val_split
+from .dataloader import DataLoader
+from .synthetic import bilinear_upsample, make_classification_images
+from .transforms import Compose, Normalize, RandomCrop, RandomHorizontalFlip
+from .cifar import SyntheticCIFAR10
+from .imagenet import SyntheticImageNet
+from .mnist import SyntheticMNIST
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "train_val_split",
+    "DataLoader",
+    "make_classification_images",
+    "bilinear_upsample",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "SyntheticCIFAR10",
+    "SyntheticImageNet",
+    "SyntheticMNIST",
+]

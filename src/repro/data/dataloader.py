@@ -1,0 +1,87 @@
+"""Seeded mini-batch loader over in-memory datasets.
+
+Batches whole arrays at once (no per-sample Python loop) and owns a
+deterministic RNG used both for shuffling and for stochastic transforms, so a
+(dataset, seed) pair always yields the identical batch stream — one of the
+paper's core reproducibility recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset, Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(x_batch, y_batch)`` numpy pairs over a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        An :class:`ArrayDataset` (fast path) or any map-style dataset.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Reshuffle at the start of every epoch.
+    seed:
+        Seed for the loader's private RNG (shuffling + transforms).
+    transform:
+        Optional callable ``(batch, rng) -> batch`` applied per batch.
+    drop_last:
+        Drop the trailing partial batch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        seed: int = 0,
+        transform=None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self.rng = np.random.default_rng(seed)
+        if isinstance(dataset, ArrayDataset):
+            self._x, self._y = dataset.x, dataset.y
+        else:  # materialize generic datasets once
+            xs, ys = zip(*(dataset[i] for i in range(len(dataset))))
+            self._x = np.stack(xs).astype(np.float32)
+            self._y = np.asarray(ys, dtype=np.int64)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self._x)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        end = n - (n % self.batch_size) if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb = self._x[idx]
+            yb = self._y[idx]
+            if self.transform is not None:
+                xb = self.transform(xb, self.rng)
+            yield xb, yb
+
+    def one_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return a single batch (used by gradient-based pruning scores).
+
+        Appendix C.1: "For both Global and Layerwise Gradient Magnitude
+        Pruning a single minibatch is used to compute the gradients."
+        """
+        return next(iter(self))

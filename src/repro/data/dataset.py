@@ -1,0 +1,76 @@
+"""Dataset abstractions: in-memory array datasets, subsets, splits."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "train_val_split"]
+
+
+class Dataset:
+    """Minimal map-style dataset: ``len(ds)`` and ``ds[i] -> (x, y)``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays ``X`` (N,...) and ``y`` (N,)."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: X has {len(x)}, y has {len(y)}")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.x[index], int(self.y[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return self.x.shape[1:]
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[int(self.indices[index])]
+
+
+def train_val_split(
+    dataset: ArrayDataset, val_fraction: float, seed: int = 0
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Random stratification-free split into train/val ArrayDatasets."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    n = len(dataset)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    return (
+        ArrayDataset(dataset.x[train_idx], dataset.y[train_idx]),
+        ArrayDataset(dataset.x[val_idx], dataset.y[val_idx]),
+    )

@@ -1,0 +1,91 @@
+"""Batch-level data transforms (augmentation and normalization).
+
+Transforms operate on whole batches ``(N, C, H, W)`` for vectorisation.
+Random transforms take an explicit ``numpy.random.Generator`` at call time so
+the DataLoader can own a single seeded stream — §4.5 of the paper lists data
+augmentation among the confounders that must be held constant, which requires
+it to be deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop"]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            batch = t(batch, rng)
+        return batch
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Per-channel standardization ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std must be positive")
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return "Normalize()"
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(batch)) < self.p
+        out = batch.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(self, padding: int = 2) -> None:
+        if padding < 0:
+            raise ValueError("padding must be >= 0")
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        n, c, h, w = batch.shape
+        p = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        offs = rng.integers(0, 2 * p + 1, size=(n, 2))
+        out = np.empty_like(batch)
+        # Group by offset: at most (2p+1)^2 groups, each a vectorised copy.
+        unique, inverse = np.unique(offs, axis=0, return_inverse=True)
+        for k, (dy, dx) in enumerate(unique):
+            idx = np.nonzero(inverse == k)[0]
+            out[idx] = padded[idx, :, dy : dy + h, dx : dx + w]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(padding={self.padding})"

@@ -1,0 +1,35 @@
+"""Experiment harness: train → prune → fine-tune → evaluate → aggregate."""
+
+from .config import (
+    OptimizerConfig,
+    TrainConfig,
+    cifar_finetune_config,
+    imagenet_finetune_config,
+)
+from .datasets import DATASET_REGISTRY, available_datasets, build_dataset
+from .prune import ExperimentSpec, PruningExperiment
+from .results import CurvePoint, PruningResult, ResultSet, aggregate_curve
+from .runner import PAPER_COMPRESSIONS, run_sweep
+from .seeds import fix_seeds
+from .train import Trainer, build_optimizer
+
+__all__ = [
+    "OptimizerConfig",
+    "TrainConfig",
+    "cifar_finetune_config",
+    "imagenet_finetune_config",
+    "DATASET_REGISTRY",
+    "build_dataset",
+    "available_datasets",
+    "ExperimentSpec",
+    "PruningExperiment",
+    "PruningResult",
+    "ResultSet",
+    "CurvePoint",
+    "aggregate_curve",
+    "run_sweep",
+    "PAPER_COMPRESSIONS",
+    "fix_seeds",
+    "Trainer",
+    "build_optimizer",
+]

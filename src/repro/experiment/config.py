@@ -1,0 +1,73 @@
+"""Experiment configuration dataclasses.
+
+Defaults mirror Appendix C.2 of the paper:
+
+* CIFAR-10 fine-tuning: Adam, lr 3e-4, fixed schedule, batch 64, early
+  stopping on validation accuracy;
+* ImageNet fine-tuning: SGD + Nesterov momentum 0.9, lr 1e-3, fixed
+  schedule.
+
+Epoch counts and dataset sizes are scaled to the CPU budget via the
+``scale`` factory arguments; EXPERIMENTS.md records the values used for
+each reported figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = ["OptimizerConfig", "TrainConfig", "cifar_finetune_config", "imagenet_finetune_config"]
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Optimizer choice and hyperparameters."""
+
+    name: str = "adam"  # "adam" | "sgd"
+    lr: float = 3e-4
+    momentum: float = 0.0
+    nesterov: bool = False
+    weight_decay: float = 0.0
+
+    def __post_init__(self):
+        if self.name not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.name!r}")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """One training (or fine-tuning) run."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    #: epochs with no val-accuracy improvement before stopping (None = off)
+    early_stop_patience: Optional[int] = 5
+    #: restore the best-val-accuracy weights at the end
+    restore_best: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def cifar_finetune_config(epochs: int = 30, batch_size: int = 64) -> TrainConfig:
+    """Appendix C.2 CIFAR-10 fine-tuning setup (Adam, 3e-4, fixed)."""
+    return TrainConfig(
+        epochs=epochs,
+        batch_size=batch_size,
+        optimizer=OptimizerConfig(name="adam", lr=3e-4),
+        early_stop_patience=5,
+    )
+
+
+def imagenet_finetune_config(epochs: int = 20, batch_size: int = 256) -> TrainConfig:
+    """Appendix C.2 ImageNet fine-tuning setup (SGD+Nesterov 0.9, 1e-3)."""
+    return TrainConfig(
+        epochs=epochs,
+        batch_size=batch_size,
+        optimizer=OptimizerConfig(name="sgd", lr=1e-3, momentum=0.9, nesterov=True),
+        early_stop_patience=5,
+    )

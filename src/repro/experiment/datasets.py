@@ -1,0 +1,34 @@
+"""Dataset registry for experiments.
+
+Experiments and benchmarks reference datasets by name + kwargs so that a
+result row fully identifies its data — the paper's first recommendation
+("identify the exact sets of architectures, datasets, and metrics used ...
+in a structured way").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..data import SyntheticCIFAR10, SyntheticImageNet, SyntheticMNIST
+
+__all__ = ["DATASET_REGISTRY", "build_dataset", "available_datasets"]
+
+DATASET_REGISTRY: Dict[str, Callable] = {
+    "cifar10": SyntheticCIFAR10,
+    "imagenet": SyntheticImageNet,
+    "mnist": SyntheticMNIST,
+}
+
+
+def build_dataset(name: str, **kwargs):
+    """Instantiate a dataset bundle (train/val + transforms) by name."""
+    if name not in DATASET_REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
+        )
+    return DATASET_REGISTRY[name](**kwargs)
+
+
+def available_datasets():
+    return sorted(DATASET_REGISTRY)

@@ -1,0 +1,172 @@
+"""PruningExperiment: the paper's Algorithm 1 instrumented end-to-end.
+
+Pipeline (Appendix C):
+
+1. Load (or train-and-cache) the pretrained checkpoint — the *same* initial
+   model for every strategy in a sweep (§7.3).
+2. Evaluate the unpruned control (§6: report metrics for the control).
+3. Prune one-shot to the target whole-model compression; gradient-based
+   scores get a single minibatch.
+4. Fine-tune with masks enforced after every optimizer step; early stopping
+   on validation accuracy.
+5. Report raw Top-1/Top-5, compression ratio AND theoretical speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data import DataLoader
+from ..metrics import (
+    dense_flops,
+    effective_flops,
+    evaluate,
+    nonzero_params,
+    theoretical_speedup,
+    total_params,
+)
+from ..models import create_model
+from ..models.pretrained import get_pretrained_state
+from ..nn import Module
+from ..pruning import Pruner, PruningContext, create_strategy
+from .config import TrainConfig, cifar_finetune_config
+from .datasets import build_dataset
+from .results import PruningResult
+from .train import Trainer
+
+__all__ = ["ExperimentSpec", "PruningExperiment"]
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to reproduce one pruning run."""
+
+    model: str
+    dataset: str
+    strategy: str
+    compression: float
+    seed: int = 0
+    model_kwargs: Dict = field(default_factory=dict)
+    dataset_kwargs: Dict = field(default_factory=dict)
+    pretrain: TrainConfig = field(default_factory=lambda: cifar_finetune_config(epochs=10))
+    finetune: TrainConfig = field(default_factory=lambda: cifar_finetune_config(epochs=5))
+    prune_classifier: bool = False
+    #: seed used for pretraining; defaults to 0 so all sweep seeds share one
+    #: initial model (§7.3).  Set per-seed to study init variance instead.
+    pretrain_seed: int = 0
+
+
+class PruningExperiment:
+    """Run one :class:`ExperimentSpec` and produce a :class:`PruningResult`."""
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self.dataset = build_dataset(spec.dataset, **spec.dataset_kwargs)
+        self.model: Optional[Module] = None
+        self.pretrained_key = ""
+
+    # -- stages ----------------------------------------------------------
+    def _build_model(self) -> Module:
+        return create_model(
+            self.spec.model, seed=self.spec.pretrain_seed, **self.spec.model_kwargs
+        )
+
+    def _pretrain_factory(self):
+        def factory():
+            model = self._build_model()
+            trainer = Trainer(
+                model, self.dataset, self.spec.pretrain, seed=self.spec.pretrain_seed
+            )
+            history = trainer.run()
+            return model, history
+
+        return factory
+
+    def load_pretrained(self) -> Module:
+        """Stage 1: the shared initial model (cached on disk)."""
+        spec = self.spec
+        state, key = get_pretrained_state(
+            spec.model,
+            spec.model_kwargs,
+            spec.dataset,
+            spec.dataset_kwargs,
+            spec.pretrain,
+            spec.pretrain_seed,
+            self._pretrain_factory(),
+        )
+        self.pretrained_key = key
+        model = self._build_model()
+        model.load_state_dict(state)
+        self.model = model
+        return model
+
+    def run(self) -> PruningResult:
+        spec = self.spec
+        model = self.load_pretrained()
+        input_shape = self.dataset.train.sample_shape
+
+        eval_loader = DataLoader(
+            self.dataset.val,
+            batch_size=128,
+            shuffle=False,
+            seed=spec.seed,
+            transform=self.dataset.eval_transform(),
+        )
+        baseline = evaluate(model, eval_loader)
+        result = PruningResult(
+            model=spec.model,
+            dataset=spec.dataset,
+            strategy=spec.strategy,
+            compression=spec.compression,
+            seed=spec.seed,
+            baseline_top1=baseline["top1"],
+            baseline_top5=baseline.get("top5", 0.0),
+            pretrained_key=self.pretrained_key,
+            dense_flops=dense_flops(model, input_shape),
+        )
+
+        if spec.compression > 1.0:
+            strategy = create_strategy(spec.strategy, spec.prune_classifier)
+            # Gradient scores and random masks draw from seed-specific streams
+            # so seeds differ exactly where the paper says they should (C.1).
+            score_loader = DataLoader(
+                self.dataset.train,
+                batch_size=spec.finetune.batch_size,
+                shuffle=True,
+                seed=spec.seed,
+                transform=self.dataset.eval_transform(),
+            )
+            xb, yb = score_loader.one_batch()
+            context = PruningContext(
+                inputs=xb, targets=yb, rng=np.random.default_rng(spec.seed)
+            )
+            pruner = Pruner(model, strategy)
+            registry = pruner.prune(spec.compression, context)
+            result.actual_compression = pruner.actual_compression()
+
+            pre = evaluate(model, eval_loader)
+            result.pre_finetune_top1 = pre["top1"]
+            result.pre_finetune_top5 = pre.get("top5", 0.0)
+
+            trainer = Trainer(
+                model, self.dataset, spec.finetune, seed=spec.seed, masks=registry
+            )
+            history = trainer.run()
+            result.finetune_epochs_ran = len(history)
+            registry.validate()
+        else:
+            result.actual_compression = 1.0
+            result.pre_finetune_top1 = baseline["top1"]
+            result.pre_finetune_top5 = baseline.get("top5", 0.0)
+
+        final = evaluate(model, eval_loader)
+        result.top1 = final["top1"]
+        result.top5 = final.get("top5", 0.0)
+        result.total_params = total_params(model)
+        result.nonzero_params = nonzero_params(model)
+        result.effective_flops = effective_flops(model, input_shape)
+        result.theoretical_speedup = theoretical_speedup(model, input_shape)
+        return result

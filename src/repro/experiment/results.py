@@ -1,0 +1,141 @@
+"""Experiment results: records, persistence, aggregation.
+
+Implements the paper's reporting recommendations (§6): every result row
+carries raw accuracy (not just deltas), both compression ratio and
+theoretical speedup, Top-1 and Top-5, the unpruned control, and the seed —
+so means and standard deviations across seeds are always computable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PruningResult", "ResultSet", "CurvePoint", "aggregate_curve"]
+
+
+@dataclass
+class PruningResult:
+    """One (model, dataset, strategy, compression, seed) outcome."""
+
+    model: str
+    dataset: str
+    strategy: str
+    compression: float  # target whole-model compression
+    seed: int
+    # -- size / compute metrics --------------------------------------------
+    actual_compression: float = 1.0
+    theoretical_speedup: float = 1.0
+    total_params: int = 0
+    nonzero_params: int = 0
+    dense_flops: float = 0.0
+    effective_flops: float = 0.0
+    # -- quality metrics -----------------------------------------------------
+    baseline_top1: float = 0.0  # unpruned control (the same initial model)
+    baseline_top5: float = 0.0
+    pre_finetune_top1: float = 0.0
+    pre_finetune_top5: float = 0.0
+    top1: float = 0.0  # after fine-tuning
+    top5: float = 0.0
+    # -- provenance ---------------------------------------------------------
+    pretrained_key: str = ""
+    finetune_epochs_ran: int = 0
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def delta_top1(self) -> float:
+        """Change in Top-1 vs the unpruned control (§4.5 near-universal metric)."""
+        return self.top1 - self.baseline_top1
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "PruningResult":
+        known = {k: d[k] for k in cls.__dataclass_fields__ if k in d}
+        return cls(**known)
+
+
+class ResultSet:
+    """A collection of :class:`PruningResult` with query/aggregate helpers."""
+
+    def __init__(self, results: Optional[Iterable[PruningResult]] = None) -> None:
+        self.results: List[PruningResult] = list(results or [])
+
+    # -- collection ---------------------------------------------------------
+    def add(self, result: PruningResult) -> None:
+        self.results.append(result)
+
+    def extend(self, other: "ResultSet") -> None:
+        self.results.extend(other.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[PruningResult]:
+        return iter(self.results)
+
+    # -- queries -------------------------------------------------------------
+    def filter(self, **conditions) -> "ResultSet":
+        """Subset where every attribute equals the given value."""
+        out = [
+            r
+            for r in self.results
+            if all(getattr(r, k) == v for k, v in conditions.items())
+        ]
+        return ResultSet(out)
+
+    def strategies(self) -> List[str]:
+        return sorted({r.strategy for r in self.results})
+
+    def compressions(self) -> List[float]:
+        return sorted({r.compression for r in self.results})
+
+    def seeds(self) -> List[int]:
+        return sorted({r.seed for r in self.results})
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps([r.to_dict() for r in self.results], indent=1, default=float)
+        )
+
+    @classmethod
+    def load(cls, path) -> "ResultSet":
+        data = json.loads(Path(path).read_text())
+        return cls(PruningResult.from_dict(d) for d in data)
+
+
+@dataclass
+class CurvePoint:
+    """One x-position of a tradeoff curve, aggregated over seeds."""
+
+    x: float
+    mean: float
+    std: float
+    n: int
+
+
+def aggregate_curve(
+    results: Iterable[PruningResult],
+    x_attr: str = "compression",
+    y_attr: str = "top1",
+) -> List[CurvePoint]:
+    """Group by x, compute mean ± sample std over seeds (§6: report both)."""
+    groups: Dict[float, List[float]] = {}
+    for r in results:
+        groups.setdefault(float(getattr(r, x_attr)), []).append(
+            float(getattr(r, y_attr))
+        )
+    points = []
+    for x in sorted(groups):
+        ys = np.asarray(groups[x], dtype=np.float64)
+        std = float(ys.std(ddof=1)) if len(ys) > 1 else 0.0
+        points.append(CurvePoint(x=x, mean=float(ys.mean()), std=std, n=len(ys)))
+    return points

@@ -1,0 +1,80 @@
+"""Sweep runner: strategies × compression ratios × seeds → ResultSet.
+
+This is the experiment matrix behind Figures 6-18: the paper recommends at
+least 5 operating points spanning {2,4,8,16,32} (§6), three seeds for CIFAR
+(Appendix C.1), and identical everything-else across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .config import TrainConfig
+from .prune import ExperimentSpec, PruningExperiment
+from .results import PruningResult, ResultSet
+
+__all__ = ["run_sweep", "PAPER_COMPRESSIONS"]
+
+#: §6's recommended operating points (plus the unpruned control at 1).
+PAPER_COMPRESSIONS: Sequence[float] = (1, 2, 4, 8, 16, 32)
+
+
+def run_sweep(
+    model: str,
+    dataset: str,
+    strategies: Sequence[str],
+    compressions: Sequence[float] = PAPER_COMPRESSIONS,
+    seeds: Sequence[int] = (0, 1, 2),
+    model_kwargs: Optional[Dict] = None,
+    dataset_kwargs: Optional[Dict] = None,
+    pretrain: Optional[TrainConfig] = None,
+    finetune: Optional[TrainConfig] = None,
+    pretrain_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+    skip_baseline_duplicates: bool = True,
+) -> ResultSet:
+    """Run the full experiment matrix and collect every result.
+
+    ``skip_baseline_duplicates`` runs compression=1 only once per seed (it is
+    strategy-independent: no pruning happens) and replicates the row per
+    strategy, saving redundant evaluations.
+    """
+    base = ExperimentSpec(
+        model=model,
+        dataset=dataset,
+        strategy=strategies[0],
+        compression=1.0,
+        model_kwargs=model_kwargs or {},
+        dataset_kwargs=dataset_kwargs or {},
+        pretrain_seed=pretrain_seed,
+    )
+    if pretrain is not None:
+        base.pretrain = pretrain
+    if finetune is not None:
+        base.finetune = finetune
+
+    results = ResultSet()
+    for seed in seeds:
+        baseline_row: Optional[PruningResult] = None
+        for compression in compressions:
+            if compression <= 1.0 and skip_baseline_duplicates:
+                spec = replace(base, strategy=strategies[0], compression=1.0, seed=seed)
+                if progress:
+                    progress(f"[seed {seed}] baseline (compression 1)")
+                baseline_row = PruningExperiment(spec).run()
+                for strat in strategies:
+                    row = PruningResult.from_dict(baseline_row.to_dict())
+                    row.strategy = strat
+                    results.add(row)
+                continue
+            for strat in strategies:
+                spec = replace(
+                    base, strategy=strat, compression=float(compression), seed=seed
+                )
+                if progress:
+                    progress(
+                        f"[seed {seed}] {strat} @ {compression}x"
+                    )
+                results.add(PruningExperiment(spec).run())
+    return results

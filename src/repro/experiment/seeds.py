@@ -1,0 +1,22 @@
+"""Global seed fixing (Appendix C: "ShrinkBench fixes random seeds for all
+the dependencies (PyTorch, NumPy, Python)").
+
+Most components in this library take explicit seeds or Generators (the
+stronger guarantee), but global fixing is provided for parity with
+ShrinkBench and to tame any library code that consults the legacy global
+RNGs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["fix_seeds"]
+
+
+def fix_seeds(seed: int = 42) -> None:
+    """Seed Python's and NumPy's global RNGs."""
+    random.seed(seed)
+    np.random.seed(seed % (2**32))

@@ -1,0 +1,61 @@
+"""Meta-analysis of the 81-paper pruning corpus (Figures 1-5, Table 1)."""
+
+from .corpus import Corpus, Paper, ReportedCurve, TradeoffPoint
+from .corpus_data import FIG3_PAIRS, TABLE1_COUNTS, build_corpus
+from .comparisons import (
+    comparison_graph,
+    comparison_stats,
+    in_degree_histogram,
+    never_compared_to,
+    out_degree_histogram,
+)
+from .fragmentation import (
+    corpus_stats,
+    pairs_per_paper_histogram,
+    points_per_curve_histogram,
+    table1,
+)
+from .normalization import (
+    normalize_point,
+    normalized_results,
+    standardized_initial_flops,
+    standardized_initial_sizes,
+)
+from .architectures import FAMILIES, IMAGENET_BASELINES, ArchPoint, family_curve
+from .tradeoff import FIG3_COLUMNS, FIG3_METRIC_ROWS, PanelCurve, fig1_series, fig3_panels, fig5_split
+from .checklist import ChecklistItem, audit_results
+
+__all__ = [
+    "Corpus",
+    "Paper",
+    "ReportedCurve",
+    "TradeoffPoint",
+    "build_corpus",
+    "TABLE1_COUNTS",
+    "FIG3_PAIRS",
+    "comparison_graph",
+    "comparison_stats",
+    "in_degree_histogram",
+    "out_degree_histogram",
+    "never_compared_to",
+    "table1",
+    "corpus_stats",
+    "pairs_per_paper_histogram",
+    "points_per_curve_histogram",
+    "standardized_initial_sizes",
+    "standardized_initial_flops",
+    "normalize_point",
+    "normalized_results",
+    "ArchPoint",
+    "FAMILIES",
+    "IMAGENET_BASELINES",
+    "family_curve",
+    "PanelCurve",
+    "fig1_series",
+    "fig3_panels",
+    "fig5_split",
+    "FIG3_COLUMNS",
+    "FIG3_METRIC_ROWS",
+    "ChecklistItem",
+    "audit_results",
+]

@@ -1,0 +1,82 @@
+"""Published reference statistics for unpruned architectures (Figure 1).
+
+Figure 1 plots pruned models against the efficiency/accuracy frontier of
+architecture *families*.  The original numbers come from Tan & Le (2019)
+and Bianco et al. (2018); the values below are those publicly reported
+figures (params in millions, multiply-adds in billions, ImageNet Top-1/Top-5
+in percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ArchPoint", "FAMILIES", "family_curve"]
+
+
+@dataclass(frozen=True)
+class ArchPoint:
+    """One unpruned architecture's published operating point."""
+
+    name: str
+    params_m: float  # parameters, millions
+    flops_g: float  # multiply-adds, billions
+    top1: float
+    top5: float
+
+
+#: family name -> members ordered by size (the Figure 1 curves).
+FAMILIES: Dict[str, List[ArchPoint]] = {
+    "VGG": [
+        ArchPoint("VGG-11", 132.9, 7.6, 69.0, 88.6),
+        ArchPoint("VGG-13", 133.0, 11.3, 69.9, 89.2),
+        ArchPoint("VGG-16", 138.4, 15.5, 71.6, 90.4),
+        ArchPoint("VGG-19", 143.7, 19.6, 72.4, 90.9),
+    ],
+    "ResNet": [
+        ArchPoint("ResNet-18", 11.7, 1.8, 69.8, 89.1),
+        ArchPoint("ResNet-34", 21.8, 3.7, 73.3, 91.4),
+        ArchPoint("ResNet-50", 25.6, 4.1, 76.1, 92.9),
+        ArchPoint("ResNet-101", 44.5, 7.8, 77.4, 93.5),
+        ArchPoint("ResNet-152", 60.2, 11.5, 78.3, 94.0),
+    ],
+    "MobileNet-v2": [
+        ArchPoint("MobileNet-v2-0.5", 2.0, 0.097, 65.4, 86.4),
+        ArchPoint("MobileNet-v2", 3.5, 0.30, 72.0, 91.0),
+        ArchPoint("MobileNet-v2-1.4", 6.1, 0.58, 74.7, 92.5),
+    ],
+    "EfficientNet": [
+        ArchPoint("EfficientNet-B0", 5.3, 0.39, 77.1, 93.3),
+        ArchPoint("EfficientNet-B1", 7.8, 0.70, 79.1, 94.4),
+        ArchPoint("EfficientNet-B2", 9.2, 1.0, 80.1, 94.9),
+        ArchPoint("EfficientNet-B3", 12.0, 1.8, 81.6, 95.7),
+        ArchPoint("EfficientNet-B4", 19.0, 4.2, 82.9, 96.4),
+    ],
+}
+
+#: architecture -> (Top-1, Top-5) dense baselines used to de-normalize
+#: reported accuracy *changes* into absolute accuracies.
+IMAGENET_BASELINES: Dict[str, tuple] = {
+    "VGG-16": (71.6, 90.4),
+    "ResNet-50": (76.1, 92.9),
+    "ResNet-18": (69.8, 89.1),
+    "ResNet-34": (73.3, 91.4),
+    "CaffeNet": (57.4, 80.4),
+    "AlexNet": (56.6, 79.1),
+    "MobileNet-v2": (72.0, 91.0),
+}
+
+
+def family_curve(family: str, x: str = "params") -> Dict[str, List[float]]:
+    """Return the family frontier as {xs, top1s, top5s} with x in raw units."""
+    if family not in FAMILIES:
+        raise KeyError(f"unknown family {family!r}; have {sorted(FAMILIES)}")
+    pts = FAMILIES[family]
+    xs = [p.params_m * 1e6 if x == "params" else p.flops_g * 1e9 for p in pts]
+    return {
+        "xs": xs,
+        "top1s": [p.top1 for p in pts],
+        "top5s": [p.top5 for p in pts],
+        "names": [p.name for p in pts],
+    }

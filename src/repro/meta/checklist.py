@@ -1,0 +1,118 @@
+"""Appendix B's evaluation checklist as an executable audit.
+
+The paper closes with a checklist for evaluating pruning methods.  This
+module turns the *results*-facing items into automated checks over a
+:class:`~repro.experiment.ResultSet`, so a benchmark run can be audited for
+the very pitfalls the paper catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..experiment.results import ResultSet
+
+__all__ = ["ChecklistItem", "audit_results"]
+
+
+@dataclass
+class ChecklistItem:
+    """One checklist line with its verdict."""
+
+    item: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.item}" + (f" — {self.detail}" if self.detail else "")
+
+
+def audit_results(results: ResultSet) -> List[ChecklistItem]:
+    """Run the Appendix B result checks against a result set."""
+    items: List[ChecklistItem] = []
+    comps = [c for c in results.compressions() if c > 1]
+
+    # "Data is presented across a range of compression ratios, including
+    #  extreme compression ratios at which accuracy declines substantially."
+    spread = len(comps) >= 5
+    items.append(
+        ChecklistItem(
+            "range of compression ratios (>=5 operating points)",
+            spread,
+            f"points: {comps}",
+        )
+    )
+    if results.results:
+        max_c = max(comps) if comps else 1
+        hi = [r for r in results if r.compression == max_c]
+        declined = any(r.top1 < r.baseline_top1 - 0.02 for r in hi)
+        items.append(
+            ChecklistItem(
+                "includes extreme ratios where accuracy declines substantially",
+                declined,
+                f"max ratio {max_c}x",
+            )
+        )
+
+    # "Data specifies the raw accuracy of the network at each point."
+    raw = all(r.top1 > 0 for r in results) and all(
+        r.baseline_top1 > 0 for r in results
+    )
+    items.append(ChecklistItem("raw accuracy reported at each point", raw))
+
+    # "Data includes multiple runs with separate seeds."
+    seeds = results.seeds()
+    items.append(
+        ChecklistItem(
+            "multiple runs with separate random seeds",
+            len(seeds) >= 3,
+            f"seeds: {seeds}",
+        )
+    )
+
+    # "Data includes ... a measure of central tendency and variation."
+    # Computable iff multiple seeds exist per (strategy, compression).
+    computable = True
+    for strat in results.strategies():
+        for comp in results.compressions():
+            n = len(results.filter(strategy=strat, compression=comp))
+            if 0 < n < 2:
+                computable = False
+    items.append(
+        ChecklistItem(
+            "error bars computable (>=2 runs per configuration)", computable
+        )
+    )
+
+    # "Data includes FLOP-counts if the paper makes arguments about
+    #  efficiency."
+    flops = all(r.dense_flops > 0 and r.effective_flops >= 0 for r in results)
+    items.append(ChecklistItem("FLOP counts reported", flops))
+
+    # "comparison to a random pruning baseline / a magnitude baseline."
+    strategies = set(results.strategies())
+    items.append(
+        ChecklistItem(
+            "random pruning baseline present",
+            bool(strategies & {"random", "layer_random"}),
+            f"strategies: {sorted(strategies)}",
+        )
+    )
+    items.append(
+        ChecklistItem(
+            "magnitude pruning baseline present",
+            bool(strategies & {"global_weight", "layer_weight"}),
+        )
+    )
+
+    # "report both compression ratio and theoretical speedup" (§6)
+    both = all(
+        r.actual_compression >= 1.0 and r.theoretical_speedup >= 1.0
+        for r in results
+    )
+    items.append(ChecklistItem("both compression and speedup reported", both))
+    return items

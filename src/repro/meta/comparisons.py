@@ -1,0 +1,89 @@
+"""Comparison-graph analysis (§4.1, Figure 2).
+
+Builds the directed graph of "paper A compares to paper B" with networkx
+and derives the two Figure 2 histograms:
+
+* top: number of papers comparing to a given paper (in-degree distribution);
+* bottom: number of papers a given paper compares to (out-degree
+  distribution);
+
+each split by peer-review status, as in the figure's legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .corpus import Corpus
+
+__all__ = [
+    "comparison_graph",
+    "in_degree_histogram",
+    "out_degree_histogram",
+    "comparison_stats",
+    "never_compared_to",
+]
+
+
+def comparison_graph(corpus: Corpus) -> nx.DiGraph:
+    """Directed graph: edge (a, b) means paper a compares to paper b."""
+    g = nx.DiGraph()
+    for p in corpus.papers.values():
+        g.add_node(p.key, year=p.year, peer_reviewed=p.peer_reviewed, label=p.label)
+    for p in corpus.papers.values():
+        for target in set(p.compares_to):
+            g.add_edge(p.key, target)
+    return g
+
+
+def _degree_histogram(
+    degrees: Dict[str, int], corpus: Corpus
+) -> Dict[int, Dict[str, int]]:
+    """degree value -> {"peer_reviewed": count, "other": count}."""
+    hist: Dict[int, Dict[str, int]] = {}
+    for key, deg in degrees.items():
+        bucket = hist.setdefault(deg, {"peer_reviewed": 0, "other": 0})
+        if corpus.papers[key].peer_reviewed:
+            bucket["peer_reviewed"] += 1
+        else:
+            bucket["other"] += 1
+    return dict(sorted(hist.items()))
+
+
+def in_degree_histogram(corpus: Corpus) -> Dict[int, Dict[str, int]]:
+    """Figure 2 top: papers binned by how many other papers compare to them."""
+    g = comparison_graph(corpus)
+    return _degree_histogram({k: g.in_degree(k) for k in g.nodes}, corpus)
+
+
+def out_degree_histogram(corpus: Corpus) -> Dict[int, Dict[str, int]]:
+    """Figure 2 bottom: papers binned by how many others they compare to."""
+    g = comparison_graph(corpus)
+    return _degree_histogram({k: g.out_degree(k) for k in g.nodes}, corpus)
+
+
+def never_compared_to(corpus: Corpus) -> List[str]:
+    """Modern papers with zero incoming comparisons (§4.1's 'dozens')."""
+    g = comparison_graph(corpus)
+    return sorted(
+        k
+        for k in g.nodes
+        if g.in_degree(k) == 0 and not corpus.papers[k].classic
+    )
+
+
+def comparison_stats(corpus: Corpus) -> Dict[str, float]:
+    """The §4.1 headline statistics."""
+    g = comparison_graph(corpus)
+    n = g.number_of_nodes()
+    outs = [g.out_degree(k) for k in g.nodes]
+    return {
+        "n_papers": n,
+        "frac_compare_to_none": sum(1 for d in outs if d == 0) / n,
+        "frac_compare_to_at_most_one": sum(1 for d in outs if d <= 1) / n,
+        "frac_compare_to_at_most_three": sum(1 for d in outs if d <= 3) / n,
+        "max_in_degree": max(g.in_degree(k) for k in g.nodes),
+        "n_never_compared_to": len(never_compared_to(corpus)),
+    }

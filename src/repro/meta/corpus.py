@@ -1,0 +1,157 @@
+"""Corpus data model for the meta-analysis (Sections 3-5 of the paper).
+
+The corpus is the substrate of Figures 1-5 and Table 1: a database of
+pruning papers, the comparisons between them, the (dataset, architecture)
+pairs they evaluate on, and the tradeoff points they self-report.
+
+Schema
+------
+* :class:`Paper` — identity, year, peer-review status, outgoing comparison
+  edges, and evaluation pairs.
+* :class:`TradeoffPoint` — one self-reported operating point: any subset of
+  {compression, speedup, Δtop1, Δtop5} plus optional raw baselines, since
+  papers report incomplete metric subsets (§4.4 / §5.2).
+* :class:`ReportedCurve` — one named method's points on one (dataset,
+  architecture) pair; "method" granularity follows the paper's footnote 5.
+* :class:`Corpus` — the container with the aggregate queries the analysis
+  modules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Paper", "TradeoffPoint", "ReportedCurve", "Corpus", "Pair"]
+
+#: A (dataset, architecture) evaluation combination.
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One self-reported efficiency/quality operating point."""
+
+    compression: Optional[float] = None  # original size / pruned size
+    speedup: Optional[float] = None  # original FLOPs / pruned FLOPs
+    delta_top1: Optional[float] = None  # percentage points vs baseline
+    delta_top5: Optional[float] = None
+    #: reported initial model size (params), when given — most papers omit
+    #: this, which forces the Figure 1 normalization (footnote 1)
+    initial_params: Optional[float] = None
+    initial_flops: Optional[float] = None
+
+
+@dataclass
+class ReportedCurve:
+    """All points one method reports on one (dataset, architecture) pair."""
+
+    paper_key: str
+    method: str
+    dataset: str
+    architecture: str
+    points: List[TradeoffPoint] = field(default_factory=list)
+
+    @property
+    def pair(self) -> Pair:
+        return (self.dataset, self.architecture)
+
+    def n_points(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class Paper:
+    """One paper in the corpus."""
+
+    key: str  # e.g. "han2015"
+    label: str  # display label, e.g. "Han 2015"
+    year: int
+    peer_reviewed: bool
+    #: outgoing comparison edges (papers this paper compares against)
+    compares_to: List[str] = field(default_factory=list)
+    #: (dataset, architecture) pairs the paper evaluates on
+    pairs: List[Pair] = field(default_factory=list)
+    #: True for corpus entries synthesized to match published aggregates
+    #: (the paper lists only aggregate statistics for most of its corpus)
+    synthetic: bool = False
+    #: classic pre-2010 entries (OBD / OBS)
+    classic: bool = False
+
+    def uses_mnist(self) -> bool:
+        return any(d == "MNIST" for d, _ in self.pairs)
+
+
+class Corpus:
+    """The paper corpus plus the self-reported results database."""
+
+    def __init__(
+        self,
+        papers: Sequence[Paper],
+        curves: Sequence[ReportedCurve] = (),
+    ) -> None:
+        self.papers: Dict[str, Paper] = {}
+        for p in papers:
+            if p.key in self.papers:
+                raise ValueError(f"duplicate paper key {p.key!r}")
+            self.papers[p.key] = p
+        self.curves: List[ReportedCurve] = list(curves)
+        for c in self.curves:
+            if c.paper_key not in self.papers:
+                raise ValueError(f"curve references unknown paper {c.paper_key!r}")
+        # Closure property (§3.1): every compared-to paper is in the corpus.
+        for p in self.papers.values():
+            for target in p.compares_to:
+                if target not in self.papers:
+                    raise ValueError(
+                        f"{p.key} compares to {target!r} which is outside the corpus"
+                    )
+
+    # -- sizes ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.papers)
+
+    def datasets(self) -> Set[str]:
+        return {d for p in self.papers.values() for d, _ in p.pairs}
+
+    def architectures(self) -> Set[str]:
+        return {a for p in self.papers.values() for _, a in p.pairs}
+
+    def pairs(self) -> Set[Pair]:
+        return {pair for p in self.papers.values() for pair in p.pairs}
+
+    # -- aggregate queries ---------------------------------------------------
+    def pair_usage_counts(self) -> Dict[Pair, int]:
+        """How many papers use each (dataset, architecture) pair."""
+        counts: Dict[Pair, int] = {}
+        for p in self.papers.values():
+            for pair in set(p.pairs):
+                counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    def out_degree(self, key: str) -> int:
+        return len(set(self.papers[key].compares_to))
+
+    def in_degree(self, key: str) -> int:
+        return sum(
+            1
+            for p in self.papers.values()
+            if key in p.compares_to
+        )
+
+    def papers_comparing_to(self, key: str) -> List[str]:
+        return sorted(p.key for p in self.papers.values() if key in p.compares_to)
+
+    def curves_for_pair(self, dataset: str, architecture: str) -> List[ReportedCurve]:
+        return [
+            c
+            for c in self.curves
+            if c.dataset == dataset and c.architecture == architecture
+        ]
+
+    def curves_for_paper(self, key: str) -> List[ReportedCurve]:
+        return [c for c in self.curves if c.paper_key == key]
+
+    def modern_papers(self) -> List[Paper]:
+        """Post-2010 entries (excludes the two classics, per §3.1)."""
+        return [p for p in self.papers.values() if not p.classic]

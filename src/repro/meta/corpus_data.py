@@ -1,0 +1,564 @@
+"""The 81-paper corpus database.
+
+The original study aggregates self-reported results from 81 papers.  Its
+published artifacts are (a) the names in the Figure 3/5 legends and the
+reference list, and (b) exact aggregate statistics.  This module encodes
+every *named* paper with hand-curated metadata (year, venue peer-review
+status, comparison edges) and synthesizes the remaining corpus entries
+deterministically so that the aggregates the paper states exactly are
+reproduced exactly:
+
+* 81 papers: 79 modern (post-2010) + OBD (LeCun 1990) + OBS (Hassibi 1993);
+* Table 1's fourteen (dataset, architecture) pair counts, verbatim;
+* 49 datasets, 132 architectures, 195 unique pairs (§4.2);
+* comparison-graph shape (§4.1): >¼ of papers compare to no other method,
+  ~¼ compare to exactly one, nearly all to ≤3; Han 2015 is the
+  most-compared-to paper; dozens of papers are never compared to;
+* 37 of 81 papers report results on the Figure 3 configurations.
+
+Synthetic entries are flagged ``synthetic=True`` and carry no claims about
+any real publication.  See DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .corpus import Corpus, Paper, ReportedCurve, TradeoffPoint
+
+__all__ = ["build_corpus", "REAL_PAPERS", "TABLE1_COUNTS", "FIG3_PAIRS"]
+
+# ---------------------------------------------------------------------------
+# Real papers: (key, label, year, peer_reviewed, compares_to)
+# Comparison edges are drawn from the papers' own related-work/evaluation
+# sections (as summarized by the survey's figures); they give Han 2015 the
+# highest in-degree, matching Figure 2's top histogram.
+# ---------------------------------------------------------------------------
+REAL_PAPERS: List[Tuple[str, str, int, bool, List[str]]] = [
+    # classics (the only pre-2010 work the literature still compares to, §4.1)
+    ("lecun1990", "LeCun 1990 (OBD)", 1990, True, []),
+    ("hassibi1993", "Hassibi 1993 (OBS)", 1993, True, ["lecun1990"]),
+    # 2014-2015
+    ("collins2014", "Collins 2014", 2014, False, []),
+    ("han2015", "Han 2015", 2015, True, []),
+    ("zhang2015", "Zhang 2015", 2015, True, []),
+    ("mariet2015", "Mariet 2015", 2015, True, []),
+    ("srinivas2015", "Srinivas 2015", 2015, True, []),
+    # 2016
+    ("figurnov2016", "Figurnov 2016", 2016, True, []),
+    ("guo2016", "Guo 2016", 2016, True, ["han2015", "lecun1990"]),
+    ("han2016", "Han 2016", 2016, True, ["han2015"]),
+    ("hu2016", "Hu 2016", 2016, False, ["han2015"]),
+    ("kim2016", "Kim 2016", 2016, True, []),
+    ("srinivas2016", "Srinivas 2016", 2016, False, ["srinivas2015"]),
+    ("wen2016", "Wen 2016", 2016, True, ["han2015"]),
+    ("lebedev2016", "Lebedev 2016", 2016, True, ["lecun1990", "han2015"]),
+    ("molchanov2016", "Molchanov 2016", 2016, True, ["lecun1990"]),
+    # 2017
+    ("alvarez2017", "Alvarez 2017", 2017, True, []),
+    ("he2017", "He 2017", 2017, True, ["li2017"]),
+    ("li2017", "Li 2017", 2017, True, ["han2015"]),
+    ("lin2017", "Lin 2017", 2017, True, ["wen2016"]),
+    ("luo2017", "Luo 2017", 2017, True, ["han2015", "li2017"]),
+    ("srinivas2017", "Srinivas 2017", 2017, False, []),
+    ("yang2017", "Yang 2017", 2017, True, ["han2015"]),
+    ("liu2017", "Liu 2017", 2017, True, ["li2017", "han2015"]),
+    ("dong2017", "Dong 2017", 2017, True, ["lecun1990"]),
+    ("louizos2017", "Louizos 2017", 2017, True, ["han2015"]),
+    ("molchanov2017", "Molchanov 2017", 2017, True, ["han2015"]),
+    ("changpinyo2017", "Changpinyo 2017", 2017, False, []),
+    ("zhu2017", "Zhu 2017", 2017, False, []),
+    # 2018
+    ("carreira2018", "Carreira-Perpinan 2018", 2018, True, []),
+    ("ding2018", "Ding 2018", 2018, True, ["li2017", "luo2017"]),
+    ("dubey2018", "Dubey 2018", 2018, True, ["han2015", "han2016"]),
+    ("heyang2018", "He, Yang 2018", 2018, True, ["li2017", "he2017"]),
+    ("heyihui2018", "He, Yihui 2018", 2018, True, ["he2017"]),
+    ("huang2018", "Huang 2018", 2018, True, ["li2017", "wen2016", "luo2017"]),
+    ("lin2018", "Lin 2018", 2018, True, ["li2017", "luo2017", "he2017"]),
+    ("peng2018", "Peng 2018", 2018, True, ["he2017", "luo2017"]),
+    ("suau2018", "Suau 2018", 2018, False, ["li2017", "luo2017"]),
+    ("suzuki2018", "Suzuki 2018", 2018, False, []),
+    ("yamamoto2018", "Yamamoto 2018", 2018, False, ["he2017", "luo2017"]),
+    ("yu2018", "Yu 2018", 2018, True, ["li2017", "molchanov2016"]),
+    ("zhuang2018", "Zhuang 2018", 2018, True, ["he2017", "li2017", "luo2017"]),
+    ("yao2018", "Yao 2018", 2018, False, ["wen2016"]),
+    # 2019
+    ("choi2019", "Choi 2019", 2019, False, ["guo2016"]),
+    ("gale2019", "Gale 2019", 2019, False, ["han2015", "molchanov2017", "louizos2017", "frankle2019"]),
+    ("kim2019", "Kim 2019", 2019, False, ["he2017", "luo2017"]),
+    ("liu2019", "Liu 2019", 2019, True, ["han2015", "li2017", "luo2017", "he2017", "huang2018", "franklecarbin2019"]),
+    ("luo2019", "Luo 2019", 2019, False, ["luo2017", "he2017"]),
+    ("peng2019", "Peng 2019", 2019, True, ["he2017", "luo2017", "zhuang2018"]),
+    ("franklecarbin2019", "Frankle & Carbin 2019", 2019, True, ["han2015"]),
+    ("frankle2019", "Frankle 2019", 2019, False, ["franklecarbin2019", "han2015", "liu2019"]),
+    ("morcos2019", "Morcos 2019", 2019, True, ["franklecarbin2019"]),
+    ("lee2019snip", "Lee 2019 (SNIP)", 2019, True, ["han2015", "lecun1990", "hassibi1993", "molchanov2017"]),
+    ("lee2019signal", "Lee 2019 (Signal)", 2019, False, ["lee2019snip"]),
+    ("he2018soft", "He 2018 (SFP)", 2018, True, ["li2017", "he2017", "luo2017"]),
+]
+
+#: Table 1 of the paper, verbatim: pair -> number of papers using it.
+TABLE1_COUNTS: Dict[Tuple[str, str], int] = {
+    ("ImageNet", "VGG-16"): 22,
+    ("ImageNet", "ResNet-50"): 15,
+    ("MNIST", "LeNet-5-Caffe"): 14,
+    ("CIFAR-10", "ResNet-56"): 14,
+    ("MNIST", "LeNet-300-100"): 12,
+    ("MNIST", "LeNet-5"): 11,
+    ("ImageNet", "CaffeNet"): 10,
+    ("CIFAR-10", "CIFAR-VGG"): 8,
+    ("ImageNet", "AlexNet"): 8,
+    ("ImageNet", "ResNet-18"): 6,
+    ("ImageNet", "ResNet-34"): 6,
+    ("CIFAR-10", "ResNet-110"): 5,
+    ("CIFAR-10", "PreResNet-164"): 4,
+    ("CIFAR-10", "ResNet-32"): 4,
+}
+
+#: The four Figure 3 configurations (Alex/CaffeNet are one column, footnote 4).
+FIG3_PAIRS = [
+    ("ImageNet", "VGG-16"),
+    ("ImageNet", "ResNet-50"),
+    ("ImageNet", "CaffeNet"),
+    ("ImageNet", "AlexNet"),
+    ("CIFAR-10", "ResNet-56"),
+]
+
+# Long-tail name pools (real dataset/architecture names from the wider
+# pruning literature; counts are completed programmatically to 49/132).
+_RARE_DATASETS = [
+    "CIFAR-100", "SVHN", "Tiny-ImageNet", "Fashion-MNIST", "STL-10",
+    "Caltech-101", "Caltech-256", "Places365", "CUB-200", "Flowers-102",
+    "PASCAL-VOC", "COCO", "Cityscapes", "CamVid", "ADE20K", "KITTI",
+    "UCF-101", "HMDB-51", "Kinetics", "Sports-1M", "PTB", "WikiText-2",
+    "WikiText-103", "WMT14-EN-DE", "WMT14-EN-FR", "IWSLT14", "LibriSpeech",
+    "TIMIT", "WSJ", "Switchboard", "AN4", "VoxCeleb", "LFW", "MegaFace",
+    "MS-Celeb-1M", "Market-1501", "DukeMTMC", "MPII", "FLIC", "NYU-Depth-v2",
+    "ScanNet", "ModelNet40", "ShapeNet", "MuJoCo-Suite", "Atari-57",
+    "Omniglot",
+]
+
+_RARE_ARCHITECTURES = [
+    "VGG-11", "VGG-13", "VGG-19", "ResNet-101", "ResNet-152", "ResNet-20",
+    "PreResNet-56", "PreResNet-110", "WRN-16-8", "WRN-28-10", "WRN-40-4",
+    "DenseNet-40", "DenseNet-121", "DenseNet-169", "GoogLeNet",
+    "Inception-v3", "Inception-v4", "NIN", "SqueezeNet", "MobileNet-v1",
+    "MobileNet-v2", "ShuffleNet", "ShuffleNet-v2", "AlexNet-BN",
+    "ZFNet", "OverFeat", "FCN-8s", "SegNet", "U-Net", "DeepLab-v3",
+    "PSPNet", "ENet", "ICNet", "Faster-R-CNN", "SSD-300", "SSD-512",
+    "YOLO-v2", "YOLO-v3", "RetinaNet", "Mask-R-CNN", "R-FCN",
+    "LSTM-2x650", "LSTM-2x1500", "GRU-1x1024", "BiLSTM-CRF", "Seq2Seq-Attn",
+    "Transformer-Base", "Transformer-Big", "GNMT", "ConvS2S", "TCN",
+    "WaveNet", "DeepSpeech-2", "Listen-Attend-Spell", "Tacotron",
+    "C3D", "I3D", "TSN", "R(2+1)D", "P3D", "S3D",
+    "PointNet", "PointNet++", "VoxNet", "3D-ResNet-18",
+    "CapsNet", "STN-CNN", "Highway-32", "FractalNet", "ResNeXt-29",
+    "ResNeXt-50", "SENet-18", "SENet-50", "DPN-92", "PolyNet",
+    "NASNet-A", "AmoebaNet-A", "PNASNet-5", "DARTS-CNN", "Proxyless-NAS",
+    "EfficientNet-B0", "MnasNet-A1", "FBNet-C", "SinglePath-NAS",
+    "PyramidNet-110", "Shake-Shake-26", "DenseNet-BC-100", "MSDNet",
+    "DLA-34", "HRNet-W18", "Res2Net-50", "SKNet-50", "GhostNet",
+    "ESPNet", "BiSeNet", "Fast-SCNN", "LEDNet", "ERFNet",
+    "CRNN", "RARE", "ASTER", "Rosetta-OCR",
+    "DQN-CNN", "A3C-CNN", "IMPALA-CNN", "MuZero-Repr",
+    "LeNet-5-Sigmoid", "MLP-3x512", "MLP-2x256", "Autoencoder-4x",
+    "Sparse-VGG-S", "Conv4", "Conv6", "Conv2",
+    "BERT-Base-Enc", "ELMo-BiLM", "AWD-LSTM", "QRNN",
+]
+
+
+def _synthetic_papers(n: int, rng: np.random.Generator) -> List[Paper]:
+    """Entries standing in for unnamed members of the surveyed corpus."""
+    out = []
+    # Year distribution follows the survey's observation of explosive recent
+    # growth: most corpus entries are 2016-2019.
+    years = rng.choice([2011, 2012, 2013, 2014, 2015, 2016, 2017, 2018, 2019],
+                       p=[0.02, 0.02, 0.03, 0.05, 0.08, 0.17, 0.21, 0.24, 0.18],
+                       size=n)
+    for i in range(n):
+        year = int(years[i])
+        out.append(
+            Paper(
+                key=f"corpus{year}{chr(ord('a') + i % 26)}{i // 26}",
+                label=f"Corpus-{year}-{i:02d}",
+                year=year,
+                peer_reviewed=bool(rng.random() < 0.55),
+                compares_to=[],
+                synthetic=True,
+            )
+        )
+    return out
+
+
+def _assign_synthetic_edges(papers: List[Paper], rng: np.random.Generator) -> None:
+    """Give synthetic papers comparison edges matching §4.1's statistics.
+
+    Targets: >1/4 of the 81 papers have out-degree 0, ~1/4 have out-degree
+    1, nearly all ≤3.  Popular targets (Han 2015, Li 2017, ...) absorb most
+    in-edges so the top histogram has a long tail and a ~18 in-degree max.
+    """
+    by_key = {p.key: p for p in papers}
+    # Han 2015 already has the highest in-degree from the hand-curated real
+    # edges (~Figure 2's max of 18), so synthetic edges target the remaining
+    # popular baselines plus a scattered tail.
+    popular = ["li2017", "luo2017", "he2017", "wen2016", "han2016",
+               "lecun1990", "guo2016", "molchanov2016", "franklecarbin2019"]
+    weights = np.array([0.15, 0.13, 0.13, 0.12, 0.12, 0.10, 0.10, 0.08, 0.07])
+    weights = weights / weights.sum()
+    synth = [p for p in papers if p.synthetic]
+    ordered = sorted(papers, key=lambda q: (q.year, q.key))
+    in_deg: Dict[str, int] = {p.key: 0 for p in papers}
+    for p in papers:
+        for t in p.compares_to:
+            in_deg[t] = in_deg.get(t, 0) + 1
+    # Deterministic out-degree pattern: ~45% zero, ~30% one, ~20% two, 5% three.
+    pattern = [0, 1, 0, 2, 1, 0, 1, 2, 0, 3, 0, 1, 2, 0, 1, 0, 2, 1, 0, 0]
+    for i, p in enumerate(synth):
+        k = pattern[i % len(pattern)]
+        if p.year <= 2014:
+            k = min(k, 1)  # early papers had little to compare against
+        targets: List[str] = []
+        attempts = 0
+        while len(targets) < k and attempts < 100:
+            attempts += 1
+            # Roughly half the comparison mass goes to the famous baselines;
+            # the rest is scattered across papers nobody else compared to —
+            # giving the in-degree histogram its long thin tail (Figure 2).
+            if rng.random() < 0.5:
+                t = str(rng.choice(popular, p=weights))
+            else:
+                earlier = [q.key for q in ordered if q.year < p.year and q.key != p.key]
+                if not earlier:
+                    continue
+                zero_in = [q for q in earlier if in_deg.get(q, 0) == 0]
+                pool = zero_in if zero_in else earlier
+                t = pool[int(rng.integers(len(pool)))]
+            if t == p.key or t in targets:
+                continue
+            if by_key[t].year > p.year:  # no comparing to the future
+                continue
+            targets.append(t)
+            in_deg[t] = in_deg.get(t, 0) + 1
+        p.compares_to = targets
+
+
+def _build_pairs(papers: List[Paper], rng: np.random.Generator) -> None:
+    """Assign (dataset, architecture) pairs hitting every §4.2 marginal."""
+    by_key = {p.key: p for p in papers}
+
+    # --- 1. the 37-paper pool that covers the Figure 3 configurations ----
+    # Real papers named in the Figure 3 legend must be in the pool.
+    fig3_named = [
+        "collins2014", "han2015", "zhang2015", "figurnov2016", "guo2016",
+        "han2016", "hu2016", "kim2016", "srinivas2016", "wen2016",
+        "alvarez2017", "he2017", "li2017", "lin2017", "luo2017",
+        "srinivas2017", "yang2017", "carreira2018", "ding2018", "dubey2018",
+        "heyang2018", "heyihui2018", "huang2018", "lin2018", "peng2018",
+        "suau2018", "suzuki2018", "yamamoto2018", "yu2018", "zhuang2018",
+        "choi2019", "gale2019", "kim2019", "liu2019", "luo2019", "peng2019",
+        "frankle2019",
+    ]
+    assert len(fig3_named) == 37, len(fig3_named)
+    pool = [by_key[k] for k in fig3_named]
+
+    # Figure 3 pair usage comes from this pool only, so exactly 37 papers
+    # touch those configurations.  Assign usages round-robin, respecting
+    # the exact Table 1 counts.
+    fig3_targets = [(pair, TABLE1_COUNTS[pair]) for pair in FIG3_PAIRS]
+    idx = 0
+    for pair, count in fig3_targets:
+        assigned = 0
+        scan = 0
+        while assigned < count:
+            p = pool[(idx + scan) % len(pool)]
+            scan += 1
+            if pair in p.pairs:
+                continue
+            # CaffeNet and AlexNet columns are merged in Figure 3; avoid
+            # giving one paper both (footnote 4: it is often unclear which
+            # model a paper used — they report one or the other).
+            if pair[1] in ("CaffeNet", "AlexNet") and any(
+                a in ("CaffeNet", "AlexNet") for _, a in p.pairs
+            ):
+                continue
+            # ResNets postdate 2015; don't assign them to older papers.
+            if "ResNet" in pair[1] and p.year < 2016:
+                continue
+            p.pairs.append(pair)
+            assigned += 1
+        idx += count
+
+    # --- 2. remaining Table 1 pairs: any paper may use them -----------------
+    rest = [
+        (pair, count)
+        for pair, count in TABLE1_COUNTS.items()
+        if pair not in FIG3_PAIRS
+    ]
+    everyone = sorted(papers, key=lambda p: (p.synthetic, p.key))
+    idx = 3
+    for pair, count in rest:
+        assigned = 0
+        scan = 0
+        while assigned < count:
+            p = everyone[(idx + scan) % len(everyone)]
+            scan += 1
+            if pair in p.pairs or p.classic:
+                continue
+            if "ResNet" in pair[1] and p.year < 2016:
+                continue
+            if len(p.pairs) >= 4:  # keep most papers at <=4 pairs here
+                continue
+            p.pairs.append(pair)
+            assigned += 1
+        idx += 2 * count + 1
+
+    # --- 3. long tail: exact dataset/arch/pair totals -----------------------
+    # Totals required: 49 datasets, 132 architectures, 195 pairs — of which
+    # the two classic papers contribute 2 datasets, 2 architectures, 2 pairs
+    # (their 1989/1993-era benchmarks), assigned further below.
+    common_datasets = {d for d, _ in TABLE1_COUNTS}
+    common_archs = {a for _, a in TABLE1_COUNTS}
+    need_datasets = 49 - len(common_datasets) - 2
+    need_archs = 132 - len(common_archs) - 2
+    rare_datasets = _RARE_DATASETS[:need_datasets]
+    rare_archs = _RARE_ARCHITECTURES[:need_archs]
+    if len(rare_datasets) < need_datasets or len(rare_archs) < need_archs:
+        raise AssertionError("name pools too small for corpus marginals")
+
+    tail_pairs: List[Tuple[str, str]] = []
+    # MobileNet-v2 pruning on ImageNet appears in Figure 1 ("MobileNet-v2
+    # Pruned"); pin the pair and its users (He Yihui 2018 = AMC, Zhu 2017).
+    by_key["heyihui2018"].pairs.append(("ImageNet", "MobileNet-v2"))
+    by_key["zhu2017"].pairs.append(("ImageNet", "MobileNet-v2"))
+    tail_pairs.append(("ImageNet", "MobileNet-v2"))
+    # every other rare architecture appears once, on a cycling common dataset
+    ds_cycle = ["CIFAR-10", "ImageNet", "CIFAR-100", "MNIST"]
+    for i, arch in enumerate(rare_archs):
+        if arch == "MobileNet-v2":
+            continue
+        ds = ds_cycle[i % len(ds_cycle)]
+        tail_pairs.append((ds, arch))
+    # every rare dataset appears once, on a cycling common architecture
+    arch_cycle = ["VGG-16", "ResNet-50", "AlexNet", "ResNet-18", "LeNet-5"]
+    for i, ds in enumerate(rare_datasets):
+        if ds == "CIFAR-100":
+            continue  # already introduced via the arch tail above
+        tail_pairs.append((ds, arch_cycle[i % len(arch_cycle)]))
+    # top up to exactly 195 total unique pairs with rare x rare combos
+    # (+2 accounts for the classic papers' pairs added below)
+    total_so_far = len(TABLE1_COUNTS) + len(tail_pairs) + 2
+    extra_needed = 195 - total_so_far
+    if extra_needed < 0:
+        raise AssertionError("too many tail pairs")
+    for i in range(extra_needed):
+        ds = rare_datasets[(7 * i + 3) % len(rare_datasets)]
+        arch = rare_archs[(11 * i + 5) % len(rare_archs)]
+        pair = (ds, arch)
+        while pair in tail_pairs:
+            arch = rare_archs[(rare_archs.index(arch) + 1) % len(rare_archs)]
+            pair = (ds, arch)
+        tail_pairs.append(pair)
+
+    # distribute the tail: modern papers only, round-robin with a quota
+    # pattern that reproduces Figure 4's pairs-per-paper histogram shape.
+    modern = [p for p in everyone if not p.classic]
+    quota_pattern = [1, 2, 1, 3, 1, 2, 1, 1, 4, 2, 1, 3, 1, 2, 1, 5, 1, 2, 3, 1]
+    quotas = {
+        p.key: quota_pattern[i % len(quota_pattern)] for i, p in enumerate(modern)
+    }
+    # the classics evaluated on tiny problems of their era
+    by_key["lecun1990"].pairs.append(("MNIST-precursor", "LeNet-1989"))
+    by_key["hassibi1993"].pairs.append(("MONK-problems", "MLP-2x15"))
+    tail_pairs.extend([("MNIST-precursor", "LeNet-1989"), ("MONK-problems", "MLP-2x15")])
+
+    i = 0
+    for pair in tail_pairs:
+        if pair in (("MNIST-precursor", "LeNet-1989"), ("MONK-problems", "MLP-2x15")):
+            continue
+        placed = False
+        scan = 0
+        while not placed and scan < 4 * len(modern):
+            p = modern[(i + scan) % len(modern)]
+            scan += 1
+            if quotas[p.key] <= 0 or pair in p.pairs:
+                continue
+            p.pairs.append(pair)
+            quotas[p.key] -= 1
+            placed = True
+        if not placed:  # quotas exhausted; relax (still deterministic)
+            modern[i % len(modern)].pairs.append(pair)
+        i += 1
+
+    # every modern paper must evaluate on *something*
+    leftovers = [p for p in modern if not p.pairs]
+    for j, p in enumerate(leftovers):
+        pair = tail_pairs[(13 * j) % len(tail_pairs)]
+        if pair not in p.pairs:
+            p.pairs.append(pair)
+
+
+# ---------------------------------------------------------------------------
+# Self-reported tradeoff curves
+# ---------------------------------------------------------------------------
+
+#: methods-per-paper, matching the named variants in the Figure 3/5 legends.
+_METHOD_VARIANTS = {
+    "he2017": ["He 2017", "He 2017, 3C"],
+    "dubey2018": ["AP+Coreset-A", "AP+Coreset-K", "AP+Coreset-S"],
+    "heyang2018": ["He, Yang 2018", "He, Yang 2018, Fine-Tune"],
+    "suau2018": ["PFA-En", "PFA-KL"],
+    "gale2019": ["Magnitude", "Magnitude-v2", "SparseVD"],
+    "liu2019": ["Magnitude", "Scratch-B"],
+    "peng2019": ["CCP", "CCP-AC"],
+    "frankle2019": [
+        "PruneAtEpoch=15", "PruneAtEpoch=90", "ResetToEpoch=10", "ResetToEpoch=R",
+    ],
+}
+
+#: reference dense baselines for generating plausible reported numbers.
+_ARCH_BASELINES = {
+    # architecture: (params M, GFLOPs (multiply-adds), top1 %, top5 %)
+    "VGG-16": (138.4, 15.5, 71.6, 90.4),
+    "ResNet-50": (25.6, 4.1, 76.1, 92.9),
+    "CaffeNet": (60.9, 0.72, 57.4, 80.4),
+    "AlexNet": (61.0, 0.72, 56.6, 79.1),
+    "ResNet-18": (11.7, 1.8, 69.8, 89.1),
+    "ResNet-34": (21.8, 3.7, 73.3, 91.4),
+    "MobileNet-v2": (3.5, 0.30, 72.0, 91.0),
+    "ResNet-56": (0.85, 0.125, 93.0, 99.7),
+    "CIFAR-VGG": (14.7, 0.31, 92.5, 99.7),
+    "ResNet-110": (1.7, 0.25, 93.6, 99.7),
+    "ResNet-32": (0.46, 0.069, 92.6, 99.7),
+    "PreResNet-164": (1.7, 0.25, 94.5, 99.8),
+    "LeNet-5": (0.43, 0.0023, 99.2, 100.0),
+    "LeNet-5-Caffe": (0.43, 0.0023, 99.1, 100.0),
+    "LeNet-300-100": (0.27, 0.00027, 98.4, 100.0),
+}
+
+#: papers whose ResNet-50 entries are unstructured magnitude variants
+#: (the Figure 5 top panel).
+_MAGNITUDE_VARIANT_METHODS = {
+    ("gale2019", "Magnitude"), ("gale2019", "Magnitude-v2"),
+    ("liu2019", "Magnitude"),
+    ("frankle2019", "PruneAtEpoch=15"), ("frankle2019", "PruneAtEpoch=90"),
+    ("frankle2019", "ResetToEpoch=10"), ("frankle2019", "ResetToEpoch=R"),
+}
+
+
+def _paper_quality(key: str, rng: np.random.Generator) -> Tuple[float, float, float]:
+    """Per-paper curve shape: (free_compression, drop_rate, quality)."""
+    r = np.random.default_rng(abs(hash(key)) % (2**32))
+    free = float(r.uniform(1.0, 3.0))  # compression that costs ~nothing
+    drop = float(r.uniform(0.35, 1.4))  # accuracy pp lost per extra octave
+    quality = float(r.normal(0.3, 0.35))  # small gains are common (§3.2)
+    return free, drop, quality
+
+
+def _make_curves(papers: List[Paper], rng: np.random.Generator) -> List[ReportedCurve]:
+    """Synthesize self-reported tradeoff curves for every evaluated pair.
+
+    Calibration targets: most curves have 1-3 points (Figure 4 bottom);
+    different papers report different metric subsets (Figure 3's sparse
+    panels); magnitude-based methods on ResNet-50 span a band comparable to
+    the spread across all other methods (Figure 5, §4.5).
+    """
+    curves: List[ReportedCurve] = []
+    for p in papers:
+        if p.classic:
+            continue
+        methods = _METHOD_VARIANTS.get(p.key, [p.label])
+        r = np.random.default_rng(abs(hash("curves:" + p.key)) % (2**32))
+        for pair in p.pairs:
+            ds, arch = pair
+            if arch not in _ARCH_BASELINES:
+                continue  # long-tail pairs: no standardized numbers to report
+            base_params, base_flops, base_top1, base_top5 = _ARCH_BASELINES[arch]
+            for method in methods:
+                free, drop, quality = _paper_quality(p.key + method, r)
+                # points per curve: mostly 1-3, occasionally more (Fig 4)
+                n_points = int(r.choice([1, 1, 1, 2, 2, 3, 3, 4, 5], p=[0.22, 0.2, 0.1, 0.16, 0.1, 0.08, 0.06, 0.05, 0.03]))
+                if p.key in ("gale2019", "frankle2019", "han2015"):
+                    n_points = max(n_points, int(r.integers(4, 9)))
+                comps = np.sort(2.0 ** r.uniform(0.3, 4.8, size=n_points))
+                pts = []
+                for c in comps:
+                    octaves_past_free = max(0.0, np.log2(c) - np.log2(free))
+                    d_top1 = quality - drop * octaves_past_free + float(r.normal(0, 0.25))
+                    d_top1 = float(np.clip(d_top1, -10.0, 2.5))
+                    d_top5 = float(d_top1 * 0.6 + r.normal(0, 0.15))
+                    # speedup sub-linear in compression for most methods
+                    sp_exp = float(r.uniform(0.55, 0.95))
+                    speedup = float(c**sp_exp * np.exp(r.normal(0, 0.08)))
+                    # papers report incomplete metric subsets (§4.4)
+                    report_comp = r.random() < 0.85
+                    report_speed = r.random() < 0.55
+                    if not report_comp and not report_speed:
+                        report_comp = True
+                    report_top5 = ds == "ImageNet" and r.random() < 0.6
+                    report_top1 = not report_top5 or r.random() < 0.75
+                    pts.append(
+                        TradeoffPoint(
+                            compression=float(c) if report_comp else None,
+                            speedup=speedup if report_speed else None,
+                            delta_top1=d_top1 if report_top1 else None,
+                            delta_top5=d_top5 if report_top5 else None,
+                            initial_params=(
+                                base_params * 1e6 * float(np.exp(r.normal(0, 0.05)))
+                                if r.random() < 0.5
+                                else None
+                            ),
+                            initial_flops=(
+                                base_flops * 1e9 * float(np.exp(r.normal(0, 0.35)))
+                                if r.random() < 0.4
+                                else None
+                            ),
+                        )
+                    )
+                curves.append(
+                    ReportedCurve(
+                        paper_key=p.key,
+                        method=method,
+                        dataset=ds,
+                        architecture=arch,
+                        points=pts,
+                    )
+                )
+    return curves
+
+
+def build_corpus(seed: int = 2020) -> Corpus:
+    """Construct the full 81-paper corpus with all published marginals."""
+    rng = np.random.default_rng(seed)
+    papers = [
+        Paper(key=k, label=lbl, year=y, peer_reviewed=pr,
+              compares_to=list(edges), classic=(y < 2010))
+        for k, lbl, y, pr, edges in REAL_PAPERS
+    ]
+    n_synth = 81 - len(papers)
+    if n_synth < 0:
+        raise AssertionError("more named papers than corpus size")
+    papers.extend(_synthetic_papers(n_synth, rng))
+    _assign_synthetic_edges(papers, rng)
+    _build_pairs(papers, rng)
+    curves = _make_curves(papers, rng)
+    corpus = Corpus(papers, curves)
+
+    # -- invariants the paper states exactly -----------------------------
+    assert len(corpus) == 81, len(corpus)
+    counts = corpus.pair_usage_counts()
+    for pair, want in TABLE1_COUNTS.items():
+        got = counts.get(pair, 0)
+        assert got == want, (pair, got, want)
+    over = {
+        pair: c
+        for pair, c in counts.items()
+        if c >= 4 and pair not in TABLE1_COUNTS
+    }
+    assert not over, f"non-Table-1 pairs crossed the >=4 threshold: {over}"
+    assert len(corpus.datasets()) == 49, len(corpus.datasets())
+    assert len(corpus.architectures()) == 132, len(corpus.architectures())
+    assert len(corpus.pairs()) == 195, len(corpus.pairs())
+    return corpus

@@ -1,0 +1,83 @@
+"""Dataset/architecture/metric fragmentation analysis (§4.2-§4.4).
+
+Regenerates:
+
+* **Table 1** — (dataset, architecture) pairs used by ≥4 of the 81 papers;
+* **Figure 4 top** — histogram of pairs-per-paper (MNIST excluded);
+* **Figure 4 bottom** — histogram of points-per-tradeoff-curve on the four
+  most common non-MNIST configurations;
+* the §4.2 headline counts (49 datasets, 132 architectures, 195 pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .corpus import Corpus, Pair
+from .corpus_data import FIG3_PAIRS
+
+__all__ = [
+    "table1",
+    "corpus_stats",
+    "pairs_per_paper_histogram",
+    "points_per_curve_histogram",
+]
+
+
+def table1(corpus: Corpus, min_papers: int = 4) -> List[Tuple[str, str, int]]:
+    """(dataset, architecture, paper-count) rows, most-used first."""
+    counts = corpus.pair_usage_counts()
+    rows = [
+        (ds, arch, n)
+        for (ds, arch), n in counts.items()
+        if n >= min_papers
+    ]
+    rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+    return rows
+
+
+def corpus_stats(corpus: Corpus) -> Dict[str, int]:
+    """§4.2 headline counts."""
+    return {
+        "n_papers": len(corpus),
+        "n_datasets": len(corpus.datasets()),
+        "n_architectures": len(corpus.architectures()),
+        "n_pairs": len(corpus.pairs()),
+    }
+
+
+def pairs_per_paper_histogram(
+    corpus: Corpus, exclude_mnist: bool = True
+) -> Dict[int, Dict[str, int]]:
+    """Figure 4 top: #pairs used per paper, split by peer-review status."""
+    hist: Dict[int, Dict[str, int]] = {}
+    for p in corpus.papers.values():
+        if p.classic:
+            continue
+        pairs = set(p.pairs)
+        if exclude_mnist:
+            pairs = {pr for pr in pairs if pr[0] != "MNIST"}
+        n = len(pairs)
+        if n == 0:
+            continue
+        bucket = hist.setdefault(n, {"peer_reviewed": 0, "other": 0})
+        bucket["peer_reviewed" if p.peer_reviewed else "other"] += 1
+    return dict(sorted(hist.items()))
+
+
+def points_per_curve_histogram(
+    corpus: Corpus, pairs: List[Pair] = None
+) -> Dict[int, Dict[str, int]]:
+    """Figure 4 bottom: #points per curve on the common configurations."""
+    pairs = pairs if pairs is not None else FIG3_PAIRS
+    hist: Dict[int, Dict[str, int]] = {}
+    for curve in corpus.curves:
+        if curve.pair not in pairs:
+            continue
+        paper = corpus.papers[curve.paper_key]
+        n = curve.n_points()
+        if n == 0:
+            continue
+        bucket = hist.setdefault(n, {"peer_reviewed": 0, "other": 0})
+        bucket["peer_reviewed" if paper.peer_reviewed else "other"] += 1
+    return dict(sorted(hist.items()))

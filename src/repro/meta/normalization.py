@@ -1,0 +1,108 @@
+"""Footnote-1 normalization for cross-paper tradeoff plots (Figure 1).
+
+"Since many pruning papers report only change in accuracy or amount of
+pruning, without giving baseline numbers, we normalize all pruning results
+to have accuracies and model sizes/FLOPs as if they had begun with the same
+model.  Concretely, this means multiplying the reported fraction of pruned
+size/FLOPs by a standardized initial value.  This value is set to the median
+initial size or number of FLOPs reported for that architecture across all
+papers."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .corpus import Corpus, ReportedCurve, TradeoffPoint
+
+__all__ = [
+    "standardized_initial_sizes",
+    "standardized_initial_flops",
+    "normalize_point",
+    "normalized_results",
+]
+
+
+def standardized_initial_sizes(corpus: Corpus) -> Dict[str, float]:
+    """Median reported initial parameter count per architecture."""
+    reported: Dict[str, List[float]] = {}
+    for curve in corpus.curves:
+        for pt in curve.points:
+            if pt.initial_params is not None:
+                reported.setdefault(curve.architecture, []).append(pt.initial_params)
+    return {arch: float(np.median(vals)) for arch, vals in reported.items()}
+
+
+def standardized_initial_flops(corpus: Corpus) -> Dict[str, float]:
+    """Median reported initial FLOPs per architecture.
+
+    §5.2 shows reported FLOPs for one architecture vary up to 4× across
+    papers (AlexNet: 371 / 724 / 1500 MFLOPs), which is exactly why the
+    median is taken rather than trusting any single paper.
+    """
+    reported: Dict[str, List[float]] = {}
+    for curve in corpus.curves:
+        for pt in curve.points:
+            if pt.initial_flops is not None:
+                reported.setdefault(curve.architecture, []).append(pt.initial_flops)
+    return {arch: float(np.median(vals)) for arch, vals in reported.items()}
+
+
+def normalize_point(
+    pt: TradeoffPoint,
+    arch: str,
+    std_sizes: Dict[str, float],
+    std_flops: Dict[str, float],
+    baseline_top1: float,
+    baseline_top5: float,
+) -> Optional[Dict[str, float]]:
+    """Convert one reported point to absolute (size, FLOPs, accuracy).
+
+    Returns None when the point carries no usable efficiency metric.
+    """
+    out: Dict[str, float] = {}
+    if pt.compression is not None and arch in std_sizes:
+        out["params"] = std_sizes[arch] / pt.compression
+    if pt.speedup is not None and arch in std_flops:
+        out["flops"] = std_flops[arch] / pt.speedup
+    if not out:
+        return None
+    if pt.delta_top1 is not None:
+        out["top1"] = baseline_top1 + pt.delta_top1
+    if pt.delta_top5 is not None:
+        out["top5"] = baseline_top5 + pt.delta_top5
+    return out
+
+
+def normalized_results(
+    corpus: Corpus,
+    baselines: Dict[str, Tuple[float, float]],
+) -> List[Dict]:
+    """All corpus points in absolute coordinates for Figure 1.
+
+    ``baselines`` maps architecture -> (top1, top5) of the standardized
+    initial model.
+    """
+    std_sizes = standardized_initial_sizes(corpus)
+    std_flops = standardized_initial_flops(corpus)
+    rows: List[Dict] = []
+    for curve in corpus.curves:
+        if curve.architecture not in baselines:
+            continue
+        b1, b5 = baselines[curve.architecture]
+        for pt in curve.points:
+            norm = normalize_point(
+                pt, curve.architecture, std_sizes, std_flops, b1, b5
+            )
+            if norm is None:
+                continue
+            norm.update(
+                paper=curve.paper_key,
+                method=curve.method,
+                dataset=curve.dataset,
+                architecture=curve.architecture,
+            )
+            rows.append(norm)
+    return rows

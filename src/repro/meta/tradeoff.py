@@ -1,0 +1,175 @@
+"""Cross-paper tradeoff analyses: Figures 1, 3 and 5.
+
+* **Figure 1** — pruned models (normalized per footnote 1) against the
+  published frontier of each architecture family on ImageNet.
+* **Figure 3** — the fragmentation panels: the four most common
+  configurations × {compression, speedup} × {Top-1, Top-5}, one reported
+  curve per method.
+* **Figure 5** — ResNet-50/ImageNet split into unstructured
+  magnitude-based variants (top) vs all other methods (bottom), showing
+  that fine-tuning/implementation variation rivals cross-method variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .architectures import FAMILIES, IMAGENET_BASELINES, family_curve
+from .corpus import Corpus, ReportedCurve
+from .corpus_data import _MAGNITUDE_VARIANT_METHODS
+from .normalization import (
+    normalized_results,
+    standardized_initial_flops,
+    standardized_initial_sizes,
+)
+
+__all__ = [
+    "fig1_series",
+    "fig3_panels",
+    "fig5_split",
+    "PanelCurve",
+]
+
+
+@dataclass
+class PanelCurve:
+    """One method's series inside one panel."""
+
+    label: str
+    xs: List[float]
+    ys: List[float]
+    paper_key: str = ""
+    year: int = 0
+
+
+def fig1_series(corpus: Corpus, x_metric: str = "params", y_metric: str = "top1"):
+    """Figure 1 data: family frontiers + normalized pruned points.
+
+    Returns ``(families, pruned)`` where families maps family name to its
+    frontier curve and pruned maps family name to normalized points of
+    pruned members of that family.
+    """
+    families = {
+        name: family_curve(name, x="params" if x_metric == "params" else "flops")
+        for name in FAMILIES
+    }
+    rows = normalized_results(corpus, IMAGENET_BASELINES)
+    member_of = {
+        "VGG-16": "VGG",
+        "ResNet-50": "ResNet",
+        "ResNet-18": "ResNet",
+        "ResNet-34": "ResNet",
+        "MobileNet-v2": "MobileNet-v2",
+    }
+    pruned: Dict[str, Dict[str, List[float]]] = {}
+    xkey = "params" if x_metric == "params" else "flops"
+    for row in rows:
+        if row["dataset"] != "ImageNet":
+            continue
+        fam = member_of.get(row["architecture"])
+        if fam is None or xkey not in row or y_metric not in row:
+            continue
+        bucket = pruned.setdefault(fam, {"xs": [], "ys": []})
+        bucket["xs"].append(row[xkey])
+        bucket["ys"].append(row[y_metric])
+    return families, pruned
+
+
+#: Figure 3's panel grid: columns are configurations, metric pairs are rows.
+FIG3_COLUMNS: List[Tuple[str, List[Tuple[str, str]]]] = [
+    ("VGG-16 on ImageNet", [("ImageNet", "VGG-16")]),
+    ("Alex/CaffeNet on ImageNet", [("ImageNet", "AlexNet"), ("ImageNet", "CaffeNet")]),
+    ("ResNet-50 on ImageNet", [("ImageNet", "ResNet-50")]),
+    ("ResNet-56 on CIFAR-10", [("CIFAR-10", "ResNet-56")]),
+]
+
+FIG3_METRIC_ROWS: List[Tuple[str, str]] = [
+    ("compression", "delta_top1"),
+    ("compression", "delta_top5"),
+    ("speedup", "delta_top1"),
+    ("speedup", "delta_top5"),
+]
+
+
+def fig3_panels(corpus: Corpus) -> Dict[Tuple[str, str, str], List[PanelCurve]]:
+    """All Figure 3 panels: {(column, x_metric, y_metric): [curves]}.
+
+    A method appears in a panel only for the points where it reports both
+    the panel's metrics — reproducing the sparsity the paper highlights.
+    """
+    panels: Dict[Tuple[str, str, str], List[PanelCurve]] = {}
+    for col_label, pairs in FIG3_COLUMNS:
+        for x_metric, y_metric in FIG3_METRIC_ROWS:
+            if "top5" in y_metric and col_label == "ResNet-56 on CIFAR-10":
+                continue  # CIFAR-10 has 10 classes; Top-5 is not reported
+            key = (col_label, x_metric, y_metric)
+            curves: List[PanelCurve] = []
+            for pair in pairs:
+                for rc in corpus.curves_for_pair(*pair):
+                    xs, ys = [], []
+                    for pt in rc.points:
+                        x = getattr(pt, x_metric)
+                        y = getattr(pt, y_metric)
+                        if x is not None and y is not None:
+                            xs.append(float(x))
+                            ys.append(float(y))
+                    if xs:
+                        order = np.argsort(xs)
+                        paper = corpus.papers[rc.paper_key]
+                        label = (
+                            rc.method
+                            if rc.method != paper.label
+                            else paper.label
+                        )
+                        curves.append(
+                            PanelCurve(
+                                label=label,
+                                xs=[xs[i] for i in order],
+                                ys=[ys[i] for i in order],
+                                paper_key=rc.paper_key,
+                                year=paper.year,
+                            )
+                        )
+            if curves:
+                panels[key] = curves
+    return panels
+
+
+def fig5_split(corpus: Corpus) -> Tuple[List[PanelCurve], List[PanelCurve]]:
+    """Figure 5: ResNet-50/ImageNet curves as (magnitude variants, others).
+
+    X is absolute parameter count (normalized), Y is absolute Top-1.
+    """
+    std_sizes = standardized_initial_sizes(corpus)
+    base_top1 = IMAGENET_BASELINES["ResNet-50"][0]
+    magnitude: List[PanelCurve] = []
+    others: List[PanelCurve] = []
+    for rc in corpus.curves_for_pair("ImageNet", "ResNet-50"):
+        xs, ys = [], []
+        for pt in rc.points:
+            if pt.compression is None or pt.delta_top1 is None:
+                continue
+            std = std_sizes.get("ResNet-50")
+            if std is None:
+                continue
+            xs.append(std / pt.compression)
+            ys.append(base_top1 + pt.delta_top1)
+        if not xs:
+            continue
+        order = np.argsort(xs)
+        paper = corpus.papers[rc.paper_key]
+        curve = PanelCurve(
+            label=f"{paper.label}, {rc.method}" if rc.method != paper.label else paper.label,
+            xs=[xs[i] for i in order],
+            ys=[ys[i] for i in order],
+            paper_key=rc.paper_key,
+            year=paper.year,
+        )
+        if (rc.paper_key, rc.method) in _MAGNITUDE_VARIANT_METHODS:
+            magnitude.append(curve)
+        else:
+            others.append(curve)
+    return magnitude, others

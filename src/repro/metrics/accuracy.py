@@ -1,0 +1,61 @@
+"""Accuracy metrics: Top-1 / Top-5, batched model evaluation.
+
+§6: "For ImageNet and other many-class datasets, report both Top-1 and
+Top-5 accuracy.  There is again no reason to report only one of these."
+:func:`evaluate` therefore always returns both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..data import DataLoader
+from ..nn import Module
+
+__all__ = ["topk_accuracy", "evaluate"]
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose target is among the k largest logits."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n, c = logits.shape
+    if k >= c:
+        return 1.0
+    # argpartition: top-k indices per row in O(c).
+    topk = np.argpartition(logits, c - k, axis=1)[:, c - k :]
+    return float(np.mean(np.any(topk == targets[:, None], axis=1)))
+
+
+def evaluate(model: Module, loader: DataLoader, top5: bool = True) -> Dict[str, float]:
+    """Evaluate a model: loss, Top-1 and (optionally) Top-5 accuracy.
+
+    Runs in eval mode under ``no_grad`` and restores the previous mode.
+    """
+    was_training = model.training
+    model.eval()
+    n_total = 0
+    loss_sum = 0.0
+    top1_sum = 0.0
+    top5_sum = 0.0
+    try:
+        with no_grad():
+            for xb, yb in loader:
+                out = model(Tensor(xb))
+                n = len(yb)
+                loss_sum += cross_entropy(out, yb).item() * n
+                top1_sum += topk_accuracy(out.data, yb, 1) * n
+                if top5:
+                    top5_sum += topk_accuracy(out.data, yb, 5) * n
+                n_total += n
+    finally:
+        model.train(was_training)
+    if n_total == 0:
+        raise ValueError("empty loader")
+    result = {"loss": loss_sum / n_total, "top1": top1_sum / n_total}
+    if top5:
+        result["top5"] = top5_sum / n_total
+    return result

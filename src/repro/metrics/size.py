@@ -1,0 +1,92 @@
+"""Model-size metrics and the §5.2/§6 metric conventions.
+
+The paper documents widespread ambiguity around size metrics:
+
+* "compression ratio" should mean ``original / compressed`` (§6), but many
+  papers use ``1 − compressed/original``;
+* "Pruned%" sometimes means fraction *removed*, sometimes fraction
+  *remaining*.
+
+Both conventions are provided under explicit names so the ambiguity is
+machine-checkable, and the recommended definitions carry the plain names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = [
+    "total_params",
+    "nonzero_params",
+    "compression_ratio",
+    "compression_ratio_misused",
+    "fraction_pruned",
+    "fraction_remaining",
+    "model_size_bytes",
+    "per_layer_nonzero",
+]
+
+
+def total_params(model: Module) -> int:
+    """Number of parameters (all tensors, dense count)."""
+    return sum(p.size for p in model.parameters())
+
+
+def nonzero_params(model: Module) -> int:
+    """Number of non-zero parameters (the paper's compressed size)."""
+    return int(sum(np.count_nonzero(p.data) for p in model.parameters()))
+
+
+def compression_ratio(original_size: float, compressed_size: float) -> float:
+    """The recommended definition: original / compressed (§6)."""
+    if compressed_size <= 0:
+        raise ValueError("compressed size must be positive")
+    if original_size <= 0:
+        raise ValueError("original size must be positive")
+    return original_size / compressed_size
+
+
+def compression_ratio_misused(original_size: float, compressed_size: float) -> float:
+    """The *misused* definition: ``1 − compressed/original`` (§5.2).
+
+    Provided only so analyses can translate results from papers that use it;
+    do not report this as "compression ratio".
+    """
+    if original_size <= 0:
+        raise ValueError("original size must be positive")
+    return 1.0 - compressed_size / original_size
+
+
+def fraction_pruned(original_size: float, compressed_size: float) -> float:
+    """"Pruned%" as fraction REMOVED."""
+    return 1.0 - compressed_size / original_size
+
+
+def fraction_remaining(original_size: float, compressed_size: float) -> float:
+    """"Pruned%" as fraction REMAINING (the other convention in the wild)."""
+    return compressed_size / original_size
+
+
+def model_size_bytes(model: Module, bytes_per_param: int = 4, sparse: bool = False) -> int:
+    """Storage footprint estimate.
+
+    ``sparse=True`` counts only non-zero parameters (idealized sparse
+    storage, ignoring index overhead); dense counts every slot.
+    """
+    count = nonzero_params(model) if sparse else total_params(model)
+    return count * bytes_per_param
+
+
+def per_layer_nonzero(model: Module) -> Dict[str, Dict[str, int]]:
+    """Per-parameter-tensor dense size and nonzero count."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, p in model.named_parameters():
+        out[name] = {
+            "size": int(p.size),
+            "nonzero": int(np.count_nonzero(p.data)),
+        }
+    return out

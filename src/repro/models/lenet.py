@@ -1,0 +1,84 @@
+"""LeNet family (LeCun et al. 1998).
+
+LeNet-300-100 and LeNet-5 appear among the most common benchmark networks in
+the meta-analysis corpus (Table 1), despite the paper's recommendation to
+retire them.  They are included for completeness, for tests (cheap fully-
+connected pruning targets), and for the MNIST rows of the fragmentation
+analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Conv2d, Flatten, Linear, MaxPool2d, Module
+
+__all__ = ["LeNet300100", "LeNet5", "lenet_300_100", "lenet5"]
+
+
+class LeNet300100(Module):
+    """Fully-connected 784–300–100–10 network."""
+
+    def __init__(
+        self, num_classes: int = 10, input_size: int = 28, in_channels: int = 1, seed: int = 0
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        flat = in_channels * input_size * input_size
+        self.flatten = Flatten()
+        self.fc1 = Linear(flat, 300, rng=rng)
+        self.fc2 = Linear(300, 100, rng=rng)
+        self.fc3 = Linear(100, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.flatten(x)
+        out = self.fc1(out).relu()
+        out = self.fc2(out).relu()
+        return self.fc3(out)
+
+    @property
+    def classifier(self) -> Linear:
+        return self.fc3
+
+
+class LeNet5(Module):
+    """Convolutional LeNet-5: 6@5×5 → pool → 16@5×5 → pool → 120 → 84 → 10."""
+
+    def __init__(
+        self, num_classes: int = 10, input_size: int = 28, in_channels: int = 1, seed: int = 0
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, 6, 5, padding=2, rng=rng)
+        self.pool1 = MaxPool2d(2, 2)
+        self.conv2 = Conv2d(6, 16, 5, rng=rng)
+        self.pool2 = MaxPool2d(2, 2)
+        s = input_size // 2  # after pool1 (conv1 padding preserves size)
+        s = (s - 4) // 2  # conv2 (no padding) then pool2
+        self.flatten = Flatten()
+        self.fc1 = Linear(16 * s * s, 120, rng=rng)
+        self.fc2 = Linear(120, 84, rng=rng)
+        self.fc3 = Linear(84, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.pool1(self.conv1(x).relu())
+        out = self.pool2(self.conv2(out).relu())
+        out = self.flatten(out)
+        out = self.fc1(out).relu()
+        out = self.fc2(out).relu()
+        return self.fc3(out)
+
+    @property
+    def classifier(self) -> Linear:
+        return self.fc3
+
+
+def lenet_300_100(num_classes: int = 10, seed: int = 0, **kw):
+    """LeNet-300-100 for MNIST-shaped input."""
+    return LeNet300100(num_classes, seed=seed, **kw)
+
+
+def lenet5(num_classes: int = 10, seed: int = 0, **kw):
+    """LeNet-5 for MNIST-shaped input."""
+    return LeNet5(num_classes, seed=seed, **kw)

@@ -1,0 +1,87 @@
+"""MobileNet-style depthwise-separable network.
+
+MobileNet-v2 is one of the architecture families in Figure 1's
+efficiency/accuracy frontier.  The corpus analysis uses published numbers for
+that figure; this runnable scaled MobileNet exists so the *efficient
+architecture vs pruning* comparison (§3.3) can also be exercised end-to-end
+on the synthetic datasets (see ``examples/architecture_vs_pruning.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ModuleList,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["MobileNetSmall", "mobilenet_small"]
+
+
+class _DepthwiseSeparable(Module):
+    """Depthwise 3×3 conv followed by pointwise 1×1 conv, each with BN+ReLU."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng) -> None:
+        super().__init__()
+        self.dw = Conv2d(in_ch, in_ch, 3, stride=stride, padding=1, groups=in_ch, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(in_ch)
+        self.pw = Conv2d(in_ch, out_ch, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.dw(x)).relu()
+        return self.bn2(self.pw(out)).relu()
+
+
+class MobileNetSmall(Module):
+    """MobileNet-v1-style stack scaled for small synthetic inputs."""
+
+    # (out_channels, stride) per separable block, before width scaling.
+    _CFG: List[Tuple[int, int]] = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1)]
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_scale: float = 1.0,
+        in_channels: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        stem_ch = max(4, int(round(32 * width_scale)))
+        self.stem = Conv2d(in_channels, stem_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn = BatchNorm2d(stem_ch)
+        blocks: List[Module] = []
+        ch = stem_ch
+        for out, stride in self._CFG:
+            out_ch = max(4, int(round(out * width_scale)))
+            blocks.append(_DepthwiseSeparable(ch, out_ch, stride, rng))
+            ch = out_ch
+        self.blocks = ModuleList(blocks)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn(self.stem(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.fc(self.pool(out))
+
+    @property
+    def classifier(self) -> Linear:
+        return self.fc
+
+
+def mobilenet_small(num_classes: int = 10, width_scale: float = 1.0, seed: int = 0, **kw):
+    """Small MobileNet for the architecture-vs-pruning example."""
+    return MobileNetSmall(num_classes, width_scale, seed=seed, **kw)

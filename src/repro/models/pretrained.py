@@ -1,0 +1,115 @@
+"""Pretrained-weight store: train once, cache, reuse everywhere.
+
+§7.3 ("Using the Same Initial Model is Essential") shows that starting
+different methods from different checkpoints of the same architecture skews
+comparisons.  The store guarantees every (model, dataset, recipe, seed)
+tuple maps to exactly one checkpoint on disk, so every strategy in a sweep
+prunes the *same* initial model.
+
+Checkpoints are ``.npz`` files under ``artifacts/pretrained/`` keyed by a
+hash of the full configuration; the Figure 8 experiment gets its two
+distinct checkpoints ("Weights A"/"Weights B") by varying the recipe's
+learning rate, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..utils import artifacts_dir
+
+__all__ = ["pretrained_key", "load_checkpoint", "save_checkpoint", "get_pretrained_state"]
+
+
+def pretrained_key(
+    model_name: str,
+    model_kwargs: Dict,
+    dataset_name: str,
+    dataset_kwargs: Dict,
+    train_config: Dict,
+    seed: int,
+) -> str:
+    """Stable hash identifying one pretraining configuration."""
+    blob = json.dumps(
+        {
+            "model": model_name,
+            "model_kwargs": model_kwargs,
+            "dataset": dataset_name,
+            "dataset_kwargs": dataset_kwargs,
+            "train": train_config,
+            "seed": seed,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _path_for(key: str) -> Path:
+    return artifacts_dir("pretrained") / f"{key}.npz"
+
+
+def save_checkpoint(key: str, state: Dict[str, np.ndarray], meta: Optional[Dict] = None) -> Path:
+    """Persist a state dict (and JSON metadata sidecar) under ``key``."""
+    path = _path_for(key)
+    np.savez_compressed(path, **state)
+    if meta is not None:
+        path.with_suffix(".json").write_text(json.dumps(meta, indent=2, default=str))
+    return path
+
+
+def load_checkpoint(key: str) -> Optional[Dict[str, np.ndarray]]:
+    """Load a cached state dict, or None if absent."""
+    path = _path_for(key)
+    if not path.exists():
+        return None
+    with np.load(path) as data:
+        return {name: data[name] for name in data.files}
+
+
+def get_pretrained_state(
+    model_name: str,
+    model_kwargs: Dict,
+    dataset_name: str,
+    dataset_kwargs: Dict,
+    train_config,
+    seed: int,
+    trainer_factory,
+) -> Tuple[Dict[str, np.ndarray], str]:
+    """Return (state_dict, key), training and caching on first use.
+
+    ``trainer_factory()`` must build, train and return the model; it is only
+    invoked on a cache miss.
+    """
+    key = pretrained_key(
+        model_name,
+        model_kwargs,
+        dataset_name,
+        dataset_kwargs,
+        train_config.to_dict() if hasattr(train_config, "to_dict") else dict(train_config),
+        seed,
+    )
+    state = load_checkpoint(key)
+    if state is None:
+        model, history = trainer_factory()
+        state = model.state_dict()
+        save_checkpoint(
+            key,
+            state,
+            meta={
+                "model": model_name,
+                "model_kwargs": model_kwargs,
+                "dataset": dataset_name,
+                "dataset_kwargs": dataset_kwargs,
+                "seed": seed,
+                "final_val_top1": history[-1]["val_top1"] if history else None,
+                "epochs_ran": len(history),
+            },
+        )
+    return state, key

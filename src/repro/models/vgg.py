@@ -1,0 +1,89 @@
+"""CIFAR-VGG (Zagoruyko 2015, "92.45% on CIFAR-10 in Torch").
+
+The paper uses this exact network for Figures 7, 9, 10 and cites its origin
+explicitly to avoid the VGG ambiguity catalogued in §5.1 (many papers call
+incompatible custom variants "VGG-16").  Structure: conv stacks
+[64,64, M, 128,128, M, 256,256, M, 512,512, M, 512,512, M] with batch norm,
+then a 512→512→classes classifier with dropout.  ``width_scale`` shrinks
+channels for the CPU budget; topology is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["CifarVGG", "cifar_vgg"]
+
+# 'M' denotes 2x2 max-pooling.
+_CFG: List[Union[int, str]] = [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"]
+
+
+class CifarVGG(Module):
+    """VGG-style conv stack + small FC head, per Zagoruyko (2015)."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_scale: float = 1.0,
+        in_channels: int = 3,
+        input_size: int = 32,
+        dropout: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: List[Module] = []
+        ch = in_channels
+        n_pools = 0
+        for item in _CFG:
+            if item == "M":
+                # Stop pooling once the spatial dims would hit zero (small inputs).
+                if input_size // (2 ** (n_pools + 1)) >= 1:
+                    layers.append(MaxPool2d(2, 2))
+                    n_pools += 1
+                continue
+            out_ch = max(4, int(round(item * width_scale)))
+            layers.append(Conv2d(ch, out_ch, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(out_ch))
+            layers.append(ReLU())
+            ch = out_ch
+        self.features = Sequential(*layers)
+        hidden = max(8, int(round(512 * width_scale)))
+        self.flatten = Flatten()
+        final_spatial = max(1, input_size // (2**n_pools))
+        flat_dim = ch * final_spatial * final_spatial
+        self.fc1 = Linear(flat_dim, hidden, rng=rng)
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(seed + 1))
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.flatten(out)
+        out = self.dropout(self.fc1(out).relu())
+        return self.fc2(out)
+
+    @property
+    def classifier(self) -> Linear:
+        """Final pre-softmax layer (excluded from pruning by default)."""
+        return self.fc2
+
+
+def cifar_vgg(num_classes: int = 10, width_scale: float = 1.0, seed: int = 0, **kw):
+    """CIFAR-VGG (used in Figures 7, 9, 10)."""
+    return CifarVGG(num_classes, width_scale, seed=seed, **kw)

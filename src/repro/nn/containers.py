@@ -1,0 +1,60 @@
+"""Module containers: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, m in enumerate(modules):
+            self.add_module(str(i), m)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for m in self._modules.values():
+            x = m(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+
+class ModuleList(Module):
+    """List-like registered container of modules (no implicit forward)."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList has no forward; iterate it instead")

@@ -1,0 +1,58 @@
+"""Weight-initialization schemes (Kaiming / Xavier / constant).
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic given a seed — a core ShrinkBench
+reproducibility requirement (Appendix C of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "fan_in_and_out",
+]
+
+
+def fan_in_and_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for linear or conv weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He-normal init for ReLU networks: std = sqrt(2 / fan_in)."""
+    fan_in, _ = fan_in_and_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He-uniform init: bound = sqrt(6 / fan_in)."""
+    fan_in, _ = fan_in_and_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal init: std = sqrt(2 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init: bound = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,230 @@
+"""Concrete layers: Linear, Conv2d, BatchNorm2d, activations, pooling.
+
+Layer conventions follow PyTorch (NCHW tensors, ``(out, in)`` linear weights,
+``(out, in/groups, kh, kw)`` conv weights) so that ShrinkBench's
+per-parameter-tensor pruning logic transfers directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import (
+    Tensor,
+    avg_pool2d,
+    batch_norm2d,
+    conv2d,
+    dropout as dropout_fn,
+    global_avg_pool2d,
+    linear as linear_fn,
+    max_pool2d,
+)
+from . import init as init_mod
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]
+
+_DEFAULT_INIT_RNG = np.random.default_rng(0)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else _DEFAULT_INIT_RNG
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_mod.kaiming_uniform((out_features, in_features), rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return linear_fn(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else _DEFAULT_INIT_RNG
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init_mod.kaiming_normal(shape, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}"
+            + (f", g={self.groups}" if self.groups != 1 else "")
+            + ")"
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalization with learnable affine and running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))  # gamma
+        self.bias = Parameter(np.zeros(num_features))  # beta
+        self.register_buffer(
+            "running_mean", np.zeros(num_features, dtype=np.float32)
+        )
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pool: (N,C,H,W) -> (N,C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity at eval time."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.p, self.rng, self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Identity(Module):
+    """No-op module (useful for optional blocks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

@@ -1,0 +1,188 @@
+"""Module/Parameter system: the layer-composition substrate.
+
+Mirrors the ``torch.nn.Module`` contract that ShrinkBench relies on:
+named parameter traversal, train/eval modes, state dicts, and forward hooks
+(used by the FLOPs counter to trace per-layer input/output shapes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor: a leaf with ``requires_grad=True`` by default."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None):
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad, name)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses define parameters/submodules as attributes in ``__init__`` and
+    implement :meth:`forward`.  Attribute assignment auto-registers
+    :class:`Parameter` and :class:`Module` instances, enabling
+    :meth:`named_parameters`, :meth:`state_dict`, etc.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_forward_hooks", [])
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persisted array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(sub)
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(sub)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), b
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(sub)
+
+    # -- state ----------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """All parameters and buffers as plain arrays (copies)."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = np.array(b, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+        own_params = dict(self.named_parameters())
+        own_buffers = {name: (name,) for name, _ in self.named_buffers()}
+        missing = []
+        for name, p in own_params.items():
+            if name in state:
+                arr = np.asarray(state[name], dtype=np.float32)
+                if arr.shape != p.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {arr.shape} vs {p.shape}"
+                    )
+                p.data[...] = arr
+            elif strict:
+                missing.append(name)
+        # Buffers must be updated in place so views held by layers stay valid.
+        for mod_name, module in self.named_modules():
+            for bname, buf in module._buffers.items():
+                full = f"{mod_name}.{bname}" if mod_name else bname
+                if full in state:
+                    np.asarray(buf)[...] = state[full]
+                elif strict:
+                    missing.append(full)
+        if strict:
+            unexpected = [
+                k for k in state if k not in own_params and k not in own_buffers
+            ]
+            if missing or unexpected:
+                raise KeyError(
+                    f"load_state_dict mismatch: missing={missing}, "
+                    f"unexpected={unexpected}"
+                )
+
+    # -- modes & grads ----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self, only_trainable: bool = False) -> int:
+        return sum(
+            p.size
+            for p in self.parameters()
+            if (p.requires_grad or not only_trainable)
+        )
+
+    # -- hooks & forward --------------------------------------------------
+    def register_forward_hook(
+        self, hook: Callable[["Module", Tuple, Tensor], None]
+    ) -> Callable[[], None]:
+        """Register ``hook(module, inputs, output)``; returns a remover."""
+        self._forward_hooks.append(hook)
+
+        def remove() -> None:
+            if hook in self._forward_hooks:
+                self._forward_hooks.remove(hook)
+
+        return remove
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, args, out)
+        return out
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if self._modules else self.__class__.__name__ + "()"

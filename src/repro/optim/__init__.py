@@ -1,0 +1,18 @@
+"""Optimizers, LR schedules and early stopping (the ``torch.optim`` substitute)."""
+
+from .base import Optimizer
+from .sgd import SGD
+from .adam import Adam
+from .lr_scheduler import CosineAnnealingLR, FixedLR, LRScheduler, StepLR
+from .early_stopping import EarlyStopping
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "FixedLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "EarlyStopping",
+]

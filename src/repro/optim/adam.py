@@ -1,0 +1,62 @@
+"""Adam optimizer (Kingma & Ba 2015).
+
+The paper's CIFAR-10 fine-tuning setup (Appendix C.2) is Adam with a fixed
+learning rate of 3e-4; the Figure 8 pretrained checkpoints use Adam with
+lr 1e-3 ("Weights A") and 1e-4 ("Weights B").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn import Parameter
+from .base import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+                self._m[i], self._v[i] = m, v
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._post_step()

@@ -1,0 +1,44 @@
+"""Optimizer base class with post-step hooks (used for mask reapplication).
+
+ShrinkBench semantics: once a model is pruned, masks are fixed; fine-tuning
+must not resurrect pruned weights.  Optimizers therefore expose
+``add_post_step_hook``, which the pruning ``MaskRegistry`` uses to re-zero
+masked entries after every parameter update (momentum and weight decay could
+otherwise leak mass back into pruned coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..nn import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, lr, and post-step hooks."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self._post_step_hooks: List[Callable[[], None]] = []
+
+    def add_post_step_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked after every :meth:`step`."""
+        self._post_step_hooks.append(hook)
+
+    def _post_step(self) -> None:
+        for hook in self._post_step_hooks:
+            hook()
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,40 @@
+"""Validation-accuracy early stopping.
+
+Appendix C.2 of the paper: "Early stopping is implemented during finetuning.
+Thus if the validation accuracy repeatedly decreases after some point we stop
+the finetuning process to prevent overfitting."  This helper tracks the best
+validation accuracy and stops after ``patience`` consecutive non-improving
+epochs, restoring nothing (the caller may snapshot best weights).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop when a monitored metric fails to improve ``patience`` times."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_epoch: int = -1
+        self.num_bad_epochs = 0
+        self.stopped = False
+
+    def update(self, metric: float, epoch: int) -> bool:
+        """Record an epoch's metric; return True if training should stop."""
+        if self.best is None or metric > self.best + self.min_delta:
+            self.best = metric
+            self.best_epoch = epoch
+            self.num_bad_epochs = 0
+        else:
+            self.num_bad_epochs += 1
+            if self.num_bad_epochs >= self.patience:
+                self.stopped = True
+        return self.stopped

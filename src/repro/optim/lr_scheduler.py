@@ -1,0 +1,69 @@
+"""Learning-rate schedules.
+
+The paper's reported fine-tuning runs all use a *fixed* schedule
+(Appendix C.2), provided here as :class:`FixedLR`; step and cosine schedules
+are included because pretraining recipes commonly need them and they are
+listed among the confounding variables the paper calls out (§4.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Optimizer
+
+__all__ = ["LRScheduler", "FixedLR", "StepLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base: mutate ``optimizer.lr`` once per epoch via :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class FixedLR(LRScheduler):
+    """Constant learning rate (the paper's fine-tuning schedule)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Decay lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        frac = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * frac)
+        )

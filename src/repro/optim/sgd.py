@@ -1,0 +1,55 @@
+"""Stochastic gradient descent with (Nesterov) momentum and weight decay.
+
+The paper's ImageNet fine-tuning setup (Appendix C.2) is SGD with Nesterov
+momentum 0.9 at a fixed learning rate of 1e-3; this implementation follows
+PyTorch's update rule so those hyperparameters mean the same thing here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn import Parameter
+from .base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov acceleration, weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0.0:
+            raise ValueError("Nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                if v is None:
+                    v = np.zeros_like(p.data)
+                    self._velocity[i] = v
+                v *= self.momentum
+                v += g
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g
+        self._post_step()

@@ -1,0 +1,110 @@
+"""ASCII terminal rendering of tradeoff curves and histograms.
+
+Matplotlib is unavailable offline, so every figure in the reproduction is
+emitted as (a) its underlying data series (CSV, the scientifically
+meaningful artifact) and (b) an ASCII rendering for eyeballing shapes —
+log-2 x-axes match the paper's compression-ratio axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .series import TradeoffCurve
+
+__all__ = ["render_curves", "render_histogram"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _x_positions(xs, log_x: bool, lo: float, hi: float, width: int) -> List[int]:
+    def tx(v):
+        return math.log2(v) if log_x else v
+
+    lo_t, hi_t = tx(lo), tx(hi)
+    span = (hi_t - lo_t) or 1.0
+    return [int(round((tx(x) - lo_t) / span * (width - 1))) for x in xs]
+
+
+def render_curves(
+    curves: Sequence[TradeoffCurve],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    title: str = "",
+    x_label: str = "compression",
+    y_label: str = "accuracy",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render curves as a multi-line string plot with a legend."""
+    curves = [c for c in curves if len(c)]
+    if not curves:
+        return "(no data)"
+    all_x = [x for c in curves for x in c.xs]
+    all_y = [y for c in curves for y in c.ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(all_y), max(all_y)
+        pad = (y_hi - y_lo) * 0.05 or 0.05
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(y: float) -> int:
+        frac = (y - y_lo) / ((y_hi - y_lo) or 1.0)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    for ci, curve in enumerate(curves):
+        marker = _MARKERS[ci % len(_MARKERS)]
+        cols = _x_positions(curve.xs, log_x, x_lo, x_hi, width)
+        rows = [row_of(y) for y in curve.ys]
+        # connect consecutive points with interpolated marks
+        for i in range(len(cols) - 1):
+            c0, r0, c1, r1 = cols[i], rows[i], cols[i + 1], rows[i + 1]
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                cc = c0 + (c1 - c0) * s // steps
+                rr = r0 + (r1 - r0) * s // steps
+                if grid[rr][cc] == " ":
+                    grid[rr][cc] = "."
+        for c, r in zip(cols, rows):
+            grid[r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 8))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:7.3f}"
+        elif i == height - 1:
+            label = f"{y_lo:7.3f}"
+        else:
+            label = " " * 7
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 8 + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(" " * 8 + x_axis + f"   ({x_label}, log2)" if log_x else x_axis)
+    for ci, curve in enumerate(curves):
+        lines.append(f"    {_MARKERS[ci % len(_MARKERS)]} = {curve.label}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (used for the Figure 2/4 histograms)."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must have equal length")
+    lines = [title] if title else []
+    peak = max(counts) if counts else 1
+    peak = peak or 1
+    label_w = max((len(str(l)) for l in labels), default=1)
+    for label, count in zip(labels, counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {count:g}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""CSV export of figure data series.
+
+Every benchmark writes the series behind its figure to
+``artifacts/figures/<name>.csv`` so paper-vs-measured comparisons in
+EXPERIMENTS.md are backed by machine-readable data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..utils import artifacts_dir
+from .series import TradeoffCurve
+
+__all__ = ["export_curves_csv", "figures_dir"]
+
+
+def figures_dir() -> Path:
+    return artifacts_dir("figures")
+
+
+def export_curves_csv(curves: Sequence[TradeoffCurve], name: str) -> Path:
+    """Write curves as long-format CSV: label, x, y, std."""
+    path = figures_dir() / f"{name}.csv"
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["series", "x", "y", "std"])
+        for curve in curves:
+            stds = curve.stds or [0.0] * len(curve.xs)
+            for x, y, s in zip(curve.xs, curve.ys, stds):
+                writer.writerow([curve.label, x, y, s])
+    return path

@@ -1,0 +1,78 @@
+"""Tradeoff-curve data structures.
+
+A :class:`TradeoffCurve` is the paper's unit of comparison (§2.4): "a
+pruning method is best characterized not by a single model it has pruned,
+but by a family of models corresponding to different points on the
+efficiency-quality curve."  Curves carry mean ± std per x (§6: report
+measures of central tendency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..experiment.results import CurvePoint, PruningResult, aggregate_curve
+
+__all__ = ["TradeoffCurve", "curves_from_results"]
+
+
+@dataclass
+class TradeoffCurve:
+    """One labeled efficiency-vs-quality series."""
+
+    label: str
+    xs: List[float]
+    ys: List[float]
+    stds: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+        if self.stds and len(self.stds) != len(self.xs):
+            raise ValueError("stds must match xs length")
+        order = np.argsort(self.xs)
+        self.xs = [float(self.xs[i]) for i in order]
+        self.ys = [float(self.ys[i]) for i in order]
+        if self.stds:
+            self.stds = [float(self.stds[i]) for i in order]
+
+    @classmethod
+    def from_points(cls, label: str, points: Sequence[CurvePoint]) -> "TradeoffCurve":
+        return cls(
+            label=label,
+            xs=[p.x for p in points],
+            ys=[p.mean for p in points],
+            stds=[p.std for p in points],
+        )
+
+    def y_at(self, x: float) -> Optional[float]:
+        """Exact-x lookup (None if the curve has no point there)."""
+        for xi, yi in zip(self.xs, self.ys):
+            if np.isclose(xi, x):
+                return yi
+        return None
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def curves_from_results(
+    results: Sequence[PruningResult],
+    group_attr: str = "strategy",
+    x_attr: str = "compression",
+    y_attr: str = "top1",
+    labels: Optional[Dict[str, str]] = None,
+) -> List[TradeoffCurve]:
+    """Group results and aggregate each group into a labeled curve."""
+    groups: Dict[str, List[PruningResult]] = {}
+    for r in results:
+        groups.setdefault(str(getattr(r, group_attr)), []).append(r)
+    curves = []
+    for key in sorted(groups):
+        points = aggregate_curve(groups[key], x_attr=x_attr, y_attr=y_attr)
+        label = labels.get(key, key) if labels else key
+        curves.append(TradeoffCurve.from_points(label, points))
+    return curves

@@ -1,0 +1,172 @@
+"""Pruning strategy abstractions and prunable-parameter discovery.
+
+ShrinkBench's central abstraction (§7.1 of the paper): a pruning method is a
+callback that, given a model (and optionally a batch of data for gradient-
+based scores), produces binary masks for the model's parameter tensors.
+Everything else — applying masks, fine-tuning, metrics — is shared
+infrastructure, which is what makes methods comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Conv2d, Linear, Module, Parameter
+
+__all__ = ["PruningContext", "PruningStrategy", "prunable_parameters", "find_classifier"]
+
+
+@dataclass
+class PruningContext:
+    """Data a strategy may need beyond the model itself.
+
+    Attributes
+    ----------
+    inputs, targets:
+        A single minibatch used to compute gradients for gradient-based
+        scores (Appendix C.1: one minibatch).
+    rng:
+        Seeded generator for stochastic strategies (random pruning).
+    """
+
+    inputs: Optional[np.ndarray] = None
+    targets: Optional[np.ndarray] = None
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+
+def find_classifier(model: Module) -> Optional[Module]:
+    """Return the model's final pre-softmax layer, if identifiable.
+
+    Models in the zoo expose a ``classifier`` property; otherwise the last
+    Linear module in traversal order is assumed to be the classifier.
+    """
+    clf = getattr(model, "classifier", None)
+    if isinstance(clf, Module):
+        return clf
+    last_linear = None
+    for m in model.modules():
+        if isinstance(m, Linear):
+            last_linear = m
+    return last_linear
+
+
+def prunable_parameters(
+    model: Module, prune_classifier: bool = False
+) -> List[Tuple[str, Parameter]]:
+    """Named weight tensors eligible for pruning.
+
+    Eligible tensors are the ``weight`` parameters of Conv2d and Linear
+    layers.  Biases and BatchNorm affine parameters are never pruned
+    (standard practice, and what ShrinkBench does).  The classifier layer
+    preceding the softmax is excluded unless ``prune_classifier=True``
+    (Appendix C.1).
+    """
+    classifier = None if prune_classifier else find_classifier(model)
+    out: List[Tuple[str, Parameter]] = []
+    for mod_name, module in model.named_modules():
+        if not isinstance(module, (Conv2d, Linear)):
+            continue
+        if classifier is not None and module is classifier:
+            continue
+        name = f"{mod_name}.weight" if mod_name else "weight"
+        out.append((name, module.weight))
+    return out
+
+
+class PruningStrategy:
+    """Base class: subclasses implement :meth:`compute_masks`.
+
+    A strategy maps ``(model, fraction_to_keep, context)`` to a dict of
+    ``{parameter_name: binary mask}`` over the prunable tensors.
+    """
+
+    #: whether the strategy needs ``context.inputs/targets`` (a minibatch)
+    requires_data: bool = False
+    #: registry key and display name
+    name: str = "base"
+
+    def __init__(self, prune_classifier: bool = False) -> None:
+        self.prune_classifier = prune_classifier
+
+    def compute_masks(
+        self,
+        model: Module,
+        fraction_to_keep: float,
+        context: Optional[PruningContext] = None,
+    ) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+    def _params(self, model: Module) -> List[Tuple[str, Parameter]]:
+        params = prunable_parameters(model, self.prune_classifier)
+        if not params:
+            raise ValueError("model has no prunable parameters")
+        return params
+
+    @staticmethod
+    def _validate_fraction(fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"fraction_to_keep must be in (0, 1], got {fraction}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(prune_classifier={self.prune_classifier})"
+
+
+def masks_from_scores_global(
+    scores: Dict[str, np.ndarray], fraction_to_keep: float
+) -> Dict[str, np.ndarray]:
+    """Keep the top ``fraction`` of weights by score across ALL tensors."""
+    flat = np.concatenate([s.ravel() for s in scores.values()])
+    k = int(round(flat.size * fraction_to_keep))
+    if k <= 0:
+        raise ValueError("fraction_to_keep keeps zero weights")
+    if k >= flat.size:
+        return {n: np.ones_like(s, dtype=np.float32) for n, s in scores.items()}
+    # Threshold = k-th largest score; ties broken by first-come order below.
+    thresh = np.partition(flat, flat.size - k)[flat.size - k]
+    masks: Dict[str, np.ndarray] = {}
+    n_kept = 0
+    above: Dict[str, np.ndarray] = {}
+    for name, s in scores.items():
+        m = (s > thresh).astype(np.float32)
+        above[name] = m
+        n_kept += int(m.sum())
+    # Distribute remaining slots among tied (== thresh) entries in order, so
+    # the kept count is exactly k regardless of score ties.
+    remaining = k - n_kept
+    for name, s in scores.items():
+        m = above[name]
+        if remaining > 0:
+            ties = np.flatnonzero((s == thresh) & (m == 0))
+            take = ties[:remaining]
+            m.reshape(-1)[take] = 1.0  # contiguous: reshape(-1) is a view
+            remaining -= len(take)
+        masks[name] = m
+    return masks
+
+
+def masks_from_scores_layerwise(
+    scores: Dict[str, np.ndarray], fraction_to_keep: float
+) -> Dict[str, np.ndarray]:
+    """Keep the top ``fraction`` of weights by score within EACH tensor."""
+    masks: Dict[str, np.ndarray] = {}
+    for name, s in scores.items():
+        flat = s.ravel()
+        k = int(round(flat.size * fraction_to_keep))
+        k = max(k, 1)  # never empty a layer entirely: the net would be dead
+        if k >= flat.size:
+            masks[name] = np.ones_like(s, dtype=np.float32)
+            continue
+        thresh = np.partition(flat, flat.size - k)[flat.size - k]
+        m = (flat > thresh).astype(np.float32)
+        short = k - int(m.sum())
+        if short > 0:
+            ties = np.flatnonzero((flat == thresh) & (m == 0))
+            m[ties[:short]] = 1.0
+        masks[name] = m.reshape(s.shape)
+    return masks

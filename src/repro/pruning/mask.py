@@ -1,0 +1,109 @@
+"""Mask registry: applying, persisting and enforcing pruning masks.
+
+The paper's formalization (§2.1): pruning produces ``f(x; M ⊙ W')`` where
+``M ∈ {0,1}^|W'|``.  In practice masked entries are fixed at zero; during
+fine-tuning the optimizer must not resurrect them (momentum or weight decay
+would otherwise write non-zero values back).  :class:`MaskRegistry` owns the
+masks and re-zeroes masked weights after every optimizer step via a
+post-step hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Module, Parameter
+from ..optim import Optimizer
+
+__all__ = ["MaskRegistry"]
+
+
+class MaskRegistry:
+    """Binary masks keyed by parameter name, bound to a model."""
+
+    def __init__(self, model: Module, masks: Optional[Dict[str, np.ndarray]] = None):
+        self.model = model
+        self._params: Dict[str, Parameter] = dict(model.named_parameters())
+        self.masks: Dict[str, np.ndarray] = {}
+        if masks:
+            for name, mask in masks.items():
+                self.set_mask(name, mask)
+
+    # -- mutation --------------------------------------------------------
+    def set_mask(self, name: str, mask: np.ndarray) -> None:
+        """Register (or replace) a mask; validates shape and binariness."""
+        if name not in self._params:
+            raise KeyError(f"model has no parameter named {name!r}")
+        p = self._params[name]
+        mask = np.asarray(mask, dtype=np.float32)
+        if mask.shape != p.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != parameter shape {p.shape} for {name}"
+            )
+        if not np.all((mask == 0.0) | (mask == 1.0)):
+            raise ValueError(f"mask for {name} must be binary")
+        self.masks[name] = mask
+
+    def update(self, masks: Dict[str, np.ndarray]) -> None:
+        for name, mask in masks.items():
+            self.set_mask(name, mask)
+
+    def intersect(self, masks: Dict[str, np.ndarray]) -> None:
+        """AND new masks into existing ones (iterative pruning never revives)."""
+        for name, mask in masks.items():
+            if name in self.masks:
+                self.set_mask(name, self.masks[name] * np.asarray(mask, np.float32))
+            else:
+                self.set_mask(name, mask)
+
+    # -- application -------------------------------------------------------
+    def apply(self) -> None:
+        """Zero out masked entries of every registered parameter in place."""
+        for name, mask in self.masks.items():
+            self._params[name].data *= mask
+
+    def attach(self, optimizer: Optimizer) -> None:
+        """Re-apply masks after every optimizer step."""
+        optimizer.add_post_step_hook(self.apply)
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.masks
+
+    def items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        return iter(self.masks.items())
+
+    def nonzero_fraction(self, name: str) -> float:
+        """Fraction of unmasked entries in one tensor."""
+        mask = self.masks[name]
+        return float(mask.sum() / mask.size)
+
+    def total_kept(self) -> int:
+        return int(sum(m.sum() for m in self.masks.values()))
+
+    def total_masked_size(self) -> int:
+        return int(sum(m.size for m in self.masks.values()))
+
+    def sparsity(self) -> float:
+        """Overall fraction of masked-out entries among masked tensors."""
+        total = self.total_masked_size()
+        return 1.0 - self.total_kept() / total if total else 0.0
+
+    def validate(self) -> None:
+        """Assert the model is consistent with the masks (zeros in place)."""
+        for name, mask in self.masks.items():
+            data = self._params[name].data
+            if np.any(data[mask == 0.0] != 0.0):
+                raise AssertionError(
+                    f"parameter {name} has non-zero entries where mask is 0 "
+                    "(masks not applied, or weights resurrected)"
+                )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all masks (for persistence alongside model weights)."""
+        return {name: mask.copy() for name, mask in self.masks.items()}

@@ -1,0 +1,122 @@
+"""Pruner: compression-ratio bookkeeping + strategy application.
+
+Implements the paper's §6 definitions:
+
+* **compression ratio** = original size / compressed size, where size is the
+  number of (nonzero) parameters of the *whole model*;
+* the classifier and all non-prunable tensors (biases, BatchNorm) stay
+  dense, so the keep-fraction for prunable tensors must over-prune to hit a
+  whole-model target — the same accounting ShrinkBench performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Module
+from .base import PruningContext, PruningStrategy, prunable_parameters
+from .mask import MaskRegistry
+
+__all__ = ["Pruner", "fraction_to_keep_for_compression"]
+
+
+def fraction_to_keep_for_compression(
+    compression: float, total_params: int, prunable_params: int
+) -> float:
+    """Keep-fraction over prunable tensors achieving a whole-model target.
+
+    Solving ``total / compression = nonprunable + keep · prunable`` for
+    ``keep``.  Raises if the target is unreachable without touching
+    non-prunable tensors.
+    """
+    if compression < 1.0:
+        raise ValueError(f"compression must be >= 1, got {compression}")
+    if prunable_params <= 0 or prunable_params > total_params:
+        raise ValueError("invalid parameter counts")
+    nonprunable = total_params - prunable_params
+    budget = total_params / compression - nonprunable
+    if budget <= 0:
+        max_c = total_params / nonprunable if nonprunable else float("inf")
+        raise ValueError(
+            f"compression {compression}x unreachable: non-prunable tensors "
+            f"alone cap compression at {max_c:.2f}x"
+        )
+    return min(1.0, budget / prunable_params)
+
+
+class Pruner:
+    """Applies a strategy to a model at a target compression ratio.
+
+    Usage::
+
+        pruner = Pruner(model, GlobalMagWeight())
+        registry = pruner.prune(compression=4, context=ctx)
+        registry.attach(optimizer)   # keep masks enforced while fine-tuning
+    """
+
+    def __init__(self, model: Module, strategy: PruningStrategy) -> None:
+        self.model = model
+        self.strategy = strategy
+        self.registry = MaskRegistry(model)
+
+    # -- bookkeeping -----------------------------------------------------
+    def total_params(self) -> int:
+        return sum(p.size for p in self.model.parameters())
+
+    def prunable_params(self) -> int:
+        return sum(
+            p.size
+            for _, p in prunable_parameters(
+                self.model, self.strategy.prune_classifier
+            )
+        )
+
+    def fraction_to_keep(self, compression: float) -> float:
+        return fraction_to_keep_for_compression(
+            compression, self.total_params(), self.prunable_params()
+        )
+
+    def achievable_compression(self) -> float:
+        """Upper bound on whole-model compression for this strategy."""
+        nonprunable = self.total_params() - self.prunable_params()
+        if nonprunable == 0:
+            return float("inf")
+        return self.total_params() / nonprunable
+
+    # -- pruning -----------------------------------------------------------
+    def prune(
+        self,
+        compression: float,
+        context: Optional[PruningContext] = None,
+    ) -> MaskRegistry:
+        """One-shot prune to a whole-model compression target.
+
+        Returns the :class:`MaskRegistry` with masks applied to the model.
+        ``compression=1`` is a no-op baseline (all-ones masks).
+        """
+        fraction = self.fraction_to_keep(compression)
+        masks = self.strategy.compute_masks(self.model, fraction, context)
+        self.registry.intersect(masks)
+        self.registry.apply()
+        return self.registry
+
+    def prune_to_fraction(
+        self,
+        fraction_to_keep: float,
+        context: Optional[PruningContext] = None,
+    ) -> MaskRegistry:
+        """Prune keeping a raw fraction of prunable weights (no conversion)."""
+        masks = self.strategy.compute_masks(self.model, fraction_to_keep, context)
+        self.registry.intersect(masks)
+        self.registry.apply()
+        return self.registry
+
+    def actual_compression(self) -> float:
+        """Whole-model compression implied by the current masks."""
+        total = self.total_params()
+        masked_total = self.registry.total_masked_size()
+        kept = self.registry.total_kept()
+        nonzero = total - masked_total + kept
+        return total / nonzero

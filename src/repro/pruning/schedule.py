@@ -1,0 +1,72 @@
+"""Pruning schedules (§2.3 "Scheduling").
+
+The paper's own experiments use one-shot pruning followed by fine-tuning,
+but catalogs three scheduling families found in the literature:
+
+* **one-shot** — prune everything in a single step (Liu et al. 2019);
+* **iterative** — prune a fixed fraction over several prune/fine-tune
+  rounds (Han et al. 2015);
+* **polynomial decay** — sparsity follows a cubic ramp (Zhu & Gupta 2017,
+  used by Gale et al. 2019).
+
+A schedule is a sequence of intermediate compression targets; the
+experiment harness interleaves them with fine-tuning epochs.  The ablation
+bench ``benchmarks/bench_ablation_schedule.py`` compares them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["one_shot", "iterative_linear", "polynomial_decay", "compression_to_sparsity", "sparsity_to_compression"]
+
+
+def compression_to_sparsity(compression: float) -> float:
+    """Whole-model sparsity implied by a compression ratio (c >= 1)."""
+    if compression < 1.0:
+        raise ValueError("compression must be >= 1")
+    return 1.0 - 1.0 / compression
+
+
+def sparsity_to_compression(sparsity: float) -> float:
+    """Inverse of :func:`compression_to_sparsity`."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    return 1.0 / (1.0 - sparsity)
+
+
+def one_shot(final_compression: float) -> List[float]:
+    """Single step straight to the target."""
+    if final_compression < 1.0:
+        raise ValueError("compression must be >= 1")
+    return [final_compression]
+
+
+def iterative_linear(final_compression: float, steps: int) -> List[float]:
+    """Sparsity increases linearly over ``steps`` prune/fine-tune rounds.
+
+    Interpolates in *sparsity* space (linear in fraction pruned, the
+    Han et al. regime), then converts each point back to a compression.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    final_sparsity = compression_to_sparsity(final_compression)
+    sparsities = np.linspace(final_sparsity / steps, final_sparsity, steps)
+    return [sparsity_to_compression(s) for s in sparsities]
+
+
+def polynomial_decay(
+    final_compression: float, steps: int, power: float = 3.0
+) -> List[float]:
+    """Zhu & Gupta (2017) cubic sparsity ramp: fast early, slow late.
+
+    ``s_t = s_f · (1 − (1 − t/T)^power)`` for t = 1..T.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    final_sparsity = compression_to_sparsity(final_compression)
+    ts = np.arange(1, steps + 1) / steps
+    sparsities = final_sparsity * (1.0 - (1.0 - ts) ** power)
+    return [sparsity_to_compression(float(s)) for s in sparsities]

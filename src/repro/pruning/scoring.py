@@ -1,0 +1,76 @@
+"""Importance scores for pruning.
+
+The paper's five baselines (§7.2) use three scoring families:
+
+* **magnitude**: ``|w|`` — Janowsky (1989), reintroduced by Han et al. (2015).
+* **gradient magnitude**: ``|w × ∂L/∂w|`` on one minibatch — the saliency of
+  Mozer & Smolensky (1989), reintroduced by Lee et al. (2019, SNIP).
+* **random**: i.i.d. uniform scores — the straw-man control.
+
+Scores are plain arrays with the same shape as the weight tensor; higher
+means more important (kept longer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from ..nn import Module, Parameter
+
+__all__ = [
+    "magnitude_scores",
+    "gradient_magnitude_scores",
+    "random_scores",
+    "compute_weight_gradients",
+]
+
+
+def magnitude_scores(params: List[Tuple[str, Parameter]]) -> Dict[str, np.ndarray]:
+    """``|w|`` per prunable tensor."""
+    return {name: np.abs(p.data) for name, p in params}
+
+
+def compute_weight_gradients(
+    model: Module,
+    params: List[Tuple[str, Parameter]],
+    inputs: np.ndarray,
+    targets: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Cross-entropy gradients of the prunable weights on one minibatch.
+
+    The model is run in eval mode (so BatchNorm running statistics are not
+    perturbed by the scoring pass) and restored to its previous mode.
+    """
+    was_training = model.training
+    model.eval()
+    model.zero_grad()
+    loss = cross_entropy(model(Tensor(inputs)), targets)
+    loss.backward()
+    grads = {
+        name: (p.grad.copy() if p.grad is not None else np.zeros_like(p.data))
+        for name, p in params
+    }
+    model.zero_grad()
+    model.train(was_training)
+    return grads
+
+
+def gradient_magnitude_scores(
+    model: Module,
+    params: List[Tuple[str, Parameter]],
+    inputs: np.ndarray,
+    targets: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """``|w × grad|`` per prunable tensor, on a single minibatch."""
+    grads = compute_weight_gradients(model, params, inputs, targets)
+    return {name: np.abs(p.data * grads[name]) for name, p in params}
+
+
+def random_scores(
+    params: List[Tuple[str, Parameter]], rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """I.i.d. uniform scores — thresholding these = uniform random pruning."""
+    return {name: rng.random(p.shape) for name, p in params}

@@ -1,0 +1,66 @@
+"""Structured (filter/channel) pruning — §2.3 "Structure" extension.
+
+The paper's benchmarked baselines are all unstructured; structured pruning
+is cataloged as the other major family (Li et al. 2016, He et al. 2017).
+This module implements L1-norm filter pruning in the mask formalism: pruning
+an output filter zeroes the whole ``W[f, :, :, :]`` slab (and its bias entry
+remains — biases are never pruned here, matching the unstructured path).
+
+Because masks stay aligned with dense tensor shapes, structured and
+unstructured methods are directly comparable under the same metrics — the
+point of the shared ShrinkBench infrastructure.  FLOPs accounting rewards
+structure automatically: a zero filter removes its entire spatial
+computation, giving structured methods higher theoretical speedup at the
+same parameter count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Conv2d, Module
+from .base import PruningContext, PruningStrategy, masks_from_scores_global, masks_from_scores_layerwise
+
+__all__ = ["GlobalFilterL1", "LayerFilterL1"]
+
+
+def _filter_scores(params) -> Dict[str, np.ndarray]:
+    """Per-weight scores equal to the L1 norm of the owning filter.
+
+    Conv weights ``(F, C, KH, KW)`` broadcast each filter's mean ``|w|`` over
+    its slab, so thresholding produces filter-aligned masks.  Non-conv
+    tensors fall back to elementwise ``|w|`` (structured pruning of FC
+    layers would remove neurons; we keep them unstructured like Li et al.).
+    """
+    scores: Dict[str, np.ndarray] = {}
+    for name, p in params:
+        if p.data.ndim == 4:
+            per_filter = np.abs(p.data).mean(axis=(1, 2, 3), keepdims=True)
+            scores[name] = np.broadcast_to(per_filter, p.shape).copy()
+        else:
+            scores[name] = np.abs(p.data)
+    return scores
+
+
+class GlobalFilterL1(PruningStrategy):
+    """Prune conv filters with the lowest mean ``|w|``, ranked globally."""
+
+    name = "global_filter_l1"
+
+    def compute_masks(self, model, fraction_to_keep, context=None):
+        self._validate_fraction(fraction_to_keep)
+        scores = _filter_scores(self._params(model))
+        return masks_from_scores_global(scores, fraction_to_keep)
+
+
+class LayerFilterL1(PruningStrategy):
+    """Prune the lowest-norm filters within each conv layer (Li et al. 2016)."""
+
+    name = "layer_filter_l1"
+
+    def compute_masks(self, model, fraction_to_keep, context=None):
+        self._validate_fraction(fraction_to_keep)
+        scores = _filter_scores(self._params(model))
+        return masks_from_scores_layerwise(scores, fraction_to_keep)

@@ -1,0 +1,6 @@
+"""Shared utilities: BLAS thread control, artifact cache paths."""
+
+from .threads import configure_blas_threads_from_env, set_blas_threads
+from .cache import artifacts_dir
+
+__all__ = ["configure_blas_threads_from_env", "set_blas_threads", "artifacts_dir"]

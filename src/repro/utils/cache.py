@@ -1,0 +1,23 @@
+"""On-disk artifact cache (pretrained weights, experiment results).
+
+Location precedence: ``REPRO_ARTIFACTS`` env var, else ``./artifacts`` under
+the current working directory.  Pretraining a model once and reusing the
+checkpoint across every pruning run is both a speed optimization and a
+correctness requirement — Section 7.3 of the paper shows that comparing
+methods from *different* initial models is a classic pitfall.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["artifacts_dir"]
+
+
+def artifacts_dir(subdir: str = "") -> Path:
+    """Return (and create) the artifacts directory, optionally a subdir."""
+    root = Path(os.environ.get("REPRO_ARTIFACTS", "artifacts"))
+    path = root / subdir if subdir else root
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,35 @@
+"""Shared fixtures: isolated artifact cache, small models and datasets."""
+
+import os
+
+# Route all checkpoint/figure artifacts produced by tests to a throwaway
+# location BEFORE repro is imported anywhere.
+os.environ.setdefault("REPRO_ARTIFACTS", "/tmp/repro_test_artifacts")
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR10
+from repro.models import create_model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_cifar():
+    """A very small CIFAR-10 surrogate for fast integration tests."""
+    return SyntheticCIFAR10(n_train=256, n_val=96, size=8, seed=0)
+
+
+@pytest.fixture
+def tiny_resnet():
+    """Smallest CIFAR ResNet at reduced width."""
+    return create_model("resnet-20", width_scale=0.25, seed=0)
+
+
+@pytest.fixture
+def tiny_vgg():
+    return create_model("cifar-vgg", width_scale=0.125, input_size=8, seed=0)

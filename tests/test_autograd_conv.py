@@ -1,0 +1,144 @@
+"""Conv/pool forward correctness against naive reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    conv_output_shape,
+    depthwise_conv2d,
+    global_avg_pool2d,
+    max_pool2d,
+)
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Direct 6-loop convolution used as ground truth."""
+    n, c_in, h, wdt = x.shape
+    c_out, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, oh, ow), dtype=np.float64)
+    for ni in range(n):
+        for f in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, f, i, j] = (patch * w[f]).sum()
+            if b is not None:
+                out[ni, f] += b[f]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_naive(self, stride, padding, rng):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        want = naive_conv2d(x, w, b, stride, padding)
+        got = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        np.testing.assert_allclose(got.data, want, rtol=1e-5, atol=1e-6)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        got = conv2d(Tensor(x), Tensor(w)).data
+        want = np.einsum("nchw,fc->nfhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_grouped_matches_blockwise(self, rng):
+        x = rng.normal(size=(2, 4, 6, 6))
+        w = rng.normal(size=(6, 2, 3, 3))
+        got = conv2d(Tensor(x), Tensor(w), padding=1, groups=2).data
+        w1, w2 = w[:3], w[3:]
+        want1 = naive_conv2d(x[:, :2], w1, None, 1, 1)
+        want2 = naive_conv2d(x[:, 2:], w2, None, 1, 1)
+        np.testing.assert_allclose(got, np.concatenate([want1, want2], axis=1), rtol=1e-5, atol=1e-6)
+
+    def test_depthwise_matches_per_channel(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(3, 1, 3, 3))
+        got = depthwise_conv2d(Tensor(x), Tensor(w), padding=1).data
+        for c in range(3):
+            want_c = naive_conv2d(x[:, c : c + 1], w[c : c + 1], None, 1, 1)
+            np.testing.assert_allclose(got[:, c : c + 1], want_c, rtol=1e-5, atol=1e-6)
+
+    def test_depthwise_dispatch_from_conv2d(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 1, 3, 3)))
+        a = conv2d(x, w, padding=1, groups=4).data
+        b = depthwise_conv2d(x, w, padding=1).data
+        np.testing.assert_allclose(a, b)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_bad_groups_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w, groups=2)
+
+    def test_depthwise_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            depthwise_conv2d(
+                Tensor(rng.normal(size=(1, 3, 5, 5))),
+                Tensor(rng.normal(size=(6, 1, 3, 3))),
+            )
+
+
+class TestOutputShape:
+    @pytest.mark.parametrize(
+        "hw,k,s,p,want",
+        [
+            ((8, 8), (3, 3), 1, 1, (8, 8)),
+            ((8, 8), (3, 3), 2, 1, (4, 4)),
+            ((7, 7), (3, 3), 2, 1, (4, 4)),
+            ((32, 32), (5, 5), 1, 0, (28, 28)),
+        ],
+    )
+    def test_known_geometries(self, hw, k, s, p, want):
+        assert conv_output_shape(hw, k, s, p) == want
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape((2, 2), (5, 5), 1, 0)
+
+
+class TestPooling:
+    def test_maxpool_2x2(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2, 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        max_pool2d(t, 2, 2).sum().backward()
+        want = np.zeros((4, 4))
+        want[1, 1] = want[1, 3] = want[3, 1] = want[3, 3] = 1
+        np.testing.assert_allclose(t.grad[0, 0], want)
+
+    def test_avgpool_value(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = avg_pool2d(Tensor(x), 2, 2).data
+        np.testing.assert_allclose(out, np.ones((1, 1, 2, 2)))
+
+    def test_avgpool_overlapping_stride(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = avg_pool2d(Tensor(x), 3, 1).data
+        # verify one window by hand
+        np.testing.assert_allclose(out[0, 0, 0, 0], x[0, 0, :3, :3].mean(), rtol=1e-6)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = global_avg_pool2d(Tensor(x)).data
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)

@@ -1,0 +1,142 @@
+"""Unit tests for fused functionals: softmax family, losses, batchnorm, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    batch_norm2d,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(4, 7)))).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_large_logits_stable(self):
+        out = softmax(Tensor(np.array([[1e4, 0.0]]))).data
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_is_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), rtol=1e-5, atol=1e-6
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = logits[1, 2] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_c(self):
+        loss = cross_entropy(Tensor(np.zeros((4, 10))), np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_backward_is_softmax_minus_onehot(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        t = np.array([0, 1, 2])
+        cross_entropy(x, t).backward()
+        sm = softmax(Tensor(x.data)).data
+        onehot = np.eye(4)[t]
+        np.testing.assert_allclose(x.grad, (sm - onehot) / 3, rtol=1e-5, atol=1e-6)
+
+    def test_nll_loss_value(self):
+        lp = np.log(np.full((2, 2), 0.5))
+        loss = nll_loss(Tensor(lp), np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-5)
+
+
+class TestMseLinear:
+    def test_mse_zero_on_equal(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert mse_loss(Tensor(x), Tensor(x.copy())).item() == pytest.approx(0.0)
+
+    def test_linear_matches_manual(self, rng):
+        x, w, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3)), rng.normal(size=4)
+        out = linear(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-5)
+
+
+class TestBatchNorm:
+    def test_train_output_normalized(self, rng):
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        g = Tensor(np.ones(4))
+        b = Tensor(np.zeros(4))
+        out = batch_norm2d(x, g, b, np.zeros(4), np.ones(4), training=True).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(loc=5.0, size=(16, 2, 4, 4)))
+        rm, rv = np.zeros(2), np.ones(2)
+        batch_norm2d(x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv,
+                     training=True, momentum=0.5)
+        assert np.all(rm > 1.0)  # pulled toward batch mean of ~5
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        rm, rv = np.full(2, 1.0), np.full(2, 4.0)
+        out = batch_norm2d(
+            Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=False
+        ).data
+        want = (x - 1.0) / np.sqrt(4.0 + 1e-5)
+        np.testing.assert_allclose(out, want, rtol=1e-4, atol=1e-5)
+
+    def test_eval_does_not_touch_running_stats(self, rng):
+        rm, rv = np.zeros(2), np.ones(2)
+        batch_norm2d(
+            Tensor(rng.normal(size=(4, 2, 3, 3))),
+            Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=False,
+        )
+        np.testing.assert_allclose(rm, 0.0)
+        np.testing.assert_allclose(rv, 1.0)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.normal(size=(8, 1, 4, 4)))
+        out = batch_norm2d(
+            x, Tensor(np.array([2.0])), Tensor(np.array([7.0])),
+            np.zeros(1), np.ones(1), training=True,
+        ).data
+        assert out.mean() == pytest.approx(7.0, abs=1e-3)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_p_zero_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng, training=True).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_gradient_masked_like_forward(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        out = dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        # grad is keep/(1-p) wherever kept, zero where dropped
+        np.testing.assert_allclose((out.data > 0), (x.grad > 0))

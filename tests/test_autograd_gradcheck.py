@@ -1,0 +1,191 @@
+"""Finite-difference validation of every op's backward pass (float64)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    batch_norm2d,
+    conv2d,
+    cross_entropy,
+    depthwise_conv2d,
+    gradcheck,
+    log_softmax,
+    max_pool2d,
+    nll_loss,
+    softmax,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def T(shape, scale=1.0):
+    return Tensor(RNG.normal(size=shape) * scale, requires_grad=True)
+
+
+TOL = dict(eps=1e-5, atol=1e-5, rtol=1e-4)
+
+
+class TestElementwiseGrads:
+    def test_add_mul_chain(self):
+        gradcheck(lambda a, b: ((a + b) * (a - b)).sum(), [T((3, 4)), T((3, 4))], **TOL)
+
+    def test_div(self):
+        a, b = T((3,)), Tensor(np.abs(RNG.normal(size=3)) + 1.0, requires_grad=True)
+        gradcheck(lambda a, b: (a / b).sum(), [a, b], **TOL)
+
+    def test_pow(self):
+        a = Tensor(np.abs(RNG.normal(size=4)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: (a**3).sum(), [a], **TOL)
+
+    def test_exp(self):
+        gradcheck(lambda a: a.exp().sum(), [T((3, 3), 0.5)], **TOL)
+
+    def test_log(self):
+        a = Tensor(np.abs(RNG.normal(size=5)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.log().sum(), [a], **TOL)
+
+    def test_sqrt(self):
+        a = Tensor(np.abs(RNG.normal(size=5)) + 0.5, requires_grad=True)
+        gradcheck(lambda a: a.sqrt().sum(), [a], **TOL)
+
+    def test_tanh_sigmoid(self):
+        gradcheck(lambda a: a.tanh().sum(), [T((4,))], **TOL)
+        gradcheck(lambda a: a.sigmoid().sum(), [T((4,))], **TOL)
+
+    def test_maximum(self):
+        gradcheck(lambda a, b: a.maximum(b).sum(), [T((6,)), T((6,))], **TOL)
+
+
+class TestShapeGrads:
+    def test_reshape_transpose(self):
+        gradcheck(
+            lambda a: (a.reshape(6, 2).transpose() ** 2).sum(), [T((3, 4))], **TOL
+        )
+
+    def test_getitem(self):
+        gradcheck(lambda a: (a[1:, :2] ** 2).sum(), [T((4, 4))], **TOL)
+
+    def test_pad2d(self):
+        gradcheck(lambda a: (a.pad2d(2) ** 2).sum(), [T((1, 2, 3, 3))], **TOL)
+
+    def test_mean_axis(self):
+        gradcheck(lambda a: (a.mean(axis=1) ** 2).sum(), [T((3, 5))], **TOL)
+
+    def test_max_axis(self):
+        # distinct values avoid tie-splitting vs numerical mismatch
+        a = Tensor(np.linspace(0, 1, 12).reshape(3, 4) + RNG.normal(size=(3, 4)) * 0.01,
+                   requires_grad=True)
+        gradcheck(lambda a: a.max(axis=1).sum(), [a], eps=1e-6, atol=1e-4, rtol=1e-4)
+
+
+class TestMatmulGrads:
+    @pytest.mark.parametrize(
+        "sa,sb",
+        [((3, 4), (4, 5)), ((2, 3, 4), (4, 5)), ((4,), (4, 5)), ((3, 4), (4,))],
+    )
+    def test_matmul_shapes(self, sa, sb):
+        gradcheck(lambda a, b: ((a @ b) ** 2).sum(), [T(sa), T(sb)], **TOL)
+
+
+class TestConvGrads:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (3, 2)])
+    def test_conv2d(self, stride, padding):
+        gradcheck(
+            lambda x, w, b: (conv2d(x, w, b, stride=stride, padding=padding) ** 2).sum(),
+            [T((2, 3, 7, 7)), T((4, 3, 3, 3), 0.2), T((4,), 0.2)],
+            **TOL,
+        )
+
+    def test_conv2d_5x5_kernel(self):
+        gradcheck(
+            lambda x, w: (conv2d(x, w, padding=2) ** 2).sum(),
+            [T((1, 2, 6, 6)), T((3, 2, 5, 5), 0.2)],
+            **TOL,
+        )
+
+    def test_grouped_conv(self):
+        gradcheck(
+            lambda x, w: (conv2d(x, w, padding=1, groups=2) ** 2).sum(),
+            [T((2, 4, 5, 5)), T((6, 2, 3, 3), 0.2)],
+            **TOL,
+        )
+
+    def test_depthwise(self):
+        gradcheck(
+            lambda x, w, b: (depthwise_conv2d(x, w, b, stride=2, padding=1) ** 2).sum(),
+            [T((2, 3, 6, 6)), T((3, 1, 3, 3), 0.2), T((3,), 0.2)],
+            **TOL,
+        )
+
+    def test_maxpool(self):
+        x = Tensor(RNG.permutation(64).reshape(1, 1, 8, 8).astype(np.float64),
+                   requires_grad=True)
+        gradcheck(lambda x: (max_pool2d(x, 2, 2) ** 2).sum(), [x],
+                  eps=1e-6, atol=1e-3, rtol=1e-3)
+
+    def test_avgpool(self):
+        gradcheck(lambda x: (avg_pool2d(x, 3, 2) ** 2).sum(), [T((2, 2, 7, 7))], **TOL)
+
+
+class TestLossGrads:
+    def test_cross_entropy(self):
+        t = RNG.integers(0, 6, size=4)
+        gradcheck(lambda l: cross_entropy(l, t), [T((4, 6))], **TOL)
+
+    def test_nll_of_logsoftmax_matches_cross_entropy(self):
+        logits = T((5, 7))
+        t = RNG.integers(0, 7, size=5)
+        ce = cross_entropy(logits, t)
+        nl = nll_loss(log_softmax(logits), t)
+        np.testing.assert_allclose(ce.data, nl.data, rtol=1e-6)
+
+    def test_softmax_grad(self):
+        gradcheck(lambda l: (softmax(l) ** 2).sum(), [T((3, 5))], **TOL)
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda l: (log_softmax(l) ** 2).sum(), [T((3, 5))], **TOL)
+
+
+class TestBatchNormGrads:
+    def test_train_mode(self):
+        def fn(x, g, b):
+            out = batch_norm2d(x, g, b, np.zeros(3), np.ones(3), training=True)
+            return (out**2).sum()
+
+        gradcheck(fn, [T((4, 3, 4, 4)), T((3,)), T((3,))], eps=1e-5, atol=1e-4, rtol=1e-3)
+
+    def test_eval_mode(self):
+        def fn(x, g, b):
+            out = batch_norm2d(
+                x, g, b, np.full(3, 0.2), np.full(3, 1.3), training=False
+            )
+            return (out**2).sum()
+
+        gradcheck(fn, [T((2, 3, 3, 3)), T((3,)), T((3,))], **TOL)
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(1, 4),
+        c=st.integers(1, 3),
+        hw=st.integers(3, 7),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_conv_grad_random_geometry(self, n, c, hw, k):
+        if k > hw:
+            return
+        rng = np.random.default_rng(n * 100 + c * 10 + hw + k)
+        x = Tensor(rng.normal(size=(n, c, hw, hw)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, c, k, k)) * 0.3, requires_grad=True)
+        gradcheck(lambda x, w: (conv2d(x, w, padding=k // 2) ** 2).sum(), [x, w], **TOL)
+
+    @given(shape=st.tuples(st.integers(1, 5), st.integers(1, 5)))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_grad_is_ones(self, shape):
+        a = Tensor(np.random.default_rng(0).normal(size=shape), requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(shape))

@@ -1,0 +1,321 @@
+"""Unit tests for the Tensor core: ops, broadcasting, backward mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack, unbroadcast
+
+
+class TestConstruction:
+    def test_float_list_becomes_float32(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_float64_ndarray_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_float16_upcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float16))
+        assert t.dtype == np.float32
+
+    def test_int_preserved(self):
+        t = Tensor(np.arange(3))
+        assert t.dtype.kind == "i"
+
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.size == 24
+        assert t.ndim == 3
+        assert len(t) == 2
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._parents == ()
+
+    def test_as_tensor_identity(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+
+class TestArithmetic:
+    def test_add_backward_both(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_radd_scalar(self):
+        a = Tensor([1.0], requires_grad=True)
+        (2.0 + a).backward()
+        np.testing.assert_allclose(a.grad, [1])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([5.0], requires_grad=True)
+        (a - 2.0).backward()
+        np.testing.assert_allclose(a.grad, [1])
+        a.zero_grad()
+        (2.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([5.0], requires_grad=True)
+        (a * b).backward()
+        np.testing.assert_allclose(a.grad, [5])
+        np.testing.assert_allclose(b.grad, [2])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_rtruediv(self):
+        b = Tensor([2.0], requires_grad=True)
+        (8.0 / b).backward()
+        np.testing.assert_allclose(b.grad, [-2.0])
+
+    def test_neg(self):
+        a = Tensor([1.0], requires_grad=True)
+        (-a).backward()
+        np.testing.assert_allclose(a.grad, [-1])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_gradient_accumulation_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a = 4
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_broadcast_add_unbroadcasts(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, [3, 3, 3, 3])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        out = a @ b
+        out.backward()
+        np.testing.assert_allclose(a.grad, [[3, 4]])
+        np.testing.assert_allclose(b.grad, [[1], [2]])
+
+    def test_matmul_vec_vec(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, [3, 4])
+        np.testing.assert_allclose(b.grad, [1, 2])
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip_grad(self):
+        a = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        a.exp().log().sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1], atol=1e-5)
+
+    def test_sqrt(self):
+        a = Tensor(np.array([4.0]), requires_grad=True)
+        a.sqrt().backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_abs_sign(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1, 1])
+
+    def test_relu_zeroes_negatives(self):
+        a = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        out = a.relu()
+        np.testing.assert_allclose(out.data, [0, 2])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1])
+
+    def test_tanh_sigmoid_range(self):
+        a = Tensor(np.linspace(-3, 3, 7))
+        assert np.all(np.abs(a.tanh().data) < 1)
+        s = a.sigmoid().data
+        assert np.all((s > 0) & (s < 1))
+
+    def test_clip_gradient_gate(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1, 1).sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 0])
+
+    def test_maximum(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 2.0]), requires_grad=True)
+        a.maximum(b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1])
+        np.testing.assert_allclose(b.grad, [1, 0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_scales_gradient(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        a.mean(axis=(1, 2)).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 1 / 12))
+
+    def test_max_ties_split(self):
+        a = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5, 0])
+
+    def test_var_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        v = Tensor(x).var(axis=0)
+        np.testing.assert_allclose(v.data, x.var(axis=0), rtol=1e-5)
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()
+
+
+class TestShapes:
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose_inverse(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        a.transpose(2, 0, 1).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_T_property(self):
+        a = Tensor(np.ones((2, 3)))
+        assert a.T.shape == (3, 2)
+
+    def test_flatten(self):
+        a = Tensor(np.ones((2, 3, 4)))
+        assert a.flatten().shape == (2, 12)
+
+    def test_getitem_scatter_gradient(self):
+        a = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2, 0, 1])
+
+    def test_pad2d_and_backward(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        p = a.pad2d(1)
+        assert p.shape == (1, 1, 4, 4)
+        p.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+    def test_cat_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = cat([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 2))
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = stack([a, b])
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1, 1])
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_noop_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_dims(self):
+        g = np.ones((5, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 5))
+
+    def test_sums_size_one_dims(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, [[3], [3]])
+
+    def test_inverse_of_broadcast(self, rng):
+        base = rng.normal(size=(1, 4))
+        g = np.broadcast_to(rng.normal(size=(3, 4)), (3, 4))
+        out = unbroadcast(g.copy(), (1, 4))
+        np.testing.assert_allclose(out, g.sum(axis=0, keepdims=True))
+
+
+class TestDeepGraph:
+    def test_deep_chain_no_recursion_error(self):
+        # ResNet-110 depth graphs must not hit the recursion limit.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(2000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [5.0])

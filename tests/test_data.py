@@ -1,0 +1,235 @@
+"""Unit tests for datasets, loaders, transforms, synthetic generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    SyntheticCIFAR10,
+    SyntheticImageNet,
+    SyntheticMNIST,
+    bilinear_upsample,
+    make_classification_images,
+    train_val_split,
+)
+
+
+class TestArrayDataset:
+    def test_basic(self, rng):
+        ds = ArrayDataset(rng.normal(size=(10, 3, 4, 4)), np.arange(10) % 3)
+        assert len(ds) == 10
+        x, y = ds[2]
+        assert x.shape == (3, 4, 4)
+        assert isinstance(y, int)
+        assert ds.num_classes == 3
+        assert ds.sample_shape == (3, 4, 4)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(10, 4)), np.zeros(5))
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(np.arange(20).reshape(10, 2).astype(float), np.arange(10))
+        sub = Subset(ds, [3, 5])
+        assert len(sub) == 2
+        assert sub[0][1] == 3
+
+    def test_train_val_split_partition(self, rng):
+        ds = ArrayDataset(rng.normal(size=(100, 2)), np.arange(100))
+        tr, va = train_val_split(ds, 0.2, seed=1)
+        assert len(tr) == 80 and len(va) == 20
+        labels = sorted(np.concatenate([tr.y, va.y]).tolist())
+        assert labels == list(range(100))  # nothing lost or duplicated
+
+    def test_split_validation(self, rng):
+        ds = ArrayDataset(rng.normal(size=(10, 2)), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_val_split(ds, 1.5)
+
+
+class TestDataLoader:
+    def _ds(self, n=20):
+        return ArrayDataset(np.arange(n * 2).reshape(n, 2).astype(float), np.arange(n))
+
+    def test_batch_shapes(self):
+        dl = DataLoader(self._ds(), batch_size=8)
+        batches = list(dl)
+        assert [len(b[1]) for b in batches] == [8, 8, 4]
+        assert len(dl) == 3
+
+    def test_drop_last(self):
+        dl = DataLoader(self._ds(), batch_size=8, drop_last=True)
+        assert [len(b[1]) for b in dl] == [8, 8]
+        assert len(dl) == 2
+
+    def test_no_shuffle_is_ordered(self):
+        dl = DataLoader(self._ds(), batch_size=5, shuffle=False)
+        _, y = next(iter(dl))
+        np.testing.assert_array_equal(y, [0, 1, 2, 3, 4])
+
+    def test_shuffle_deterministic_per_seed(self):
+        y1 = np.concatenate([y for _, y in DataLoader(self._ds(), 4, shuffle=True, seed=3)])
+        y2 = np.concatenate([y for _, y in DataLoader(self._ds(), 4, shuffle=True, seed=3)])
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_shuffle_differs_across_seeds(self):
+        y1 = np.concatenate([y for _, y in DataLoader(self._ds(), 4, shuffle=True, seed=3)])
+        y2 = np.concatenate([y for _, y in DataLoader(self._ds(), 4, shuffle=True, seed=4)])
+        assert not np.array_equal(y1, y2)
+
+    def test_epochs_reshuffle(self):
+        dl = DataLoader(self._ds(), 20, shuffle=True, seed=0)
+        y1 = next(iter(dl))[1].copy()
+        y2 = next(iter(dl))[1].copy()
+        assert not np.array_equal(y1, y2)
+
+    def test_shuffle_is_partition(self):
+        dl = DataLoader(self._ds(), 7, shuffle=True, seed=0)
+        ys = np.sort(np.concatenate([y for _, y in dl]))
+        np.testing.assert_array_equal(ys, np.arange(20))
+
+    def test_transform_applied(self):
+        dl = DataLoader(self._ds(), 5, transform=lambda b, rng: b * 0.0)
+        x, _ = next(iter(dl))
+        np.testing.assert_allclose(x, 0.0)
+
+    def test_one_batch(self):
+        x, y = DataLoader(self._ds(), 6).one_batch()
+        assert len(y) == 6
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._ds(), batch_size=0)
+
+    @given(n=st.integers(1, 50), bs=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_len_matches_iteration(self, n, bs):
+        ds = ArrayDataset(np.zeros((n, 2)), np.zeros(n))
+        dl = DataLoader(ds, batch_size=bs)
+        assert len(list(dl)) == len(dl)
+
+
+class TestTransforms:
+    def test_normalize_math(self, rng):
+        batch = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        t = Normalize([1.0, 2.0], [2.0, 4.0])
+        out = t(batch, rng)
+        np.testing.assert_allclose(out[:, 0], (batch[:, 0] - 1) / 2, rtol=1e-5)
+        np.testing.assert_allclose(out[:, 1], (batch[:, 1] - 2) / 4, rtol=1e-5)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_flip_preserves_content(self, rng):
+        batch = rng.normal(size=(8, 1, 4, 4)).astype(np.float32)
+        out = RandomHorizontalFlip(1.0)(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(out, batch[:, :, :, ::-1])
+
+    def test_flip_p_zero_identity(self, rng):
+        batch = rng.normal(size=(8, 1, 4, 4)).astype(np.float32)
+        out = RandomHorizontalFlip(0.0)(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(out, batch)
+
+    def test_crop_preserves_shape(self, rng):
+        batch = rng.normal(size=(6, 3, 8, 8)).astype(np.float32)
+        out = RandomCrop(2)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+
+    def test_crop_zero_padding_identity(self, rng):
+        batch = rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+        assert RandomCrop(0)(batch, np.random.default_rng(0)) is batch
+
+    def test_crop_validation(self):
+        with pytest.raises(ValueError):
+            RandomCrop(-1)
+
+    def test_compose_order(self, rng):
+        batch = np.ones((1, 1, 2, 2), dtype=np.float32)
+        t = Compose([lambda b, r: b + 1, lambda b, r: b * 10])
+        np.testing.assert_allclose(t(batch, rng), 20.0)
+
+
+class TestSyntheticGeneration:
+    def test_shapes_and_dtypes(self):
+        x, y = make_classification_images(50, 5, channels=3, size=8, seed=0)
+        assert x.shape == (50, 3, 8, 8)
+        assert x.dtype == np.float32
+        assert y.dtype == np.int64
+        assert set(np.unique(y)) <= set(range(5))
+
+    def test_balanced_classes(self):
+        _, y = make_classification_images(100, 10, size=8, seed=0)
+        counts = np.bincount(y, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic(self):
+        x1, y1 = make_classification_images(20, 4, size=8, seed=5)
+        x2, y2 = make_classification_images(20, 4, size=8, seed=5)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_seed_changes_data(self):
+        x1, _ = make_classification_images(20, 4, size=8, seed=5)
+        x2, _ = make_classification_images(20, 4, size=8, seed=6)
+        assert not np.array_equal(x1, x2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_classification_images(3, 10)
+
+    def test_bilinear_upsample_constant(self):
+        coarse = np.full((2, 2), 3.0)
+        out = bilinear_upsample(coarse, (8, 8))
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_bilinear_upsample_shape(self, rng):
+        out = bilinear_upsample(rng.normal(size=(3, 4, 4)), (16, 16))
+        assert out.shape == (3, 16, 16)
+
+    def test_classes_are_separable_by_simple_model(self):
+        # nearest-prototype classification must beat chance by a wide margin,
+        # otherwise pruning curves would be pure noise
+        x, y = make_classification_images(400, 4, size=8, noise=0.4, seed=1)
+        protos = np.stack([x[y == k].mean(axis=0) for k in range(4)])
+        flat = x.reshape(len(x), -1)
+        pf = protos.reshape(4, -1)
+        pred = np.argmax(flat @ pf.T, axis=1)
+        assert (pred == y).mean() > 0.5
+
+
+class TestDatasetBundles:
+    def test_cifar_bundle(self):
+        ds = SyntheticCIFAR10(n_train=64, n_val=32, size=8, seed=0)
+        assert len(ds.train) == 64 and len(ds.val) == 32
+        assert ds.train.sample_shape == (3, 8, 8)
+        assert ds.train.num_classes == 10
+        # transforms runnable
+        rng = np.random.default_rng(0)
+        out = ds.train_transform()(ds.train.x[:4], rng)
+        assert out.shape == (4, 3, 8, 8)
+
+    def test_imagenet_bundle_top5_meaningful(self):
+        ds = SyntheticImageNet(n_train=64, n_val=32, n_classes=12, size=8)
+        assert ds.train.num_classes == 12
+
+    def test_imagenet_class_floor(self):
+        with pytest.raises(ValueError):
+            SyntheticImageNet(n_train=32, n_val=16, n_classes=3)
+
+    def test_mnist_is_sparse_grayscale(self):
+        ds = SyntheticMNIST(n_train=64, n_val=16)
+        assert ds.train.sample_shape == (1, 28, 28)
+        frac_zero = (ds.train.x == 0).mean()
+        assert frac_zero > 0.3  # "composed mostly of zeros" (§4.2)
+
+    def test_train_val_disjoint_streams(self):
+        ds = SyntheticCIFAR10(n_train=50, n_val=50, size=8, seed=0)
+        assert not np.array_equal(ds.train.x[:50], ds.val.x[:50])

@@ -1,0 +1,207 @@
+"""Tests for normalization, tradeoff figures, and the checklist audit."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import PruningResult, ResultSet
+from repro.meta import (
+    FAMILIES,
+    IMAGENET_BASELINES,
+    Corpus,
+    Paper,
+    ReportedCurve,
+    TradeoffPoint,
+    audit_results,
+    build_corpus,
+    family_curve,
+    fig1_series,
+    fig3_panels,
+    fig5_split,
+    normalize_point,
+    standardized_initial_flops,
+    standardized_initial_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+class TestNormalization:
+    def _mini_corpus(self):
+        p = Paper(key="p1", label="P1", year=2018, peer_reviewed=True,
+                  pairs=[("ImageNet", "VGG-16")])
+        curves = [
+            ReportedCurve(
+                paper_key="p1", method="m", dataset="ImageNet",
+                architecture="VGG-16",
+                points=[
+                    TradeoffPoint(compression=2.0, delta_top1=-1.0,
+                                  initial_params=100e6, initial_flops=10e9),
+                    TradeoffPoint(compression=4.0, delta_top1=-2.0,
+                                  initial_params=140e6),
+                ],
+            )
+        ]
+        return Corpus([p], curves)
+
+    def test_standardized_size_is_median(self):
+        c = self._mini_corpus()
+        sizes = standardized_initial_sizes(c)
+        assert sizes["VGG-16"] == pytest.approx(120e6)  # median of 100M, 140M
+
+    def test_standardized_flops(self):
+        c = self._mini_corpus()
+        flops = standardized_initial_flops(c)
+        assert flops["VGG-16"] == pytest.approx(10e9)
+
+    def test_normalize_point_math(self):
+        pt = TradeoffPoint(compression=4.0, speedup=2.0, delta_top1=-1.5)
+        out = normalize_point(
+            pt, "VGG-16", {"VGG-16": 120e6}, {"VGG-16": 10e9}, 71.6, 90.4
+        )
+        assert out["params"] == pytest.approx(30e6)
+        assert out["flops"] == pytest.approx(5e9)
+        assert out["top1"] == pytest.approx(70.1)
+
+    def test_normalize_point_without_metrics_is_none(self):
+        pt = TradeoffPoint(delta_top1=-1.0)
+        assert normalize_point(pt, "VGG-16", {}, {}, 70, 90) is None
+
+
+class TestFamilies:
+    def test_known_families_present(self):
+        assert set(FAMILIES) == {"VGG", "ResNet", "MobileNet-v2", "EfficientNet"}
+
+    def test_family_curve_monotone_size(self):
+        curve = family_curve("ResNet")
+        assert curve["xs"] == sorted(curve["xs"])
+
+    def test_family_curve_units(self):
+        params = family_curve("VGG", x="params")["xs"]
+        flops = family_curve("VGG", x="flops")["xs"]
+        assert params[0] > 1e8  # 130M+ params
+        assert flops[0] < 1e11  # GFLOPs scale
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            family_curve("AlexNet-family")
+
+
+class TestFigure1:
+    def test_efficientnet_has_no_pruned_points(self, corpus):
+        # "There are no pruned EfficientNets since EfficientNet was
+        #  published too recently." (footnote 2)
+        _, pruned = fig1_series(corpus)
+        assert "EfficientNet" not in pruned
+
+    def test_pruned_families_present(self, corpus):
+        _, pruned = fig1_series(corpus)
+        assert {"VGG", "ResNet", "MobileNet-v2"} <= set(pruned)
+
+    def test_four_metric_combinations(self, corpus):
+        for x in ("params", "flops"):
+            for y in ("top1", "top5"):
+                fams, pruned = fig1_series(corpus, x_metric=x, y_metric=y)
+                assert fams and pruned
+
+    def test_pruned_accuracies_plausible(self, corpus):
+        _, pruned = fig1_series(corpus)
+        for fam, pts in pruned.items():
+            assert all(30 < y < 90 for y in pts["ys"]), fam
+
+
+class TestFigure3:
+    def test_panel_grid(self, corpus):
+        panels = fig3_panels(corpus)
+        cols = {k[0] for k in panels}
+        assert cols == {
+            "VGG-16 on ImageNet",
+            "Alex/CaffeNet on ImageNet",
+            "ResNet-50 on ImageNet",
+            "ResNet-56 on CIFAR-10",
+        }
+
+    def test_no_top5_for_cifar(self, corpus):
+        panels = fig3_panels(corpus)
+        assert not any(
+            k[0] == "ResNet-56 on CIFAR-10" and "top5" in k[2] for k in panels
+        )
+
+    def test_methods_sparse_across_panels(self, corpus):
+        # the fragmentation finding: no panel contains every method
+        panels = fig3_panels(corpus)
+        sizes = [len(v) for v in panels.values()]
+        all_methods = {c.label for v in panels.values() for c in v}
+        assert max(sizes) < len(all_methods)
+
+    def test_curve_points_sorted_by_x(self, corpus):
+        panels = fig3_panels(corpus)
+        for curves in panels.values():
+            for c in curves:
+                assert c.xs == sorted(c.xs)
+
+
+class TestFigure5:
+    def test_split_nonempty(self, corpus):
+        mag, others = fig5_split(corpus)
+        assert len(mag) >= 5  # several magnitude variants
+        assert len(others) >= 5
+
+    def test_magnitude_variability_rivals_method_variability(self, corpus):
+        """§4.5: fine-tuning variation ~ method variation (Figure 5)."""
+        mag, others = fig5_split(corpus)
+
+        def spread(curves):
+            ys = [y for c in curves for y in c.ys]
+            return np.percentile(ys, 90) - np.percentile(ys, 10)
+
+        assert spread(mag) > 0.4 * spread(others)
+
+    def test_curves_are_resnet50_absolute_top1(self, corpus):
+        mag, others = fig5_split(corpus)
+        for c in mag + others:
+            assert all(40 < y < 80 for y in c.ys)  # absolute Top-1 band
+
+
+class TestChecklistAudit:
+    def _results(self, seeds=(0, 1, 2), comps=(1, 2, 4, 8, 16, 32),
+                 strategies=("global_weight", "random")):
+        rs = ResultSet()
+        for s in seeds:
+            for c in comps:
+                for strat in strategies:
+                    drop = 0.0 if c <= 4 else 0.2
+                    rs.add(PruningResult(
+                        model="m", dataset="d", strategy=strat,
+                        compression=float(c), seed=s,
+                        actual_compression=float(c), theoretical_speedup=float(c) ** 0.8,
+                        baseline_top1=0.9, top1=0.9 - drop,
+                        dense_flops=100.0, effective_flops=100.0 / c,
+                    ))
+        return rs
+
+    def test_full_protocol_passes(self):
+        items = audit_results(self._results())
+        assert all(i.passed for i in items), [str(i) for i in items if not i.passed]
+
+    def test_single_seed_fails_seed_item(self):
+        items = audit_results(self._results(seeds=(0,)))
+        failed = [i.item for i in items if not i.passed]
+        assert any("seeds" in f for f in failed)
+
+    def test_few_points_fails_range_item(self):
+        items = audit_results(self._results(comps=(1, 2)))
+        failed = [i.item for i in items if not i.passed]
+        assert any("compression ratios" in f for f in failed)
+
+    def test_missing_random_baseline_detected(self):
+        items = audit_results(self._results(strategies=("global_weight",)))
+        failed = [i.item for i in items if not i.passed]
+        assert any("random" in f for f in failed)
+
+    def test_str_rendering(self):
+        items = audit_results(self._results())
+        assert all(str(i).startswith("[PASS]") or str(i).startswith("[FAIL]")
+                   for i in items)

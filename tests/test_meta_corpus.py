@@ -1,0 +1,161 @@
+"""Tests that the corpus reproduces every aggregate the paper states."""
+
+import numpy as np
+import pytest
+
+from repro.meta import (
+    TABLE1_COUNTS,
+    Corpus,
+    Paper,
+    ReportedCurve,
+    build_corpus,
+    comparison_stats,
+    corpus_stats,
+    in_degree_histogram,
+    never_compared_to,
+    out_degree_histogram,
+    pairs_per_paper_histogram,
+    points_per_curve_histogram,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+class TestCorpusModel:
+    def test_duplicate_key_rejected(self):
+        p = Paper(key="a", label="A", year=2015, peer_reviewed=True)
+        with pytest.raises(ValueError):
+            Corpus([p, Paper(key="a", label="A2", year=2016, peer_reviewed=True)])
+
+    def test_closure_property_enforced(self):
+        p = Paper(key="a", label="A", year=2015, peer_reviewed=True,
+                  compares_to=["missing"])
+        with pytest.raises(ValueError):
+            Corpus([p])
+
+    def test_curve_must_reference_known_paper(self):
+        p = Paper(key="a", label="A", year=2015, peer_reviewed=True)
+        curve = ReportedCurve(paper_key="ghost", method="m", dataset="d",
+                              architecture="x")
+        with pytest.raises(ValueError):
+            Corpus([p], [curve])
+
+    def test_degree_queries(self):
+        a = Paper(key="a", label="A", year=2015, peer_reviewed=True)
+        b = Paper(key="b", label="B", year=2016, peer_reviewed=True,
+                  compares_to=["a"])
+        c = Corpus([a, b])
+        assert c.in_degree("a") == 1
+        assert c.out_degree("b") == 1
+        assert c.papers_comparing_to("a") == ["b"]
+
+
+class TestPublishedAggregates:
+    def test_81_papers(self, corpus):
+        assert len(corpus) == 81
+
+    def test_two_classics(self, corpus):
+        classics = [p for p in corpus.papers.values() if p.classic]
+        assert len(classics) == 2
+        assert {p.key for p in classics} == {"lecun1990", "hassibi1993"}
+
+    def test_section_4_2_counts(self, corpus):
+        stats = corpus_stats(corpus)
+        assert stats == {
+            "n_papers": 81,
+            "n_datasets": 49,
+            "n_architectures": 132,
+            "n_pairs": 195,
+        }
+
+    def test_table1_verbatim(self, corpus):
+        rows = table1(corpus)
+        got = {(ds, arch): n for ds, arch, n in rows}
+        assert got == TABLE1_COUNTS
+
+    def test_table1_sorted_descending(self, corpus):
+        rows = table1(corpus)
+        counts = [n for _, _, n in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_no_extra_pairs_cross_threshold(self, corpus):
+        counts = corpus.pair_usage_counts()
+        extras = {p: c for p, c in counts.items()
+                  if c >= 4 and p not in TABLE1_COUNTS}
+        assert not extras
+
+    def test_section_4_1_comparison_fractions(self, corpus):
+        stats = comparison_stats(corpus)
+        # "more than a fourth of our corpus does not compare to any
+        #  previously proposed pruning method"
+        assert stats["frac_compare_to_none"] > 0.25
+        # "and another fourth compares to only one"
+        assert stats["frac_compare_to_at_most_one"] > 0.5
+        # "Nearly all papers compare to three or fewer"
+        assert stats["frac_compare_to_at_most_three"] > 0.9
+
+    def test_max_in_degree_matches_figure2(self, corpus):
+        # Figure 2 top x-axis tops out at 18
+        assert 14 <= comparison_stats(corpus)["max_in_degree"] <= 18
+
+    def test_han2015_most_compared_to(self, corpus):
+        degrees = {k: corpus.in_degree(k) for k in corpus.papers}
+        assert max(degrees, key=degrees.get) == "han2015"
+
+    def test_dozens_never_compared_to(self, corpus):
+        n = len(never_compared_to(corpus))
+        assert n >= 24  # "dozens"
+
+    def test_37_papers_on_figure3_configs(self, corpus):
+        from repro.meta import FIG3_PAIRS
+
+        users = {
+            p.key
+            for p in corpus.papers.values()
+            if any(pair in p.pairs for pair in FIG3_PAIRS)
+        }
+        assert len(users) == 37
+
+    def test_mnist_prevalence(self, corpus):
+        # "three of the top six most common combinations involve MNIST"
+        top6 = table1(corpus)[:6]
+        assert sum(1 for ds, _, _ in top6 if ds == "MNIST") == 3
+
+
+class TestHistograms:
+    def test_in_degree_histogram_sums_to_81(self, corpus):
+        hist = in_degree_histogram(corpus)
+        total = sum(b["peer_reviewed"] + b["other"] for b in hist.values())
+        assert total == 81
+
+    def test_out_degree_histogram_sums_to_81(self, corpus):
+        hist = out_degree_histogram(corpus)
+        total = sum(b["peer_reviewed"] + b["other"] for b in hist.values())
+        assert total == 81
+
+    def test_pairs_per_paper_mostly_small(self, corpus):
+        hist = pairs_per_paper_histogram(corpus)
+        small = sum(
+            b["peer_reviewed"] + b["other"] for n, b in hist.items() if n <= 3
+        )
+        total = sum(b["peer_reviewed"] + b["other"] for b in hist.values())
+        assert small / total > 0.4  # bulk of the mass at <=3 pairs
+
+    def test_points_per_curve_mostly_one_to_three(self, corpus):
+        hist = points_per_curve_histogram(corpus)
+        small = sum(
+            b["peer_reviewed"] + b["other"] for n, b in hist.items() if n <= 3
+        )
+        total = sum(b["peer_reviewed"] + b["other"] for b in hist.values())
+        assert small / total > 0.6
+
+    def test_determinism(self):
+        c1, c2 = build_corpus(), build_corpus()
+        assert {k: c1.in_degree(k) for k in c1.papers} == {
+            k: c2.in_degree(k) for k in c2.papers
+        }
+        assert len(c1.curves) == len(c2.curves)

@@ -1,0 +1,208 @@
+"""Unit tests for the Module system, layers and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    init,
+)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        m = TwoLayer()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        m = TwoLayer()
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_traversal(self):
+        m = TwoLayer()
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds == ["TwoLayer", "Linear", "Linear"]
+
+    def test_state_dict_roundtrip(self):
+        m1, m2 = TwoLayer(), TwoLayer()
+        m2.fc1.weight.data += 1.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1.fc1.weight.data, m2.fc1.weight.data)
+
+    def test_state_dict_returns_copies(self):
+        m = TwoLayer()
+        state = m.state_dict()
+        state["fc1.weight"] += 99
+        assert not np.allclose(m.fc1.weight.data, state["fc1.weight"])
+
+    def test_load_state_dict_shape_mismatch(self):
+        m = TwoLayer()
+        bad = m.state_dict()
+        bad["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key_strict(self):
+        m = TwoLayer()
+        state = m.state_dict()
+        del state["fc2.bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_non_strict(self):
+        m = TwoLayer()
+        m.load_state_dict({}, strict=False)  # no-op, no error
+
+    def test_train_eval_propagates(self):
+        m = Sequential(Linear(2, 2), BatchNorm2d(2))
+        m.eval()
+        assert all(not child.training for child in m.children())
+        m.train()
+        assert all(child.training for child in m.children())
+
+    def test_zero_grad(self):
+        m = TwoLayer()
+        out = m(Tensor(np.ones((1, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert m.fc1.weight.grad is None
+
+    def test_forward_hook_fires_and_removes(self):
+        m = Linear(2, 2)
+        calls = []
+        remove = m.register_forward_hook(lambda mod, args, out: calls.append(out.shape))
+        m(Tensor(np.ones((3, 2), dtype=np.float32)))
+        assert calls == [(3, 2)]
+        remove()
+        m(Tensor(np.ones((3, 2), dtype=np.float32)))
+        assert len(calls) == 1
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_load_updates_buffers_in_place(self):
+        bn = BatchNorm2d(2)
+        ref = bn.running_mean  # the layer holds this exact array
+        state = bn.state_dict()
+        state["running_mean"] = np.array([5.0, 6.0], dtype=np.float32)
+        bn.load_state_dict(state)
+        np.testing.assert_allclose(ref, [5.0, 6.0])
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        m = Sequential(Linear(2, 3), ReLU(), Linear(3, 1))
+        out = m(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.shape == (1, 1)
+        assert len(m) == 3
+        assert isinstance(m[1], ReLU)
+
+    def test_modulelist_registers(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4
+        assert len(ml) == 2
+        with pytest.raises(RuntimeError):
+            ml(None)
+
+
+class TestLayers:
+    def test_linear_shapes_and_no_bias(self):
+        m = Linear(5, 3, bias=False)
+        assert m.bias is None
+        out = m(Tensor(np.ones((2, 5), dtype=np.float32)))
+        assert out.shape == (2, 3)
+
+    def test_conv_shape(self):
+        m = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = m(Tensor(np.ones((1, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_pool_layers(self):
+        x = Tensor(np.ones((1, 2, 8, 8), dtype=np.float32))
+        assert MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_flatten_identity(self):
+        x = Tensor(np.ones((2, 3, 4, 4), dtype=np.float32))
+        assert Flatten()(x).shape == (2, 48)
+        assert Identity()(x) is x
+
+    def test_dropout_respects_mode(self):
+        m = Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        m.eval()
+        np.testing.assert_allclose(m(x).data, x.data)
+        m.train()
+        assert (m(x).data == 0).any()
+
+    def test_batchnorm_params_and_buffers(self):
+        bn = BatchNorm2d(5)
+        assert bn.weight.shape == (5,)
+        assert bn.running_mean.shape == (5,)
+
+    def test_reprs(self):
+        assert "Linear" in repr(Linear(2, 2))
+        assert "Conv2d" in repr(Conv2d(1, 1, 3))
+        assert "Sequential" in repr(Sequential(ReLU()))
+
+
+class TestInit:
+    def test_fan_in_out_linear(self):
+        assert init.fan_in_and_out((8, 4)) == (4, 8)
+
+    def test_fan_in_out_conv(self):
+        assert init.fan_in_and_out((16, 8, 3, 3)) == (8 * 9, 16 * 9)
+
+    def test_fan_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            init.fan_in_and_out((4,))
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng)
+        assert w.std() == pytest.approx(np.sqrt(2 / 128), rel=0.1)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 64), rng)
+        bound = np.sqrt(6 / 64)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((200, 200), rng)
+        assert w.std() == pytest.approx(np.sqrt(2 / 400), rel=0.1)
+
+    def test_deterministic_given_rng(self):
+        a = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        b = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,189 @@
+"""Unit tests for optimizers, LR schedules, early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    EarlyStopping,
+    FixedLR,
+    StepLR,
+)
+
+
+def make_param(values):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_skips_none_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1, p=-1
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_nesterov_differs_from_plain(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        o1 = SGD([p1], lr=1.0, momentum=0.9)
+        o2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for o, p in ((o1, p1), (o2, p2)):
+            p.grad = np.array([1.0], dtype=np.float32)
+            o.step()
+        assert p2.data[0] < p1.data[0]  # nesterov looks ahead: bigger step
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([0.0])], lr=0.1, nesterov=True)
+
+    def test_weight_decay(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([0.0])], lr=0.0)
+
+    def test_post_step_hook_runs(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        calls = []
+        opt.add_post_step_hook(lambda: calls.append(1))
+        opt.step()
+        assert calls == [1]
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the very first Adam step is ~lr in the
+        # direction of the gradient sign.
+        p = make_param([0.0])
+        p.grad = np.array([3.0], dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], rtol=1e-4)
+
+    def test_adapts_to_gradient_scale(self):
+        # Two params with different gradient magnitudes take similar steps.
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        opt = Adam([p1, p2], lr=0.1)
+        for _ in range(10):
+            p1.grad = np.array([100.0], dtype=np.float32)
+            p2.grad = np.array([0.01], dtype=np.float32)
+            opt.step()
+        assert abs(p1.data[0] - p2.data[0]) < 0.05
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_weight_decay_shrinks(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        for _ in range(5):
+            p.grad = np.array([0.0], dtype=np.float32)
+            opt.step()
+        assert p.data[0] < 1.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([make_param([0.0])], lr=1.0)
+
+    def test_fixed(self):
+        opt = self._opt()
+        sched = FixedLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 1.0
+
+    def test_step_decay(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01], rtol=1e-6)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=8)
+        prev = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= prev + 1e-12
+            prev = opt.lr
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=2)
+        assert not es.update(0.8, 0)
+        assert not es.update(0.7, 1)  # bad 1
+        assert es.update(0.6, 2)  # bad 2 -> stop
+        assert es.stopped
+
+    def test_improvement_resets(self):
+        es = EarlyStopping(patience=2)
+        es.update(0.5, 0)
+        es.update(0.4, 1)
+        es.update(0.9, 2)  # improvement
+        assert es.num_bad_epochs == 0
+        assert es.best == 0.9
+        assert es.best_epoch == 2
+
+    def test_min_delta(self):
+        es = EarlyStopping(patience=1, min_delta=0.05)
+        es.update(0.5, 0)
+        assert es.update(0.52, 1)  # below min_delta: counts as bad
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

@@ -1,0 +1,110 @@
+"""Tests for tradeoff curves, ASCII rendering, CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiment import PruningResult
+from repro.plotting import (
+    TradeoffCurve,
+    curves_from_results,
+    export_curves_csv,
+    render_curves,
+    render_histogram,
+)
+
+
+def make_results():
+    out = []
+    for strat, base in (("global_weight", 0.9), ("random", 0.7)):
+        for seed in (0, 1):
+            for c in (1, 2, 4, 8):
+                out.append(PruningResult(
+                    model="m", dataset="d", strategy=strat,
+                    compression=float(c), seed=seed,
+                    top1=base - 0.02 * c + 0.01 * seed,
+                    theoretical_speedup=float(c) ** 0.8,
+                ))
+    return out
+
+
+class TestTradeoffCurve:
+    def test_sorted_on_construction(self):
+        c = TradeoffCurve("x", xs=[4, 1, 2], ys=[3, 1, 2])
+        assert c.xs == [1, 2, 4]
+        assert c.ys == [1, 2, 3]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            TradeoffCurve("x", xs=[1, 2], ys=[1])
+        with pytest.raises(ValueError):
+            TradeoffCurve("x", xs=[1], ys=[1], stds=[1, 2])
+
+    def test_y_at(self):
+        c = TradeoffCurve("x", xs=[1, 2], ys=[5, 6])
+        assert c.y_at(2) == 6
+        assert c.y_at(3) is None
+
+    def test_from_results_grouping(self):
+        curves = curves_from_results(make_results())
+        assert [c.label for c in curves] == ["global_weight", "random"]
+        assert len(curves[0]) == 4
+
+    def test_from_results_custom_labels_and_axes(self):
+        curves = curves_from_results(
+            make_results(),
+            x_attr="theoretical_speedup",
+            labels={"global_weight": "Global Weight", "random": "Random"},
+        )
+        assert curves[0].label == "Global Weight"
+
+    def test_mean_over_seeds(self):
+        curves = curves_from_results(make_results())
+        gw = curves[0]
+        # two seeds at 0.9-0.02c and +0.01: mean offset 0.005
+        assert gw.y_at(1.0) == pytest.approx(0.9 - 0.02 + 0.005)
+        assert all(s > 0 for s in gw.stds)
+
+
+class TestAsciiRendering:
+    def test_render_contains_labels_and_axes(self):
+        curves = curves_from_results(make_results())
+        out = render_curves(curves, title="Accuracy vs Compression")
+        assert "Accuracy vs Compression" in out
+        assert "global_weight" in out and "random" in out
+        assert "|" in out
+
+    def test_render_empty(self):
+        assert render_curves([]) == "(no data)"
+
+    def test_render_linear_axis(self):
+        curves = [TradeoffCurve("a", xs=[1, 2, 3], ys=[1, 2, 3])]
+        out = render_curves(curves, log_x=False)
+        assert "a" in out
+
+    def test_histogram_renders_counts(self):
+        out = render_histogram(["0", "1", "2"], [5, 3, 1], title="T")
+        assert "T" in out
+        assert out.count("#") > 0
+        assert "5" in out
+
+    def test_histogram_validates(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1, 2])
+
+    def test_histogram_all_zero(self):
+        out = render_histogram(["a", "b"], [0, 0])
+        assert "a" in out
+
+
+class TestCsvExport:
+    def test_export_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        curves = curves_from_results(make_results())
+        path = export_curves_csv(curves, "unit_test_fig")
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["series", "x", "y", "std"]
+        assert len(rows) == 1 + sum(len(c) for c in curves)
+        series = {r[0] for r in rows[1:]}
+        assert series == {"global_weight", "random"}
