@@ -22,9 +22,12 @@ sys.path.insert(0, os.path.dirname(__file__))
 from repro.experiment import (
     OptimizerConfig,
     PruningResult,
+    ResultCache,
     ResultSet,
     TrainConfig,
-    run_sweep,
+    assemble_results,
+    executor_for,
+    expand_sweep,
 )
 from repro.models import create_model
 from repro.pruning import GlobalMagWeight, Pruner, create_strategy
@@ -117,9 +120,17 @@ def cached_sweep(
     pretrain_lr: float = 2e-3,
     pretrain_seed: int = 0,
 ) -> ResultSet:
-    """Run (or load) a named experiment sweep.
+    """Run (or load) a named experiment sweep through the cached executor.
 
-    The cache key includes the scale so smoke/full results never mix.
+    Two cache levels: the named ResultSet JSON (fast path for a bench that
+    already ran) and the content-addressed per-spec ResultCache underneath,
+    which lets different benches share cells (e.g. Figures 13-14 reuse
+    Figure 7's ResNet-56 sweep) and lets an interrupted sweep resume.  The
+    named key includes the scale so smoke/full results never mix; the spec
+    hashes include every config, which isolates scales automatically.
+
+    Set ``REPRO_SWEEP_WORKERS`` (0 = all cores, default 1 = serial) to fan
+    cells out over processes.
     """
     path = artifacts_dir("results") / f"{name}_{SCALE}.json"
     if path.exists():
@@ -127,10 +138,11 @@ def cached_sweep(
     comps = reachable_compressions(model, compressions or COMPRESSIONS)
     ds_kw = _IMAGENET_KW if dataset == "imagenet" else _CIFAR_KW
     ft = imagenet_ft_config() if dataset == "imagenet" else cifar_ft_config()
-    results = run_sweep(
+    strategies = list(strategies)
+    specs = expand_sweep(
         model=model,
         dataset=dataset,
-        strategies=list(strategies),
+        strategies=strategies,
         compressions=comps,
         seeds=list(seeds if seeds is not None else SEEDS),
         model_kwargs=MODEL_KW[model],
@@ -138,8 +150,13 @@ def cached_sweep(
         pretrain=pretrain_config(pretrain_lr),
         finetune=ft,
         pretrain_seed=pretrain_seed,
+    )
+    executor = executor_for(
+        int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+        cache=ResultCache(),
         progress=lambda msg: print(f"    {name}: {msg}", flush=True),
     )
+    results = assemble_results(specs, executor.run(specs), strategies)
     results.save(path)
     return results
 

@@ -4,7 +4,12 @@ Runs the full ShrinkBench protocol (shared pretrained checkpoint, one-shot
 prune, Appendix-C fine-tuning, multiple seeds) for the paper's five baseline
 strategies on a scaled ResNet-56 and renders the tradeoff curves.
 
-    python examples/cifar_pruning_comparison.py
+Experiment cells fan out over worker processes and land in the on-disk
+result cache, so re-running after an interruption (or tweaking the plot
+code) only pays for cells not yet executed.
+
+    python examples/cifar_pruning_comparison.py            # all cores
+    REPRO_SWEEP_WORKERS=1 python examples/cifar_pruning_comparison.py
 """
 
 import os
@@ -13,8 +18,10 @@ os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 
 from repro.experiment import (
     OptimizerConfig,
+    ResultCache,
     TrainConfig,
     aggregate_curve,
+    executor_for,
     run_sweep,
 )
 from repro.meta import audit_results
@@ -26,6 +33,11 @@ STRATEGIES = ["global_weight", "layer_weight", "global_gradient",
 
 
 def main() -> None:
+    executor = executor_for(
+        int(os.environ.get("REPRO_SWEEP_WORKERS", "0")),
+        cache=ResultCache(),
+        progress=lambda msg: print(f"  {msg}"),
+    )
     results = run_sweep(
         model="resnet-56",
         dataset="cifar10",
@@ -40,7 +52,7 @@ def main() -> None:
         finetune=TrainConfig(epochs=2, batch_size=32,
                              optimizer=OptimizerConfig("adam", 3e-4),
                              early_stop_patience=3),
-        progress=lambda msg: print(f"  {msg}"),
+        executor=executor,
     )
 
     curves = curves_from_results(list(results), labels=PAPER_LABELS)

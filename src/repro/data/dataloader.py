@@ -52,6 +52,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.transform = transform
         self.drop_last = drop_last
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         if isinstance(dataset, ArrayDataset):
             self._x, self._y = dataset.x, dataset.y
@@ -83,5 +84,20 @@ class DataLoader:
 
         Appendix C.1: "For both Global and Layerwise Gradient Magnitude
         Pruning a single minibatch is used to compute the gradients."
+
+        Draws from an independent RNG stream forked off the loader seed, so
+        calling it never consumes state from ``self.rng`` — the epoch batch
+        stream produced by iterating this loader is identical whether or not
+        ``one_batch()`` was called, preserving the "(dataset, seed) →
+        identical batch stream" guarantee.  Repeated calls return the same
+        (deterministic) batch, including any stochastic ``transform``.
         """
-        return next(iter(self))
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed, spawn_key=(1,)))
+        n = len(self._x)
+        order = rng.permutation(n) if self.shuffle else np.arange(n)
+        idx = order[: self.batch_size]
+        xb = self._x[idx]
+        yb = self._y[idx]
+        if self.transform is not None:
+            xb = self.transform(xb, rng)
+        return xb, yb

@@ -6,10 +6,12 @@ from .config import (
     cifar_finetune_config,
     imagenet_finetune_config,
 )
+from .cache import ResultCache, spec_hash
 from .datasets import DATASET_REGISTRY, available_datasets, build_dataset
+from .executor import ParallelExecutor, SerialExecutor, executor_for, shard_specs
 from .prune import ExperimentSpec, PruningExperiment
 from .results import CurvePoint, PruningResult, ResultSet, aggregate_curve
-from .runner import PAPER_COMPRESSIONS, run_sweep
+from .runner import PAPER_COMPRESSIONS, assemble_results, expand_sweep, run_sweep
 from .seeds import fix_seeds
 from .train import Trainer, build_optimizer
 
@@ -25,9 +27,17 @@ __all__ = [
     "PruningExperiment",
     "PruningResult",
     "ResultSet",
+    "ResultCache",
     "CurvePoint",
     "aggregate_curve",
+    "spec_hash",
+    "expand_sweep",
+    "assemble_results",
     "run_sweep",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_for",
+    "shard_specs",
     "PAPER_COMPRESSIONS",
     "fix_seeds",
     "Trainer",

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every :class:`~repro.experiment.prune.ExperimentSpec` hashes to a stable key
+(:func:`spec_hash`); the cache stores one JSON file per executed spec so a
+sweep can skip cells it has already paid for — across invocations, across
+benchmarks that share cells (e.g. Figures 13-14 reuse Figure 7's ResNet-56
+sweep), and across shards of a grid split over machines.
+
+Cache layout
+------------
+::
+
+    <root>/                       default: $REPRO_ARTIFACTS/results/cache
+      ab/                         first two hex chars of the spec hash
+        ab12cd34ef56a789.json     one file per spec, named by the full hash
+
+Each file holds ``{"schema": 1, "key": <hash>, "spec": {...},
+"result": {...}}`` — the spec is stored alongside the result row so entries
+are self-describing and auditable.  Writes are atomic (temp file in the same
+directory + ``os.replace``), so concurrent workers racing on the same cell
+never expose a torn file; last writer wins with identical content because
+experiments are deterministic in their spec.
+
+Invalidation is by construction: any change to the spec (model, dataset,
+strategy, compression, seed, train configs) changes the hash and therefore
+the file name.  Delete the directory (or call :meth:`ResultCache.clear`) to
+drop everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..utils import artifacts_dir, atomic_write_text
+from .prune import ExperimentSpec
+from .results import PruningResult
+
+__all__ = ["spec_hash", "ResultCache"]
+
+#: bump when PruningResult/ExperimentSpec semantics change incompatibly —
+#: old cache entries then miss instead of poisoning new runs.
+SCHEMA_VERSION = 1
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """Deterministic content hash of everything that defines a run.
+
+    Serializes the full spec (model + kwargs, dataset + kwargs, strategy,
+    compression, seed, pretrain/finetune configs, pretrain seed) as
+    canonical JSON and hashes it.  Two specs collide iff they describe the
+    same experiment.
+    """
+    blob = json.dumps(
+        {"schema": SCHEMA_VERSION, "spec": asdict(spec)},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """Skip-on-hit store of :class:`PruningResult` rows keyed by spec hash.
+
+    Usage::
+
+        cache = ResultCache()               # under artifacts/results/cache
+        row = cache.get(spec)               # None on miss
+        if row is None:
+            row = PruningExperiment(spec).run()
+            cache.put(spec, row)
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else artifacts_dir("results/cache")
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        key = spec_hash(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    __contains__ = contains
+
+    def get(self, spec: ExperimentSpec) -> Optional[PruningResult]:
+        """Cached result row for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            return None
+        return PruningResult.from_dict(result)
+
+    def put(self, spec: ExperimentSpec, result: PruningResult) -> Path:
+        """Persist one result row atomically; returns the entry path."""
+        path = self.path_for(spec)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": path.stem,
+            "spec": asdict(spec),
+            "result": result.to_dict(),
+        }
+        atomic_write_text(path, json.dumps(payload, indent=1, default=float))
+        return path
+
+    # -- maintenance -----------------------------------------------------
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return
+        yield from self.root.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in list(self._entries()):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n

@@ -1,0 +1,246 @@
+"""Executors: run a list of ExperimentSpecs serially or across processes.
+
+The experiment matrix (strategies × compressions × seeds, §6/Appendix C.1)
+is embarrassingly parallel at the cell level: each spec is self-contained
+and deterministic.  Executors exploit that:
+
+* :class:`SerialExecutor` — one process, specs in order.  The reference
+  implementation; the parallel path must match it row for row.
+* :class:`ParallelExecutor` — fan-out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (default workers =
+  ``os.cpu_count()``), with completion-order progress callbacks.
+
+Both dedupe identical specs within a run, consult an optional
+:class:`~repro.experiment.cache.ResultCache` for skip-on-hit / resume, and
+return rows aligned with the input spec order, so ``ParallelExecutor`` is a
+drop-in replacement for ``SerialExecutor``.
+
+For grids too big for one machine, :func:`shard_specs` splits a spec list
+round-robin (``--shard i/n`` in the sweep CLI); shards share work through
+the cache, and a final unsharded invocation assembles the full ResultSet
+from hits.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..models.pretrained import load_checkpoint, pretrained_key
+from .cache import ResultCache, spec_hash
+from .prune import ExperimentSpec, PruningExperiment
+from .results import PruningResult
+
+__all__ = [
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_for",
+    "shard_specs",
+    "spec_label",
+]
+
+ProgressFn = Callable[[str], None]
+
+
+def spec_label(spec: ExperimentSpec) -> str:
+    """Human-readable one-line label for progress output."""
+    if spec.compression <= 1.0:
+        return f"[seed {spec.seed}] baseline (compression 1)"
+    return f"[seed {spec.seed}] {spec.strategy} @ {spec.compression:g}x"
+
+
+def shard_specs(
+    specs: Sequence[ExperimentSpec], index: int, total: int
+) -> List[ExperimentSpec]:
+    """Round-robin shard ``index`` of ``total`` (0-based), for multi-machine
+    splits.  Round-robin (rather than contiguous blocks) balances load when
+    cost varies systematically along the grid (e.g. low compressions
+    fine-tune longer)."""
+    if total < 1:
+        raise ValueError(f"shard count must be >= 1, got {total}")
+    if not 0 <= index < total:
+        raise ValueError(f"shard index must be in [0, {total}), got {index}")
+    return list(specs[index::total])
+
+
+def executor_for(
+    workers: Optional[int],
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> "_ExecutorBase":
+    """Executor matching a worker count: 1 → serial, 0/None → all cores,
+    N → N-process fan-out.  The one place flag/env worker counts map to an
+    executor, shared by the CLI, benchmarks, and examples."""
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = all cores), got {workers}")
+    if workers == 1:
+        return SerialExecutor(cache=cache, progress=progress)
+    return ParallelExecutor(workers=workers or None, cache=cache, progress=progress)
+
+
+def _run_spec(spec: ExperimentSpec) -> PruningResult:
+    """Worker entry point: execute one spec (module-level for pickling)."""
+    return PruningExperiment(spec).run()
+
+
+def _copy_row(row: PruningResult) -> PruningResult:
+    return PruningResult.from_dict(row.to_dict())
+
+
+class _ExecutorBase:
+    """Shared cache/dedupe plumbing for both executors."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.cache = cache
+        self.progress = progress
+
+    def _emit(self, spec: ExperimentSpec, suffix: str = "") -> None:
+        if self.progress:
+            self.progress(spec_label(spec) + suffix)
+
+    def _dedupe(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Dict[str, List[int]]:
+        """Map spec hash → every input position holding that spec."""
+        groups: Dict[str, List[int]] = {}
+        for i, spec in enumerate(specs):
+            groups.setdefault(spec_hash(spec), []).append(i)
+        return groups
+
+    @staticmethod
+    def _fill(rows: List[Optional[PruningResult]], idxs: List[int], row: PruningResult) -> None:
+        rows[idxs[0]] = row
+        for i in idxs[1:]:  # duplicates get independent copies
+            rows[i] = _copy_row(row)
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        raise NotImplementedError
+
+
+class SerialExecutor(_ExecutorBase):
+    """Run specs one after another in the current process."""
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        rows: List[Optional[PruningResult]] = [None] * len(specs)
+        for idxs in self._dedupe(specs).values():
+            spec = specs[idxs[0]]
+            row = self.cache.get(spec) if self.cache is not None else None
+            if row is not None:
+                self._emit(spec, " [cache hit]")
+            else:
+                self._emit(spec)
+                row = _run_spec(spec)
+                if self.cache is not None:
+                    self.cache.put(spec, row)
+            self._fill(rows, idxs, row)
+        return rows  # type: ignore[return-value]
+
+
+class ParallelExecutor(_ExecutorBase):
+    """Fan specs out over worker processes (spec-level parallelism).
+
+    Cache hits are resolved in the parent before any worker spawns; only
+    misses are submitted.  Results are cached by the parent as futures
+    complete, so a crash mid-sweep loses at most the in-flight cells —
+    rerunning resumes from the cache.
+
+    Missing pretrained checkpoints shared by several pending specs are
+    trained once in the parent first (the checkpoint store is keyed by the
+    pretraining config, §7.3), so N workers never redundantly pretrain the
+    same initial model.  Checkpoint writes are atomic either way, so even a
+    direct race is safe — just wasteful.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+        warm_pretrained: bool = True,
+    ) -> None:
+        super().__init__(cache=cache, progress=progress)
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self.warm_pretrained = warm_pretrained
+
+    def _pretrain_key(self, spec: ExperimentSpec) -> str:
+        return pretrained_key(
+            spec.model,
+            spec.model_kwargs,
+            spec.dataset,
+            spec.dataset_kwargs,
+            spec.pretrain.to_dict(),
+            spec.pretrain_seed,
+        )
+
+    def _warm_checkpoints(self, specs: Sequence[ExperimentSpec]) -> None:
+        seen: Dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            seen.setdefault(self._pretrain_key(spec), spec)
+        for key, spec in seen.items():
+            if load_checkpoint(key) is None:
+                if self.progress:
+                    self.progress(f"pretraining shared checkpoint {key}")
+                PruningExperiment(spec).load_pretrained()
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        rows: List[Optional[PruningResult]] = [None] * len(specs)
+        pending: Dict[str, List[int]] = {}
+        for h, idxs in self._dedupe(specs).items():
+            spec = specs[idxs[0]]
+            row = self.cache.get(spec) if self.cache is not None else None
+            if row is not None:
+                self._emit(spec, " [cache hit]")
+                self._fill(rows, idxs, row)
+            else:
+                pending[h] = idxs
+        if not pending:
+            return rows  # type: ignore[return-value]
+
+        miss_specs = [specs[idxs[0]] for idxs in pending.values()]
+        if self.warm_pretrained:
+            self._warm_checkpoints(miss_specs)
+
+        n_workers = min(self.workers, len(miss_specs))
+        if n_workers <= 1:  # no point forking for a single pending spec
+            serial = SerialExecutor(cache=self.cache, progress=self.progress)
+            miss_rows = serial.run(miss_specs)
+            for idxs, row in zip(pending.values(), miss_rows):
+                self._fill(rows, idxs, row)
+            return rows  # type: ignore[return-value]
+
+        first_error: Optional[BaseException] = None
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            future_to_idxs = {
+                pool.submit(_run_spec, spec): idxs
+                for spec, idxs in zip(miss_specs, pending.values())
+            }
+            not_done = set(future_to_idxs)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idxs = future_to_idxs[fut]
+                    spec = specs[idxs[0]]
+                    try:
+                        row = fut.result()
+                    except BaseException as exc:  # noqa: BLE001 — re-raised below
+                        # Keep draining: cells already completed (or still
+                        # running) must reach the cache so a rerun only
+                        # re-pays the failed/cancelled ones.  Queued cells
+                        # are cancelled rather than run-and-discarded.
+                        if first_error is None:
+                            first_error = exc
+                            for pending_fut in not_done:
+                                pending_fut.cancel()
+                        continue
+                    if self.cache is not None:
+                        self.cache.put(spec, row)
+                    self._emit(spec, " [done]")
+                    self._fill(rows, idxs, row)
+        if first_error is not None:
+            raise first_error
+        return rows  # type: ignore[return-value]

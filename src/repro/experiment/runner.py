@@ -1,23 +1,143 @@
-"""Sweep runner: strategies × compression ratios × seeds → ResultSet.
+"""Sweep expansion + execution: strategies × compressions × seeds → ResultSet.
 
 This is the experiment matrix behind Figures 6-18: the paper recommends at
 least 5 operating points spanning {2,4,8,16,32} (§6), three seeds for CIFAR
 (Appendix C.1), and identical everything-else across strategies.
+
+The matrix is split into three layers:
+
+1. :func:`expand_sweep` — a pure grid expander producing a deterministic,
+   ordered ``list[ExperimentSpec]`` (each content-addressable via
+   :func:`~repro.experiment.cache.spec_hash`).  Baseline cells
+   (compression ≤ 1) are strategy-independent, so by default exactly one
+   baseline spec is emitted per seed, no matter how many strategies there
+   are or how many duplicate ≤1 entries ``compressions`` contains.
+2. Executors (:mod:`repro.experiment.executor`) — run the specs serially or
+   across processes, optionally backed by the on-disk
+   :class:`~repro.experiment.cache.ResultCache`.
+3. :func:`assemble_results` — zip specs and rows back into a
+   :class:`ResultSet`, replicating each deduped baseline row once per
+   strategy so downstream filters see the full matrix.
+
+:func:`run_sweep` is the thin compatibility wrapper gluing the three
+together; ``python -m repro.experiment.sweep`` is the CLI equivalent with
+parallelism and sharding flags.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from .cache import ResultCache
 from .config import TrainConfig
-from .prune import ExperimentSpec, PruningExperiment
+from .executor import SerialExecutor
+from .prune import ExperimentSpec
 from .results import PruningResult, ResultSet
 
-__all__ = ["run_sweep", "PAPER_COMPRESSIONS"]
+__all__ = [
+    "expand_sweep",
+    "assemble_results",
+    "run_sweep",
+    "PAPER_COMPRESSIONS",
+    "BASELINE_STRATEGY",
+]
 
 #: §6's recommended operating points (plus the unpruned control at 1).
 PAPER_COMPRESSIONS: Sequence[float] = (1, 2, 4, 8, 16, 32)
+
+#: sentinel strategy for deduped baseline specs (compression 1 never prunes,
+#: so the strategy is irrelevant at execution time).  A fixed sentinel —
+#: rather than ``strategies[0]`` — keeps the baseline's spec hash independent
+#: of the sweep's strategy list, so sweeps over different strategy sets share
+#: cached baseline cells.
+BASELINE_STRATEGY = "__baseline__"
+
+
+def expand_sweep(
+    model: str,
+    dataset: str,
+    strategies: Sequence[str],
+    compressions: Sequence[float] = PAPER_COMPRESSIONS,
+    seeds: Sequence[int] = (0, 1, 2),
+    model_kwargs: Optional[Dict] = None,
+    dataset_kwargs: Optional[Dict] = None,
+    pretrain: Optional[TrainConfig] = None,
+    finetune: Optional[TrainConfig] = None,
+    pretrain_seed: int = 0,
+    dedupe_baselines: bool = True,
+) -> List[ExperimentSpec]:
+    """Expand the experiment grid into an ordered list of specs.
+
+    Pure function of its arguments: no I/O, no execution.  Order is
+    seed-major, then ``compressions`` in the given order, then strategies —
+    matching the historical ``run_sweep`` execution order.
+
+    With ``dedupe_baselines`` (default), every compression ≤ 1 entry
+    collapses to a single per-seed baseline spec at compression 1.0 with
+    :data:`BASELINE_STRATEGY` as placeholder strategy (no pruning happens,
+    so the strategy is irrelevant); duplicate ≤1 entries in ``compressions``
+    are dropped rather than re-run.  :func:`assemble_results` later
+    replicates each baseline row across strategies.
+    """
+    if not strategies:
+        raise ValueError("strategies must be non-empty")
+    base = ExperimentSpec(
+        model=model,
+        dataset=dataset,
+        strategy=strategies[0],
+        compression=1.0,
+        model_kwargs=model_kwargs or {},
+        dataset_kwargs=dataset_kwargs or {},
+        pretrain_seed=pretrain_seed,
+    )
+    if pretrain is not None:
+        base.pretrain = pretrain
+    if finetune is not None:
+        base.finetune = finetune
+
+    specs: List[ExperimentSpec] = []
+    for seed in seeds:
+        baseline_emitted = False
+        for compression in compressions:
+            if compression <= 1.0 and dedupe_baselines:
+                if not baseline_emitted:
+                    specs.append(
+                        replace(
+                            base, strategy=BASELINE_STRATEGY, compression=1.0, seed=seed
+                        )
+                    )
+                    baseline_emitted = True
+                continue
+            for strat in strategies:
+                specs.append(
+                    replace(base, strategy=strat, compression=float(compression), seed=seed)
+                )
+    return specs
+
+
+def assemble_results(
+    specs: Sequence[ExperimentSpec],
+    rows: Sequence[PruningResult],
+    strategies: Sequence[str],
+    replicate_baselines: bool = True,
+) -> ResultSet:
+    """Zip executed rows back into a :class:`ResultSet`.
+
+    When ``replicate_baselines`` (matching ``expand_sweep``'s dedup), each
+    baseline row (compression ≤ 1) is copied once per strategy so the
+    ResultSet contains the full strategy × compression × seed matrix.
+    """
+    results = ResultSet()
+    for spec, row in zip(specs, rows):
+        if spec.compression <= 1.0 and replicate_baselines:
+            for strat in strategies:
+                clone = PruningResult.from_dict(row.to_dict())
+                clone.strategy = strat
+                results.add(clone)
+        else:
+            results.add(row)
+    return results
 
 
 def run_sweep(
@@ -33,48 +153,44 @@ def run_sweep(
     pretrain_seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
     skip_baseline_duplicates: bool = True,
+    executor=None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultSet:
     """Run the full experiment matrix and collect every result.
 
-    ``skip_baseline_duplicates`` runs compression=1 only once per seed (it is
-    strategy-independent: no pruning happens) and replicates the row per
-    strategy, saving redundant evaluations.
+    Compatibility wrapper over ``expand_sweep`` → executor →
+    ``assemble_results``.  ``skip_baseline_duplicates`` runs compression=1
+    only once per seed (it is strategy-independent: no pruning happens) and
+    replicates the row per strategy, saving redundant evaluations.
+
+    ``executor`` may be any object with ``run(specs) -> list[PruningResult]``
+    (e.g. :class:`~repro.experiment.executor.ParallelExecutor`); default is a
+    :class:`~repro.experiment.executor.SerialExecutor` wired to ``progress``
+    and ``cache``.  Pass a :class:`ResultCache` to skip already-executed
+    cells and to persist new ones for future sweeps.  ``cache`` only applies
+    to the default executor — an explicitly passed executor owns its cache
+    wiring, so combining the two is rejected rather than silently dropped.
     """
-    base = ExperimentSpec(
+    specs = expand_sweep(
         model=model,
         dataset=dataset,
-        strategy=strategies[0],
-        compression=1.0,
-        model_kwargs=model_kwargs or {},
-        dataset_kwargs=dataset_kwargs or {},
+        strategies=strategies,
+        compressions=compressions,
+        seeds=seeds,
+        model_kwargs=model_kwargs,
+        dataset_kwargs=dataset_kwargs,
+        pretrain=pretrain,
+        finetune=finetune,
         pretrain_seed=pretrain_seed,
+        dedupe_baselines=skip_baseline_duplicates,
     )
-    if pretrain is not None:
-        base.pretrain = pretrain
-    if finetune is not None:
-        base.finetune = finetune
-
-    results = ResultSet()
-    for seed in seeds:
-        baseline_row: Optional[PruningResult] = None
-        for compression in compressions:
-            if compression <= 1.0 and skip_baseline_duplicates:
-                spec = replace(base, strategy=strategies[0], compression=1.0, seed=seed)
-                if progress:
-                    progress(f"[seed {seed}] baseline (compression 1)")
-                baseline_row = PruningExperiment(spec).run()
-                for strat in strategies:
-                    row = PruningResult.from_dict(baseline_row.to_dict())
-                    row.strategy = strat
-                    results.add(row)
-                continue
-            for strat in strategies:
-                spec = replace(
-                    base, strategy=strat, compression=float(compression), seed=seed
-                )
-                if progress:
-                    progress(
-                        f"[seed {seed}] {strat} @ {compression}x"
-                    )
-                results.add(PruningExperiment(spec).run())
-    return results
+    if executor is None:
+        executor = SerialExecutor(cache=cache, progress=progress)
+    elif cache is not None:
+        raise ValueError(
+            "pass cache either to run_sweep or to the executor, not both"
+        )
+    rows = executor.run(specs)
+    return assemble_results(
+        specs, rows, strategies, replicate_baselines=skip_baseline_duplicates
+    )

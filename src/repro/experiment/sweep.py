@@ -1,0 +1,145 @@
+"""Command-line sweep driver: expand → (shard) → execute → save.
+
+Runs an experiment grid through the cached executor layer from a shell,
+with parallel fan-out and multi-machine sharding.  Usage::
+
+    PYTHONPATH=src python -m repro.experiment.sweep \\
+        --model lenet-5 --dataset cifar10 \\
+        --strategies global_weight,random \\
+        --compressions 1,2,4 --seeds 0,1 \\
+        --model-kwargs '{"input_size": 16, "in_channels": 3}' \\
+        --dataset-kwargs '{"n_train": 512, "n_val": 192, "size": 16}' \\
+        --pretrain-epochs 4 --finetune-epochs 2 \\
+        --workers 4 --out artifacts/results/my_sweep.json
+
+Splitting one grid across machines (cells land in the shared result cache;
+the final merge run completes from cache hits alone)::
+
+    machine A:  ... --shard 0/2
+    machine B:  ... --shard 1/2
+    afterwards: ...              # no --shard: assembles the full ResultSet
+
+``--workers 1`` (the default) runs serially; ``--workers 0`` means "all
+cores".  ``--no-cache`` forces every cell to re-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .cache import ResultCache
+from .config import OptimizerConfig, TrainConfig
+from .executor import executor_for, shard_specs
+from .runner import PAPER_COMPRESSIONS, assemble_results, expand_sweep
+
+__all__ = ["build_parser", "main"]
+
+
+def _csv(text: str) -> List[str]:
+    return [t for t in (s.strip() for s in text.split(",")) if t]
+
+
+def _parse_shard(text: str):
+    try:
+        index, total = text.split("/")
+        return int(index), int(total)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--shard must look like 'i/n' (e.g. 0/4), got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiment.sweep",
+        description="Run a pruning experiment grid with caching and parallelism.",
+    )
+    p.add_argument("--model", required=True, help="model registry name, e.g. resnet-20")
+    p.add_argument("--dataset", required=True, help="dataset registry name, e.g. cifar10")
+    p.add_argument("--strategies", required=True, type=_csv,
+                   help="comma-separated strategy names")
+    p.add_argument("--compressions", type=lambda s: [float(c) for c in _csv(s)],
+                   default=list(PAPER_COMPRESSIONS),
+                   help="comma-separated targets (default: 1,2,4,8,16,32)")
+    p.add_argument("--seeds", type=lambda s: [int(c) for c in _csv(s)],
+                   default=[0, 1, 2], help="comma-separated seeds (default: 0,1,2)")
+    p.add_argument("--model-kwargs", type=json.loads, default={},
+                   help="JSON dict forwarded to the model constructor")
+    p.add_argument("--dataset-kwargs", type=json.loads, default={},
+                   help="JSON dict forwarded to the dataset builder")
+    p.add_argument("--pretrain-epochs", type=int, default=None,
+                   help="override pretraining epochs (default: spec default)")
+    p.add_argument("--finetune-epochs", type=int, default=None,
+                   help="override fine-tuning epochs (default: spec default)")
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--pretrain-seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes; 1 = serial, 0 = all cores")
+    p.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
+                   help="run only round-robin shard I of N (0-based)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache entirely")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache root (default: artifacts/results/cache)")
+    p.add_argument("--out", default=None,
+                   help="write the assembled ResultSet JSON here")
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    return p
+
+
+def _train_config(epochs: Optional[int], batch_size: int, lr: float) -> Optional[TrainConfig]:
+    if epochs is None:
+        return None
+    return TrainConfig(
+        epochs=epochs,
+        batch_size=batch_size,
+        optimizer=OptimizerConfig("adam", lr),
+        early_stop_patience=None,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    specs = expand_sweep(
+        model=args.model,
+        dataset=args.dataset,
+        strategies=args.strategies,
+        compressions=args.compressions,
+        seeds=args.seeds,
+        model_kwargs=args.model_kwargs,
+        dataset_kwargs=args.dataset_kwargs,
+        pretrain=_train_config(args.pretrain_epochs, args.batch_size, 2e-3),
+        finetune=_train_config(args.finetune_epochs, args.batch_size, 3e-4),
+        pretrain_seed=args.pretrain_seed,
+    )
+    if args.shard is not None:
+        index, total = args.shard
+        specs = shard_specs(specs, index, total)
+
+    progress = None if args.quiet else lambda msg: print(f"  {msg}", flush=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = executor_for(args.workers, cache=cache, progress=progress)
+
+    print(f"{len(specs)} spec(s) to execute "
+          f"({'serial' if args.workers == 1 else f'workers={executor.workers}'})",
+          flush=True)
+    rows = executor.run(specs)
+    results = assemble_results(specs, rows, args.strategies)
+
+    if args.out:
+        results.save(args.out)
+        print(f"wrote {len(results)} rows to {args.out}")
+    else:
+        for r in results:
+            print(f"{r.strategy:16s} c={r.compression:<5g} seed={r.seed} "
+                  f"top1={r.top1:.3f} (Δ{r.delta_top1:+.3f}) "
+                  f"actual={r.actual_compression:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..nn import Module
-from ..utils import artifacts_dir
+from ..utils import artifacts_dir, atomic_write_text, atomic_writer
 
 __all__ = ["pretrained_key", "load_checkpoint", "save_checkpoint", "get_pretrained_state"]
 
@@ -56,11 +57,22 @@ def _path_for(key: str) -> Path:
 
 
 def save_checkpoint(key: str, state: Dict[str, np.ndarray], meta: Optional[Dict] = None) -> Path:
-    """Persist a state dict (and JSON metadata sidecar) under ``key``."""
+    """Persist a state dict (and JSON metadata sidecar) under ``key``.
+
+    Writes are atomic (temp file in the same directory + ``os.replace``), so
+    parallel sweep workers racing to cache the same checkpoint can never
+    expose a torn ``.npz`` to a concurrent :func:`load_checkpoint`; the last
+    writer wins with byte-identical content because pretraining is
+    deterministic in the key's configuration.
+    """
     path = _path_for(key)
-    np.savez_compressed(path, **state)
+    with atomic_writer(path) as tmp:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **state)
     if meta is not None:
-        path.with_suffix(".json").write_text(json.dumps(meta, indent=2, default=str))
+        atomic_write_text(
+            path.with_suffix(".json"), json.dumps(meta, indent=2, default=str)
+        )
     return path
 
 
@@ -69,8 +81,14 @@ def load_checkpoint(key: str) -> Optional[Dict[str, np.ndarray]]:
     path = _path_for(key)
     if not path.exists():
         return None
-    with np.load(path) as data:
-        return {name: data[name] for name in data.files}
+    try:
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+    # Torn/corrupt files (crashed pre-atomic writer, disk-full truncation):
+    # np.load raises BadZipFile for truncated archives and EOFError for
+    # zero-byte files, besides the OSError/ValueError cases.
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+        return None
 
 
 def get_pretrained_state(

@@ -114,9 +114,15 @@ class Pruner:
         return self.registry
 
     def actual_compression(self) -> float:
-        """Whole-model compression implied by the current masks."""
+        """Whole-model compression implied by the current masks.
+
+        Returns ``inf`` when the masks prune every parameter (reachable by
+        masking all tensors to zero) rather than dividing by zero.
+        """
         total = self.total_params()
         masked_total = self.registry.total_masked_size()
         kept = self.registry.total_kept()
         nonzero = total - masked_total + kept
+        if nonzero <= 0:
+            return float("inf")
         return total / nonzero

@@ -1,6 +1,12 @@
 """Shared utilities: BLAS thread control, artifact cache paths."""
 
 from .threads import configure_blas_threads_from_env, set_blas_threads
-from .cache import artifacts_dir
+from .cache import artifacts_dir, atomic_write_text, atomic_writer
 
-__all__ = ["configure_blas_threads_from_env", "set_blas_threads", "artifacts_dir"]
+__all__ = [
+    "configure_blas_threads_from_env",
+    "set_blas_threads",
+    "artifacts_dir",
+    "atomic_writer",
+    "atomic_write_text",
+]

@@ -10,9 +10,10 @@ methods from *different* initial models is a classic pitfall.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["artifacts_dir"]
+__all__ = ["artifacts_dir", "atomic_writer", "atomic_write_text"]
 
 
 def artifacts_dir(subdir: str = "") -> Path:
@@ -21,3 +22,29 @@ def artifacts_dir(subdir: str = "") -> Path:
     path = root / subdir if subdir else root
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+@contextmanager
+def atomic_writer(path: Path):
+    """Yield a temp path next to ``path``; rename over it on clean exit.
+
+    The write-then-``os.replace`` dance makes concurrent readers see either
+    the old complete file or the new complete file, never a torn one —
+    required for checkpoint/result stores shared by parallel sweep workers.
+    On an exception (or a crash) the target is untouched and the temp file
+    is cleaned up where possible.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    with atomic_writer(path) as tmp:
+        tmp.write_text(text)

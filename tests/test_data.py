@@ -104,6 +104,40 @@ class TestDataLoader:
         x, y = DataLoader(self._ds(), 6).one_batch()
         assert len(y) == 6
 
+    def test_one_batch_does_not_shift_epoch_stream(self):
+        """Regression: one_batch() used to consume a permutation from the
+        shared RNG, silently changing every subsequent epoch's batches."""
+        clean = DataLoader(self._ds(), 4, shuffle=True, seed=3)
+        probed = DataLoader(self._ds(), 4, shuffle=True, seed=3)
+        probed.one_batch()
+        for epoch in range(3):
+            probed.one_batch()  # interleave probes between epochs too
+            for (xc, yc), (xp, yp) in zip(clean, probed):
+                np.testing.assert_array_equal(yc, yp)
+                np.testing.assert_array_equal(xc, xp)
+
+    def test_one_batch_is_deterministic(self):
+        a = DataLoader(self._ds(), 6, shuffle=True, seed=5)
+        b = DataLoader(self._ds(), 6, shuffle=True, seed=5)
+        xa, ya = a.one_batch()
+        a.one_batch()  # further calls don't drift either
+        xa2, ya2 = a.one_batch()
+        xb, yb = b.one_batch()
+        np.testing.assert_array_equal(ya, yb)
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, ya2)
+        np.testing.assert_array_equal(xa, xa2)
+
+    def test_one_batch_transform_rng_does_not_leak(self):
+        """Stochastic transforms in one_batch() draw from the forked stream,
+        leaving the epoch-stream transform RNG untouched."""
+        noise = lambda b, rng: b + rng.standard_normal(b.shape)
+        clean = DataLoader(self._ds(), 4, shuffle=True, seed=7, transform=noise)
+        probed = DataLoader(self._ds(), 4, shuffle=True, seed=7, transform=noise)
+        probed.one_batch()
+        for (xc, _), (xp, _) in zip(clean, probed):
+            np.testing.assert_array_equal(xc, xp)
+
     def test_batch_size_validation(self):
         with pytest.raises(ValueError):
             DataLoader(self._ds(), batch_size=0)

@@ -1,0 +1,457 @@
+"""Spec expansion, result cache, and executor tests.
+
+Fast tests cover the pure layers (expansion, hashing, cache I/O) and the
+serial executor on a micro-sweep; multi-process equivalence tests are marked
+``slow`` and excluded from the tier-1 suite (run with ``-m slow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiment import (
+    OptimizerConfig,
+    ParallelExecutor,
+    PruningExperiment,
+    ResultCache,
+    SerialExecutor,
+    TrainConfig,
+    assemble_results,
+    expand_sweep,
+    run_sweep,
+    shard_specs,
+    spec_hash,
+)
+from repro.experiment.results import PruningResult
+
+
+def tiny_train(epochs=1):
+    return TrainConfig(
+        epochs=epochs,
+        batch_size=32,
+        optimizer=OptimizerConfig("adam", 2e-3),
+        early_stop_patience=None,
+    )
+
+
+def tiny_specs(strategies=("global_weight",), compressions=(1, 2), seeds=(0,)):
+    """A genuinely tiny but real grid: MLP on an 8px synthetic CIFAR."""
+    return expand_sweep(
+        model="lenet-300-100",
+        dataset="cifar10",
+        strategies=list(strategies),
+        compressions=list(compressions),
+        seeds=list(seeds),
+        model_kwargs=dict(input_size=8, in_channels=3),
+        dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+        pretrain=tiny_train(),
+        finetune=tiny_train(),
+    )
+
+
+class TestSpecHash:
+    def test_deterministic(self):
+        a, b = tiny_specs(), tiny_specs()
+        assert [spec_hash(s) for s in a] == [spec_hash(s) for s in b]
+
+    def test_unique_within_grid(self):
+        specs = tiny_specs(("global_weight", "random"), (1, 2, 4), (0, 1))
+        hashes = [spec_hash(s) for s in specs]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_sensitive_to_every_axis(self):
+        from dataclasses import replace
+
+        base = tiny_specs()[1]  # the compression-2 cell
+        for change in (
+            dict(strategy="random"),
+            dict(compression=4.0),
+            dict(seed=9),
+            dict(model="lenet-5"),
+            dict(dataset="mnist"),
+            dict(pretrain_seed=1),
+            dict(finetune=tiny_train(epochs=2)),
+            dict(model_kwargs=dict(input_size=8, in_channels=3, hidden=7)),
+        ):
+            assert spec_hash(replace(base, **change)) != spec_hash(base)
+
+    def test_insensitive_to_kwargs_key_order(self):
+        from dataclasses import replace
+
+        base = tiny_specs()[0]
+        flipped = replace(
+            base, model_kwargs=dict(in_channels=3, input_size=8)
+        )
+        assert spec_hash(flipped) == spec_hash(base)
+
+
+class TestExpandSweep:
+    def test_grid_shape_and_order(self):
+        specs = tiny_specs(("global_weight", "random"), (1, 2, 4), (0, 1))
+        # per seed: 1 deduped baseline + 2 compressions x 2 strategies
+        assert len(specs) == 2 * (1 + 4)
+        assert [s.seed for s in specs[:5]] == [0] * 5
+        assert specs[0].compression == 1.0
+        assert [(s.compression, s.strategy) for s in specs[1:5]] == [
+            (2.0, "global_weight"), (2.0, "random"),
+            (4.0, "global_weight"), (4.0, "random"),
+        ]
+
+    def test_duplicate_baseline_entries_deduped(self):
+        """Regression: each duplicate compression<=1 entry used to re-run
+        (and re-emit) the baseline."""
+        once = tiny_specs(("global_weight", "random"), (1, 2), (0,))
+        duped = tiny_specs(("global_weight", "random"), (1, 0.5, 1.0, 2), (0,))
+        assert len(duped) == len(once) == 3
+        assert [spec_hash(s) for s in duped] == [spec_hash(s) for s in once]
+
+    def test_baseline_once_per_seed(self):
+        from repro.experiment.runner import BASELINE_STRATEGY
+
+        specs = tiny_specs(("global_weight", "random"), (1, 2), (0, 1, 2))
+        baselines = [s for s in specs if s.compression <= 1.0]
+        assert len(baselines) == 3
+        assert {s.strategy for s in baselines} == {BASELINE_STRATEGY}
+
+    def test_baseline_hash_independent_of_strategy_list(self):
+        """Baseline cells are shared across sweeps with different strategy
+        sets: same hash → same cache entry."""
+        a = tiny_specs(("global_weight", "random"), (1,), (0,))
+        b = tiny_specs(("random",), (1,), (0,))
+        assert spec_hash(a[0]) == spec_hash(b[0])
+
+    def test_no_dedupe_keeps_per_strategy_baselines(self):
+        specs = expand_sweep(
+            model="lenet-300-100",
+            dataset="cifar10",
+            strategies=["global_weight", "random"],
+            compressions=[1, 2],
+            seeds=[0],
+            dedupe_baselines=False,
+        )
+        assert len(specs) == 4
+        assert [s.strategy for s in specs if s.compression <= 1.0] == [
+            "global_weight", "random",
+        ]
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError):
+            expand_sweep(model="m", dataset="d", strategies=[])
+
+
+class TestAssembleResults:
+    def _row(self, spec):
+        return PruningResult(
+            model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+            compression=spec.compression, seed=spec.seed, top1=0.5,
+        )
+
+    def test_baseline_replicated_per_strategy(self):
+        strategies = ["global_weight", "random"]
+        specs = tiny_specs(strategies, (1, 2), (0,))
+        rs = assemble_results(specs, [self._row(s) for s in specs], strategies)
+        assert len(rs) == 4  # 2 baseline clones + 2 pruned rows
+        assert rs.filter(compression=1.0).strategies() == strategies
+        clones = rs.filter(compression=1.0).results
+        assert clones[0] is not clones[1]
+
+    def test_no_replication_passthrough(self):
+        specs = expand_sweep(
+            model="lenet-300-100",
+            dataset="cifar10",
+            strategies=["global_weight"],
+            compressions=[1, 2],
+            seeds=[0],
+            dedupe_baselines=False,
+        )
+        rows = [self._row(s) for s in specs]
+        rs = assemble_results(specs, rows, ["global_weight"], replicate_baselines=False)
+        assert [r.strategy for r in rs] == ["global_weight"] * 2
+        assert rs.results[0] is rows[0]
+
+
+class TestShardSpecs:
+    def test_shards_partition_the_grid(self):
+        specs = tiny_specs(("global_weight", "random"), (1, 2, 4), (0, 1))
+        shards = [shard_specs(specs, i, 3) for i in range(3)]
+        merged = [spec_hash(s) for shard in shards for s in shard]
+        assert sorted(merged) == sorted(spec_hash(s) for s in specs)
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_single_shard_is_identity(self):
+        specs = tiny_specs()
+        assert shard_specs(specs, 0, 1) == list(specs)
+
+    def test_invalid_shards_rejected(self):
+        specs = tiny_specs()
+        with pytest.raises(ValueError):
+            shard_specs(specs, 2, 2)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0, 0)
+        with pytest.raises(ValueError):
+            shard_specs(specs, -1, 2)
+
+
+class TestResultCache:
+    def _row(self):
+        return PruningResult(
+            model="lenet-300-100", dataset="cifar10", strategy="global_weight",
+            compression=2.0, seed=0, top1=0.625, actual_compression=1.98,
+            extra={"note": "x"},
+        )
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_specs()[0]
+        assert cache.get(spec) is None
+        assert not cache.contains(spec)
+        assert len(cache) == 0
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_specs()[1]
+        row = self._row()
+        path = cache.put(spec, row)
+        assert path.exists() and path.stem == spec_hash(spec)
+        again = cache.get(spec)
+        assert again is not row
+        assert again.to_dict() == row.to_dict()
+        assert cache.contains(spec) and spec in cache
+        assert len(cache) == 1
+
+    def test_hit_is_keyed_by_content(self, tmp_path):
+        from dataclasses import replace
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_specs()[1]
+        cache.put(spec, self._row())
+        assert cache.get(replace(spec, seed=5)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_specs()[0]
+        cache.put(spec, self._row())
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = tiny_specs(("global_weight",), (1, 2, 4), (0,))
+        for s in specs:
+            cache.put(s, self._row())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+def _count_runs(monkeypatch):
+    """Patch PruningExperiment.run to count invocations (still executing)."""
+    calls = []
+    original = PruningExperiment.run
+
+    def counting(self):
+        calls.append(self.spec)
+        return original(self)
+
+    monkeypatch.setattr(PruningExperiment, "run", counting)
+    return calls
+
+
+class TestSerialExecutor:
+    def test_rows_align_with_specs(self, tmp_path):
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        rows = SerialExecutor(cache=ResultCache(tmp_path / "c")).run(specs)
+        assert len(rows) == 2
+        for spec, row in zip(specs, rows):
+            assert (row.strategy, row.compression, row.seed) == (
+                spec.strategy, spec.compression, spec.seed
+            )
+
+    def test_second_run_is_all_cache_hits(self, tmp_path, monkeypatch):
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        cache = ResultCache(tmp_path / "c")
+        first = SerialExecutor(cache=cache).run(specs)
+
+        def boom(self):
+            raise AssertionError("cache hit expected — experiment re-ran")
+
+        monkeypatch.setattr(PruningExperiment, "run", boom)
+        messages = []
+        second = SerialExecutor(cache=cache, progress=messages.append).run(specs)
+        assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+        assert all(m.endswith("[cache hit]") for m in messages)
+
+    def test_duplicate_specs_run_once(self, tmp_path, monkeypatch):
+        calls = _count_runs(monkeypatch)
+        specs = tiny_specs(("global_weight",), (2,), (0,))
+        doubled = specs + [specs[0]]
+        rows = SerialExecutor(cache=ResultCache(tmp_path / "c")).run(doubled)
+        assert len(calls) == 1
+        assert rows[0].to_dict() == rows[1].to_dict()
+        assert rows[0] is not rows[1]
+
+    def test_uncached_executor_still_works(self):
+        specs = tiny_specs(("global_weight",), (2,), (0,))
+        rows = SerialExecutor().run(specs)
+        assert rows[0].actual_compression == pytest.approx(2.0, rel=0.03)
+
+
+class TestExecutorFor:
+    def test_worker_count_mapping(self):
+        from repro.experiment import executor_for
+
+        assert isinstance(executor_for(1), SerialExecutor)
+        assert isinstance(executor_for(2), ParallelExecutor)
+        assert executor_for(2).workers == 2
+        assert executor_for(0).workers >= 1  # all cores
+        assert executor_for(None).workers >= 1
+
+    def test_negative_workers_rejected(self):
+        from repro.experiment import executor_for
+
+        with pytest.raises(ValueError):
+            executor_for(-1)
+
+
+class TestRunSweepWrapper:
+    def test_matrix_and_baseline_replication(self, tmp_path):
+        results = run_sweep(
+            model="lenet-300-100",
+            dataset="cifar10",
+            strategies=["global_weight", "random"],
+            compressions=[1, 1, 2],  # duplicate baseline entry on purpose
+            seeds=[0],
+            model_kwargs=dict(input_size=8, in_channels=3),
+            dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+            pretrain=tiny_train(),
+            finetune=tiny_train(),
+            cache=ResultCache(tmp_path / "c"),
+        )
+        # 2 baseline clones + 2 strategies @ 2x; the duplicate "1" adds nothing
+        assert len(results) == 4
+        b = results.filter(compression=1.0)
+        assert b.strategies() == ["global_weight", "random"]
+        assert b.results[0].top1 == b.results[1].top1
+
+    def test_explicit_executor_plus_cache_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep(
+                model="lenet-300-100",
+                dataset="cifar10",
+                strategies=["global_weight"],
+                compressions=[1, 2],
+                seeds=[0],
+                executor=SerialExecutor(),
+                cache=ResultCache(tmp_path / "c"),
+            )
+
+
+@pytest.mark.slow
+class TestParallelExecutor:
+    GRID = dict(
+        strategies=("global_weight", "random"),
+        compressions=(1, 2, 4),
+        seeds=(0, 1),
+    )
+
+    def test_parallel_matches_serial_row_for_row(self, tmp_path):
+        """Acceptance: 2 strategies x 3 compressions x 2 seeds, identical
+        ResultSet rows in both modes; second parallel invocation completes
+        purely from cache."""
+        specs = tiny_specs(**self.GRID)
+        serial_rows = SerialExecutor(cache=ResultCache(tmp_path / "serial")).run(specs)
+        par_cache = ResultCache(tmp_path / "parallel")
+        parallel_rows = ParallelExecutor(workers=2, cache=par_cache).run(specs)
+        assert [r.to_dict() for r in parallel_rows] == [
+            r.to_dict() for r in serial_rows
+        ]
+
+        strategies = list(self.GRID["strategies"])
+        rs_serial = assemble_results(specs, serial_rows, strategies)
+        rs_parallel = assemble_results(specs, parallel_rows, strategies)
+        assert [r.to_dict() for r in rs_parallel] == [
+            r.to_dict() for r in rs_serial
+        ]
+
+        # second invocation: all hits, no experiment executes
+        import repro.experiment.prune as prune_mod
+
+        def boom(self):
+            raise AssertionError("cache hit expected — experiment re-ran")
+
+        original = prune_mod.PruningExperiment.run
+        prune_mod.PruningExperiment.run = boom
+        try:
+            again = ParallelExecutor(workers=2, cache=par_cache).run(specs)
+        finally:
+            prune_mod.PruningExperiment.run = original
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in parallel_rows]
+
+    def test_partial_cache_resume(self, tmp_path):
+        """Crash-resume: pre-populate half the cells, parallel run fills in
+        only the rest and the assembled rows match an uncached serial run."""
+        specs = tiny_specs(**self.GRID)
+        cache = ResultCache(tmp_path / "resume")
+        half = specs[: len(specs) // 2]
+        for spec, row in zip(half, SerialExecutor().run(half)):
+            cache.put(spec, row)
+        rows = ParallelExecutor(workers=2, cache=cache).run(specs)
+        reference = SerialExecutor().run(specs)
+        assert [r.to_dict() for r in rows] == [r.to_dict() for r in reference]
+        assert len(cache) == len(specs)
+
+    def test_failed_cell_keeps_completed_results_cached(self, tmp_path):
+        """One bad spec must not discard the good cells' work: the executor
+        re-raises, but everything that finished is in the cache and a rerun
+        without the bad spec completes from hits + the remainder."""
+        from dataclasses import replace
+
+        good = tiny_specs(**self.GRID)
+        bad = replace(good[-1], strategy="not_a_strategy", compression=16.0)
+        cache = ResultCache(tmp_path / "fail")
+        with pytest.raises(KeyError, match="not_a_strategy"):
+            ParallelExecutor(workers=2, cache=cache).run(good + [bad])
+        assert len(cache) >= 1  # completed cells were persisted, not dropped
+        rows = ParallelExecutor(workers=2, cache=cache).run(good)
+        reference = SerialExecutor(cache=ResultCache(tmp_path / "ref")).run(good)
+        assert [r.to_dict() for r in rows] == [r.to_dict() for r in reference]
+
+    def test_sharded_runs_merge_via_cache(self, tmp_path):
+        specs = tiny_specs(**self.GRID)
+        cache = ResultCache(tmp_path / "shards")
+        for i in range(2):
+            ParallelExecutor(workers=2, cache=cache).run(shard_specs(specs, i, 2))
+        assert len(cache) == len(specs)
+        # merge invocation: everything is a hit
+        merged = SerialExecutor(cache=cache, progress=None).run(specs)
+        reference = SerialExecutor(cache=ResultCache(tmp_path / "ref")).run(specs)
+        assert [r.to_dict() for r in merged] == [r.to_dict() for r in reference]
+
+
+@pytest.mark.slow
+class TestSweepCLI:
+    def test_cli_runs_and_caches(self, tmp_path, capsys):
+        from repro.experiment.sweep import main
+
+        out = tmp_path / "rows.json"
+        argv = [
+            "--model", "lenet-300-100", "--dataset", "cifar10",
+            "--strategies", "global_weight,random",
+            "--compressions", "1,2", "--seeds", "0",
+            "--model-kwargs", '{"input_size": 8, "in_channels": 3}',
+            "--dataset-kwargs", '{"n_train": 128, "n_val": 64, "size": 8, "noise": 0.5}',
+            "--pretrain-epochs", "1", "--finetune-epochs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        from repro.experiment import ResultSet
+
+        rows = ResultSet.load(out)
+        assert len(rows) == 4  # 2 baseline clones + 2 strategies @ 2x
+        assert rows.strategies() == ["global_weight", "random"]
+
+        # re-run: pure cache hits, identical output file contents
+        before = out.read_text()
+        assert main(argv + ["--workers", "2"]) == 0
+        assert out.read_text() == before
+        assert "[cache hit]" in capsys.readouterr().out

@@ -159,6 +159,16 @@ class TestFractionMath:
         reg = pruner.prune_to_fraction(0.5)
         assert reg.sparsity() == pytest.approx(0.5, abs=0.01)
 
+    def test_actual_compression_everything_pruned_is_inf(self):
+        """Regression: all-zero masks used to raise ZeroDivisionError."""
+        m = create_model("lenet-300-100", input_size=8, in_channels=1)
+        pruner = Pruner(m, GlobalMagWeight())
+        pruner.registry.update(
+            {name: np.zeros_like(p.data) for name, p in m.named_parameters()}
+        )
+        pruner.registry.apply()
+        assert pruner.actual_compression() == float("inf")
+
 
 class TestSchedules:
     def test_one_shot(self):
