@@ -10,9 +10,8 @@ import numpy as np
 
 from common import MODEL_KW, SCALE, _CIFAR_KW, cifar_ft_config, pretrain_config
 from repro.data import DataLoader
-from repro.experiment import PruningExperiment, ExperimentSpec, Trainer, build_dataset
+from repro.experiment import DATASETS, PruningExperiment, ExperimentSpec, Trainer
 from repro.metrics import evaluate
-from repro.models import create_model
 from repro.models.pretrained import get_pretrained_state
 from repro.pruning import GlobalMagWeight, Pruner, iterative_linear, one_shot, polynomial_decay
 
@@ -20,7 +19,7 @@ FINAL_COMPRESSION = 8.0
 
 
 def _run_schedule(schedule_name, targets):
-    dataset = build_dataset("cifar10", **_CIFAR_KW)
+    dataset = DATASETS.create("cifar10", **_CIFAR_KW)
     spec = ExperimentSpec(
         model="resnet-20", dataset="cifar10", strategy="global_weight",
         compression=FINAL_COMPRESSION, model_kwargs=MODEL_KW["resnet-20"],

@@ -15,9 +15,8 @@ import numpy as np
 
 from common import MODEL_KW, _CIFAR_KW, cifar_ft_config, pretrain_config
 from repro.data import DataLoader
-from repro.experiment import ExperimentSpec, PruningExperiment, Trainer, build_dataset
+from repro.experiment import DATASETS, ExperimentSpec, PruningExperiment, Trainer
 from repro.metrics import evaluate, theoretical_speedup
-from repro.models import create_model
 from repro.pruning import LayerFilterL1, LayerMagWeight, Pruner
 
 COMPRESSION = 4.0
@@ -39,7 +38,7 @@ def _filter_alignment(registry) -> float:
 
 
 def _run(strategy_cls):
-    dataset = build_dataset("cifar10", **_CIFAR_KW)
+    dataset = DATASETS.create("cifar10", **_CIFAR_KW)
     spec = ExperimentSpec(
         model="cifar-vgg", dataset="cifar10", strategy="global_weight",
         compression=COMPRESSION, model_kwargs=MODEL_KW["cifar-vgg"],

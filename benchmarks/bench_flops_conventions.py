@@ -3,7 +3,7 @@ across counting conventions (the paper's AlexNet example: 371 vs 724 vs
 1500 MFLOPs).  Demonstrated with explicit conventions on one model."""
 
 from repro.metrics import FlopsConvention, dense_flops
-from repro.models import create_model
+from repro.models import MODELS as MODEL_REGISTRY
 
 
 CONVENTIONS = {
@@ -15,7 +15,7 @@ CONVENTIONS = {
 
 #: AlexNet/LeNet-style FC-heavy nets show the largest convention spread —
 #: which is exactly the regime of the paper's AlexNet example.
-MODELS = {
+BENCH_MODELS = {
     "cifar-vgg (conv-heavy)": ("cifar-vgg", dict(width_scale=0.25, input_size=16), (3, 16, 16)),
     "lenet-5 (fc-heavy)": ("lenet-5", dict(input_size=28, in_channels=1), (1, 28, 28)),
 }
@@ -23,8 +23,8 @@ MODELS = {
 
 def _generate():
     out = {}
-    for label, (name, kw, shape) in MODELS.items():
-        model = create_model(name, **kw)
+    for label, (name, kw, shape) in BENCH_MODELS.items():
+        model = MODEL_REGISTRY.create(name, **kw)
         out[label] = {
             cname: dense_flops(model, shape, conv)
             for cname, conv in CONVENTIONS.items()

@@ -24,13 +24,13 @@ from repro.experiment import (
     PruningResult,
     ResultCache,
     ResultSet,
+    SweepConfig,
     TrainConfig,
     assemble_results,
     executor_for,
-    expand_sweep,
 )
-from repro.models import create_model
-from repro.pruning import GlobalMagWeight, Pruner, create_strategy
+from repro.models import MODELS
+from repro.pruning import GlobalMagWeight, Pruner
 from repro.utils import artifacts_dir
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
@@ -104,7 +104,7 @@ def imagenet_ft_config() -> TrainConfig:
 
 def reachable_compressions(model_name: str, compressions: Sequence[float]) -> List[float]:
     """Drop targets above what non-prunable tensors allow for this model."""
-    model = create_model(model_name, **MODEL_KW[model_name])
+    model = MODELS.create(model_name, **MODEL_KW[model_name])
     cap = Pruner(model, GlobalMagWeight()).achievable_compression()
     kept = [c for c in compressions if c < cap * 0.95]
     return kept
@@ -138,25 +138,28 @@ def cached_sweep(
     comps = reachable_compressions(model, compressions or COMPRESSIONS)
     ds_kw = _IMAGENET_KW if dataset == "imagenet" else _CIFAR_KW
     ft = imagenet_ft_config() if dataset == "imagenet" else cifar_ft_config()
-    strategies = list(strategies)
-    specs = expand_sweep(
+    config = SweepConfig(
         model=model,
         dataset=dataset,
-        strategies=strategies,
-        compressions=comps,
-        seeds=list(seeds if seeds is not None else SEEDS),
+        strategies=tuple(strategies),
+        compressions=tuple(comps),
+        seeds=tuple(seeds if seeds is not None else SEEDS),
         model_kwargs=MODEL_KW[model],
         dataset_kwargs=dict(ds_kw),
         pretrain=pretrain_config(pretrain_lr),
         finetune=ft,
         pretrain_seed=pretrain_seed,
     )
+    # the declarative sweep is saved next to the results: `python -m repro
+    # run <name>_<scale>.sweep.json` replays this bench's grid verbatim
+    config.save(path.with_suffix("").with_suffix(".sweep.json"))
+    specs = config.expand()
     executor = executor_for(
         int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
         cache=ResultCache(),
         progress=lambda msg: print(f"    {name}: {msg}", flush=True),
     )
-    results = assemble_results(specs, executor.run(specs), strategies)
+    results = assemble_results(specs, executor.run(specs), config.strategies)
     results.save(path)
     return results
 

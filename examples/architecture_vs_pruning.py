@@ -16,7 +16,7 @@ os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 from repro.data import DataLoader, SyntheticCIFAR10
 from repro.experiment import OptimizerConfig, TrainConfig, Trainer
 from repro.metrics import evaluate, nonzero_params, total_params
-from repro.models import create_model
+from repro.models import MODELS
 from repro.pruning import GlobalMagWeight, Pruner
 
 
@@ -32,13 +32,13 @@ def main() -> None:
 
     # (a) big VGG, pruned progressively
     print("training CIFAR-VGG (the 'big' architecture) ...")
-    vgg = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    vgg = MODELS.create("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
     Trainer(vgg, dataset, pre, seed=0).run()
     state = vgg.state_dict()
 
     rows = []
     for c in (1, 2, 4, 8, 16):
-        model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+        model = MODELS.create("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
         model.load_state_dict(state)
         if c > 1:
             registry = Pruner(model, GlobalMagWeight()).prune(c)
@@ -48,7 +48,7 @@ def main() -> None:
 
     # (b) an efficient architecture trained directly
     print("training MobileNet-small (the 'efficient' architecture) ...")
-    mobile = create_model("mobilenet-small", width_scale=0.5, seed=0)
+    mobile = MODELS.create("mobilenet-small", width_scale=0.5, seed=0)
     Trainer(mobile, dataset, pre, seed=0).run()
     rows.append(("MobileNet-small", nonzero_params(mobile),
                  evaluate(mobile, val)["top1"]))

@@ -8,18 +8,18 @@ import os
 
 os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 
-from repro.experiment import OptimizerConfig, TrainConfig, run_sweep
+from repro.experiment import OptimizerConfig, SweepConfig, TrainConfig, run_config
 from repro.meta import audit_results
 
 
 def run(label, strategies, compressions, seeds):
     print(f"\n=== {label} ===")
-    results = run_sweep(
+    config = SweepConfig(
         model="lenet-5",
         dataset="cifar10",
-        strategies=strategies,
-        compressions=compressions,
-        seeds=seeds,
+        strategies=tuple(strategies),
+        compressions=tuple(compressions),
+        seeds=tuple(seeds),
         model_kwargs=dict(input_size=16, in_channels=3),
         dataset_kwargs=dict(n_train=512, n_val=192, size=16, noise=0.45),
         pretrain=TrainConfig(epochs=4, batch_size=32,
@@ -29,6 +29,7 @@ def run(label, strategies, compressions, seeds):
                              optimizer=OptimizerConfig("adam", 3e-4),
                              early_stop_patience=None),
     )
+    results = run_config(config)
     for item in audit_results(results):
         print(f"  {item}")
 

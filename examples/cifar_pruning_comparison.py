@@ -19,31 +19,26 @@ os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 from repro.experiment import (
     OptimizerConfig,
     ResultCache,
+    SweepConfig,
     TrainConfig,
     aggregate_curve,
-    executor_for,
-    run_sweep,
+    run_config,
 )
 from repro.meta import audit_results
 from repro.plotting import curves_from_results, render_curves
 from repro.pruning import PAPER_LABELS
 
-STRATEGIES = ["global_weight", "layer_weight", "global_gradient",
-              "layer_gradient", "random"]
+STRATEGIES = ("global_weight", "layer_weight", "global_gradient",
+              "layer_gradient", "random")
 
 
 def main() -> None:
-    executor = executor_for(
-        int(os.environ.get("REPRO_SWEEP_WORKERS", "0")),
-        cache=ResultCache(),
-        progress=lambda msg: print(f"  {msg}"),
-    )
-    results = run_sweep(
+    config = SweepConfig(
         model="resnet-56",
         dataset="cifar10",
         strategies=STRATEGIES,
-        compressions=[1, 2, 4, 8, 16],
-        seeds=[0, 1],
+        compressions=(1, 2, 4, 8, 16),
+        seeds=(0, 1),
         model_kwargs=dict(width_scale=0.25),
         dataset_kwargs=dict(n_train=800, n_val=256, size=16, noise=0.5),
         pretrain=TrainConfig(epochs=6, batch_size=32,
@@ -52,7 +47,13 @@ def main() -> None:
         finetune=TrainConfig(epochs=2, batch_size=32,
                              optimizer=OptimizerConfig("adam", 3e-4),
                              early_stop_patience=3),
-        executor=executor,
+        executor="parallel",
+        workers=int(os.environ.get("REPRO_SWEEP_WORKERS", "0")),
+    )
+    results = run_config(
+        config,
+        cache=ResultCache(),
+        progress=lambda msg: print(f"  {msg}"),
     )
 
     curves = curves_from_results(list(results), labels=PAPER_LABELS)

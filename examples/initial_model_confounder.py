@@ -16,14 +16,14 @@ os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 from repro.data import DataLoader, SyntheticCIFAR10
 from repro.experiment import OptimizerConfig, TrainConfig, Trainer
 from repro.metrics import evaluate
-from repro.models import create_model
+from repro.models import MODELS
 from repro.pruning import GlobalMagWeight, LayerMagWeight, Pruner
 
 COMPRESSIONS = [1, 2, 4, 8, 16]
 
 
 def pretrain(dataset, lr: float):
-    model = create_model("resnet-20", width_scale=0.5, seed=0)
+    model = MODELS.create("resnet-20", width_scale=0.5, seed=0)
     cfg = TrainConfig(epochs=6, batch_size=32,
                       optimizer=OptimizerConfig("adam", lr),
                       early_stop_patience=None)
@@ -39,7 +39,7 @@ def curve(dataset, state, strategy_cls):
                      early_stop_patience=3)
     accs = []
     for c in COMPRESSIONS:
-        model = create_model("resnet-20", width_scale=0.5, seed=0)
+        model = MODELS.create("resnet-20", width_scale=0.5, seed=0)
         model.load_state_dict(state)
         if c > 1:
             pruner = Pruner(model, strategy_cls())

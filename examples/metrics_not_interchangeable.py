@@ -16,7 +16,7 @@ os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 from repro.data import SyntheticCIFAR10
 from repro.experiment import OptimizerConfig, TrainConfig, Trainer
 from repro.metrics import flops_by_layer, theoretical_speedup
-from repro.models import create_model
+from repro.models import MODELS
 from repro.pruning import GlobalMagWeight, LayerMagWeight, Pruner
 
 COMPRESSIONS = [2, 4, 8, 16]
@@ -24,7 +24,7 @@ COMPRESSIONS = [2, 4, 8, 16]
 
 def main() -> None:
     dataset = SyntheticCIFAR10(n_train=600, n_val=160, size=16, seed=0)
-    base = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    base = MODELS.create("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
     cfg = TrainConfig(epochs=4, batch_size=32,
                       optimizer=OptimizerConfig("adam", 2e-3),
                       early_stop_patience=None)
@@ -37,14 +37,14 @@ def main() -> None:
     for c in COMPRESSIONS:
         speedups = {}
         for name, cls in (("global", GlobalMagWeight), ("layer", LayerMagWeight)):
-            model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+            model = MODELS.create("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
             model.load_state_dict(state)
             Pruner(model, cls()).prune(c)
             speedups[name] = theoretical_speedup(model, shape)
         print(f"{c:>11d}x {speedups['global']:>14.2f}x {speedups['layer']:>13.2f}x")
 
     # Where do the FLOPs live?  Per-layer view at 8x global pruning.
-    model = create_model("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
+    model = MODELS.create("cifar-vgg", width_scale=0.25, input_size=16, seed=0)
     model.load_state_dict(state)
     Pruner(model, GlobalMagWeight()).prune(8)
     dense = flops_by_layer(model, shape)

@@ -1,73 +1,82 @@
-"""Quickstart: train a model, prune it, fine-tune, report paper-style metrics.
+"""Quickstart: describe a pruning sweep declaratively, run it, read results.
 
-Runs in about a minute on a laptop CPU:
+The whole experiment lives in one :class:`SweepConfig` — the "structured
+way" of identifying architectures, datasets and hyperparameters the paper
+recommends (§6).  The config round-trips losslessly through JSON, so the
+file this script writes can be replayed, diffed, or shipped to another
+machine:
 
     python examples/quickstart.py
+    python -m repro run artifacts/quickstart_sweep.json   # the CLI twin
+
+Runs in about a minute on a laptop CPU.
 """
 
 import os
 
 os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 
-from repro.data import DataLoader, SyntheticCIFAR10
-from repro.experiment import Trainer, TrainConfig, OptimizerConfig
-from repro.metrics import (
-    dense_flops,
-    effective_flops,
-    evaluate,
-    nonzero_params,
-    theoretical_speedup,
-    total_params,
+from repro.experiment import (
+    OptimizerConfig,
+    ResultCache,
+    SweepConfig,
+    TrainConfig,
+    aggregate_curve,
+    run_config,
 )
-from repro.models import create_model
-from repro.pruning import GlobalMagWeight, Pruner
+from repro.pruning import PAPER_LABELS
 
 
 def main() -> None:
-    # 1. Data + model.  SyntheticCIFAR10 is the offline CIFAR-10 surrogate.
-    dataset = SyntheticCIFAR10(n_train=1000, n_val=320, size=16, seed=0)
-    model = create_model("resnet-20", width_scale=0.5, seed=0)
-    input_shape = dataset.train.sample_shape
+    # 1. Describe the experiment: every component is a registry name
+    #    (`python -m repro ls` lists what's available), every axis explicit.
+    config = SweepConfig(
+        model="resnet-20",
+        model_kwargs=dict(width_scale=0.5),
+        dataset="cifar10",  # SyntheticCIFAR10, the offline CIFAR surrogate
+        dataset_kwargs=dict(n_train=1000, n_val=320, size=16),
+        strategies=("global_weight", "random"),
+        compressions=(1, 2, 4),
+        seeds=(0,),
+        pretrain=TrainConfig(epochs=6, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 2e-3),
+                             early_stop_patience=None),
+        finetune=TrainConfig(epochs=3, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 3e-4),
+                             early_stop_patience=3),
+        schedule="one_shot",  # the paper's own protocol (§2.3)
+    )
 
-    # 2. Train to convergence (Algorithm 1, line 2).
-    pretrain = TrainConfig(epochs=6, batch_size=32,
-                           optimizer=OptimizerConfig("adam", 2e-3),
-                           early_stop_patience=None)
-    print("pretraining ...")
-    Trainer(model, dataset, pretrain, seed=0).run()
+    # 2. Write it down.  The JSON file alone reproduces this run anywhere:
+    #    `python -m repro run artifacts/quickstart_sweep.json`.
+    path = config.save("artifacts/quickstart_sweep.json")
+    print(f"sweep config -> {path}")
+    assert SweepConfig.load(path) == config  # lossless round-trip
 
-    val_loader = DataLoader(dataset.val, batch_size=128,
-                            transform=dataset.eval_transform())
-    baseline = evaluate(model, val_loader)
-    print(f"baseline: top1={baseline['top1']:.3f} "
-          f"params={total_params(model):,} "
-          f"flops={dense_flops(model, input_shape)/1e6:.2f}M")
+    # 3. Run it.  Cells land in the content-addressed result cache, so
+    #    re-running (or the CLI twin above) costs nothing the second time.
+    results = run_config(
+        config,
+        cache=ResultCache(),
+        progress=lambda msg: print(f"  {msg}"),
+    )
 
-    # 3. Prune to 4x whole-model compression with Global Magnitude Pruning.
-    pruner = Pruner(model, GlobalMagWeight())
-    registry = pruner.prune(compression=4)
-    pruned = evaluate(model, val_loader)
-    print(f"after pruning to 4x: top1={pruned['top1']:.3f} "
-          f"(compression={pruner.actual_compression():.2f}x)")
+    # 4. Report the §6 recommended metrics: raw accuracy vs the unpruned
+    #    control, and BOTH compression ratio and theoretical speedup.
+    print("\n=== tradeoff curves (mean top-1 across seeds) ===")
+    for strategy in results.strategies():
+        rows = results.filter(strategy=strategy)
+        points = aggregate_curve(rows, x_attr="compression", y_attr="top1")
+        curve = "  ".join(f"{p.x:g}x:{p.mean:.3f}" for p in points)
+        print(f"{PAPER_LABELS.get(strategy, strategy):14s} {curve}")
 
-    # 4. Fine-tune with masks enforced (Appendix C.2 CIFAR recipe).
-    finetune = TrainConfig(epochs=3, batch_size=32,
-                           optimizer=OptimizerConfig("adam", 3e-4),
-                           early_stop_patience=3)
-    print("fine-tuning ...")
-    Trainer(model, dataset, finetune, seed=0, masks=registry).run()
-    registry.validate()
-
-    # 5. Report the §6 recommended metrics: BOTH compression and speedup,
-    #    raw accuracy, and the unpruned control.
-    final = evaluate(model, val_loader)
-    print("\n=== result ===")
-    print(f"compression ratio   : {total_params(model)/nonzero_params(model):.2f}x")
-    print(f"theoretical speedup : {theoretical_speedup(model, input_shape):.2f}x "
-          f"({dense_flops(model, input_shape)/1e6:.2f}M -> "
-          f"{effective_flops(model, input_shape)/1e6:.2f}M multiply-adds)")
-    print(f"top-1 accuracy      : {final['top1']:.3f} "
-          f"(control: {baseline['top1']:.3f}, delta {final['top1']-baseline['top1']:+.3f})")
+    best = max(
+        (r for r in results if r.compression > 1), key=lambda r: r.delta_top1
+    )
+    print(f"\nbest pruned cell: {best.strategy} @ {best.compression:g}x "
+          f"(actual {best.actual_compression:.2f}x, "
+          f"speedup {best.theoretical_speedup:.2f}x) "
+          f"top1={best.top1:.3f} (Δ{best.delta_top1:+.3f} vs control)")
 
 
 if __name__ == "__main__":

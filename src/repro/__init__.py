@@ -1,8 +1,13 @@
 """repro — reproduction of "What is the State of Neural Network Pruning?"
 (Blalock, Gonzalez Ortiz, Frankle & Guttag, MLSys 2020).
 
+Run ``python -m repro`` for the command line (execute declarative sweep
+configs, list registered components, maintain the result cache).
+
 Top-level packages:
 
+* :mod:`repro.registry` — the shared component Registry (models, datasets,
+  strategies, schedules, optimizers, executors).
 * :mod:`repro.autograd` — pure-NumPy reverse-mode autodiff engine.
 * :mod:`repro.nn` — layers and module system.
 * :mod:`repro.optim` — SGD/Adam, LR schedules, early stopping.

@@ -1,0 +1,250 @@
+"""``python -m repro`` — the single reproduction command line.
+
+Subcommands::
+
+    python -m repro run sweep.json        # execute a declarative sweep
+    python -m repro expand sweep.json     # dry-run: list cells + spec hashes
+    python -m repro ls [models|datasets|strategies|schedules|optimizers|executors]
+    python -m repro cache stats|gc|clear  # result-cache maintenance
+
+``run`` takes a :class:`~repro.experiment.config.SweepConfig` JSON file (the
+schema is documented in :mod:`repro.experiment.config`) and drives
+expand → (shard) → execute → assemble, with the same parallelism and
+multi-machine sharding flags the old ``python -m repro.experiment.sweep``
+CLI offered::
+
+    python -m repro run sweep.json --workers 4 --out results.json
+    machine A:  python -m repro run sweep.json --shard 0/2
+    machine B:  python -m repro run sweep.json --shard 1/2
+    afterwards: python -m repro run sweep.json   # assembles from cache hits
+
+``expand`` prints every cell the config describes without executing
+anything — useful for eyeballing a grid and for verifying that a config
+edit didn't silently change cached-cell identities (hashes are stable
+across processes and machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .experiment.cache import ResultCache, spec_hash
+from .experiment.config import SweepConfig
+from .experiment.datasets import DATASETS
+from .experiment.executor import (
+    EXECUTORS,
+    ProgressEvent,
+    executor_for,
+    shard_specs,
+    spec_label,
+)
+from .experiment.runner import assemble_results
+from .models import MODELS
+from .optim import OPTIMIZERS
+from .pruning import SCHEDULES, STRATEGIES
+
+__all__ = ["build_parser", "main"]
+
+#: the single source for ``ls`` — section name → shared Registry instance
+REGISTRIES = {
+    "models": MODELS,
+    "datasets": DATASETS,
+    "strategies": STRATEGIES,
+    "schedules": SCHEDULES,
+    "optimizers": OPTIMIZERS,
+    "executors": EXECUTORS,
+}
+
+
+def _parse_shard(text: str):
+    try:
+        index, total = text.split("/")
+        return int(index), int(total)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--shard must look like 'i/n' (e.g. 0/4), got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction toolkit for 'What is the State of Neural "
+        "Network Pruning?' (Blalock et al., MLSys 2020).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a SweepConfig JSON file end-to-end"
+    )
+    run.add_argument("config", help="path to a sweep config JSON file")
+    run.add_argument("--workers", type=int, default=None,
+                     help="override config workers: 1 = serial, 0 = all cores")
+    run.add_argument("--executor", default=None,
+                     help=f"override config executor; one of {EXECUTORS.available()}")
+    run.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
+                     help="run only round-robin shard I of N (0-based)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache entirely")
+    run.add_argument("--cache-dir", default=None,
+                     help="result cache root (default: artifacts/results/cache)")
+    run.add_argument("--out", default=None,
+                     help="write the assembled ResultSet JSON here")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress progress lines")
+
+    expand = sub.add_parser(
+        "expand", help="list a config's cells and spec hashes without running"
+    )
+    expand.add_argument("config", help="path to a sweep config JSON file")
+    expand.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON (one spec per entry)")
+
+    ls = sub.add_parser("ls", help="list registered components")
+    ls.add_argument("registry", nargs="?", default=None,
+                    choices=sorted(REGISTRIES), metavar="REGISTRY",
+                    help=f"one of {sorted(REGISTRIES)} (default: all)")
+
+    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="entry counts, size, schemas")
+    gc = cache_sub.add_parser(
+        "gc", help="drop stale-schema orphans; optionally evict by age/count"
+    )
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="also delete entries older than this many days")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="also evict the oldest entries beyond this count")
+    clear = cache_sub.add_parser("clear", help="delete every cache entry")
+    for sp in (stats, gc, clear):
+        sp.add_argument("--cache-dir", default=None,
+                        help="result cache root (default: artifacts/results/cache)")
+    return p
+
+
+def _cmd_ls(args) -> int:
+    names = [args.registry] if args.registry else list(REGISTRIES)
+    for name in names:
+        if len(names) > 1:
+            print(f"{name}:")
+            for entry in REGISTRIES[name].available():
+                print(f"  {entry}")
+        else:
+            for entry in REGISTRIES[name].available():
+                print(entry)
+    return 0
+
+
+def _cmd_expand(args) -> int:
+    config = SweepConfig.load(args.config)
+    specs = config.expand()
+    if args.as_json:
+        print(json.dumps(
+            [{"hash": spec_hash(s), **s.to_dict()} for s in specs],
+            indent=1, default=float,
+        ))
+    else:
+        for spec in specs:
+            print(f"{spec_hash(spec)}  {spec_label(spec)}")
+        print(f"{len(specs)} cell(s)")
+    return 0
+
+
+def _progress_printer():
+    def on_event(event: ProgressEvent) -> None:
+        who = f" w{event.worker}" if event.worker is not None else ""
+        if event.kind == "cache-hit":
+            print(f"  [{event.done}/{event.total} {event.elapsed:.1f}s] "
+                  f"{event.label} [cache hit]", flush=True)
+        elif event.kind == "done":
+            print(f"  [{event.done}/{event.total}{who} {event.elapsed:.1f}s] "
+                  f"{event.label} [done]", flush=True)
+        elif event.kind == "pretrain":
+            print(f"  pretraining shared checkpoint {event.label}", flush=True)
+
+    return on_event
+
+
+def _cmd_run(args) -> int:
+    config = SweepConfig.load(args.config)
+    specs = config.expand()
+    if args.shard is not None:
+        index, total = args.shard
+        specs = shard_specs(specs, index, total)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    on_event = None if args.quiet else _progress_printer()
+    executor_name = args.executor or config.executor
+    workers = args.workers if args.workers is not None else config.workers
+    if (args.executor is None and args.workers is not None
+            and config.executor in ("serial", "parallel")):
+        # a bare --workers override on a builtin executor picks
+        # serial/parallel from the count, like the old CLI; a custom
+        # registered executor keeps its name and just gets the new count
+        executor = executor_for(workers, cache=cache, on_event=on_event)
+    else:
+        executor = EXECUTORS.create(
+            executor_name, workers=workers or None, cache=cache,
+            on_event=on_event,
+        )
+
+    print(f"{len(specs)} spec(s) to execute via "
+          f"{type(executor).__name__}(workers={executor.workers})", flush=True)
+    rows = executor.run(specs)
+    results = assemble_results(
+        specs, rows, config.strategies,
+        replicate_baselines=config.dedupe_baselines,
+    )
+
+    if args.out:
+        results.save(args.out)
+        print(f"wrote {len(results)} rows to {args.out}")
+    else:
+        for r in results:
+            print(f"{r.strategy:16s} c={r.compression:<5g} seed={r.seed} "
+                  f"top1={r.top1:.3f} (Δ{r.delta_top1:+.3f}) "
+                  f"actual={r.actual_compression:.2f}x")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"root          : {stats['root']}")
+        print(f"entries       : {stats['entries']}")
+        print(f"size          : {stats['size_bytes'] / 1024:.1f} KiB")
+        print(f"schema        : {stats['schema_version']}")
+        print(f"stale entries : {stats['stale_entries']}")
+        for schema, count in sorted(stats["by_schema"].items()):
+            print(f"  schema {schema}: {count}")
+    elif args.cache_command == "gc":
+        max_age = None
+        if args.max_age_days is not None:
+            max_age = args.max_age_days * 86400.0
+        removed = cache.gc(max_age=max_age, max_entries=args.max_entries)
+        print(f"stale-schema orphans removed : {removed['stale']}")
+        print(f"expired (age) removed        : {removed['expired']}")
+        print(f"evicted (count) removed      : {removed['evicted']}")
+        print(f"entries kept                 : {removed['kept']}")
+    else:
+        print(f"removed {cache.clear()} entries")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "expand":
+        return _cmd_expand(args)
+    if args.command == "ls":
+        return _cmd_ls(args)
+    return _cmd_cache(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,30 +1,61 @@
-"""Experiment harness: train → prune → fine-tune → evaluate → aggregate."""
+"""Experiment harness: train → prune → fine-tune → evaluate → aggregate.
+
+The declarative entry point is :class:`SweepConfig` (+ ``python -m repro
+run sweep.json``); the pieces it drives — :func:`expand_sweep`,
+:func:`spec_hash`, the ``EXECUTORS`` registry, :class:`ResultCache` — are
+all public for programmatic use.
+"""
 
 from .config import (
     OptimizerConfig,
+    SWEEP_SCHEMA_VERSION,
+    SweepConfig,
     TrainConfig,
     cifar_finetune_config,
     imagenet_finetune_config,
 )
 from .cache import ResultCache, spec_hash
-from .datasets import DATASET_REGISTRY, available_datasets, build_dataset
-from .executor import ParallelExecutor, SerialExecutor, executor_for, shard_specs
-from .prune import ExperimentSpec, PruningExperiment
+from .datasets import DATASET_REGISTRY, DATASETS, available_datasets, build_dataset
+from .executor import (
+    EXECUTORS,
+    ParallelExecutor,
+    ProgressEvent,
+    SerialExecutor,
+    executor_for,
+    shard_specs,
+)
+from .prune import (
+    BASELINE_STRATEGY,
+    ExperimentSpec,
+    PruningExperiment,
+    baseline_spec_for,
+)
 from .results import CurvePoint, PruningResult, ResultSet, aggregate_curve
-from .runner import PAPER_COMPRESSIONS, assemble_results, expand_sweep, run_sweep
+from .runner import (
+    PAPER_COMPRESSIONS,
+    assemble_results,
+    expand_sweep,
+    run_config,
+    run_sweep,
+)
 from .seeds import fix_seeds
 from .train import Trainer, build_optimizer
 
 __all__ = [
     "OptimizerConfig",
     "TrainConfig",
+    "SweepConfig",
+    "SWEEP_SCHEMA_VERSION",
     "cifar_finetune_config",
     "imagenet_finetune_config",
+    "DATASETS",
     "DATASET_REGISTRY",
     "build_dataset",
     "available_datasets",
     "ExperimentSpec",
     "PruningExperiment",
+    "BASELINE_STRATEGY",
+    "baseline_spec_for",
     "PruningResult",
     "ResultSet",
     "ResultCache",
@@ -33,7 +64,10 @@ __all__ = [
     "spec_hash",
     "expand_sweep",
     "assemble_results",
+    "run_config",
     "run_sweep",
+    "EXECUTORS",
+    "ProgressEvent",
     "SerialExecutor",
     "ParallelExecutor",
     "executor_for",

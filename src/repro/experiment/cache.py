@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..utils import artifacts_dir, atomic_write_text
 from .prune import ExperimentSpec
@@ -42,8 +43,10 @@ from .results import PruningResult
 __all__ = ["spec_hash", "ResultCache"]
 
 #: bump when PruningResult/ExperimentSpec semantics change incompatibly —
-#: old cache entries then miss instead of poisoning new runs.
-SCHEMA_VERSION = 1
+#: old cache entries then miss instead of poisoning new runs (and are
+#: reclaimed by :meth:`ResultCache.gc`'s orphan sweep).
+#: v2: ExperimentSpec gained schedule/schedule_steps (pruning schedules).
+SCHEMA_VERSION = 2
 
 
 def spec_hash(spec: ExperimentSpec) -> str:
@@ -128,3 +131,90 @@ class ResultCache:
             path.unlink(missing_ok=True)
             n += 1
         return n
+
+    @staticmethod
+    def _entry_schema(path: Path) -> Optional[int]:
+        """The entry's schema version, or None if unreadable/torn."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        schema = payload.get("schema")
+        return schema if isinstance(schema, int) else None
+
+    def stats(self) -> Dict:
+        """Aggregate cache statistics (for ``python -m repro cache stats``)."""
+        entries = 0
+        size_bytes = 0
+        schemas: Dict[str, int] = {}
+        for path in self._entries():
+            entries += 1
+            schema = self._entry_schema(path)
+            key = str(schema) if schema is not None else "unreadable"
+            schemas[key] = schemas.get(key, 0) + 1
+            try:
+                size_bytes += path.stat().st_size
+            except OSError:
+                pass  # raced with a concurrent delete; already counted
+        stale = sum(n for key, n in schemas.items() if key != str(SCHEMA_VERSION))
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "size_bytes": size_bytes,
+            "schema_version": SCHEMA_VERSION,
+            "by_schema": schemas,
+            "stale_entries": stale,
+        }
+
+    def gc(
+        self,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Reclaim space: orphan sweep + age- and size-based eviction.
+
+        Three passes, in order:
+
+        1. **orphan sweep** (always): entries whose schema version differs
+           from the current :data:`SCHEMA_VERSION` — including unreadable/
+           torn files — can never hit again and are deleted;
+        2. **age**: entries older than ``max_age`` seconds (by mtime) are
+           deleted, when ``max_age`` is given;
+        3. **size**: if more than ``max_entries`` remain, the oldest are
+           deleted until the cap holds, when ``max_entries`` is given.
+
+        Returns removal counts per pass plus the surviving entry count.
+        Exposed on the command line as ``python -m repro cache gc``.
+        """
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        removed = {"stale": 0, "expired": 0, "evicted": 0}
+        now = time.time()
+        survivors: List[Tuple[float, Path]] = []
+        for path in list(self._entries()):
+            if self._entry_schema(path) != SCHEMA_VERSION:
+                path.unlink(missing_ok=True)
+                removed["stale"] += 1
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # raced with a concurrent delete
+            if max_age is not None and now - mtime > max_age:
+                path.unlink(missing_ok=True)
+                removed["expired"] += 1
+                continue
+            survivors.append((mtime, path))
+        if max_entries is not None and len(survivors) > max_entries:
+            survivors.sort()  # oldest first
+            excess = len(survivors) - max_entries
+            for _, path in survivors[:excess]:
+                path.unlink(missing_ok=True)
+                removed["evicted"] += 1
+            survivors = survivors[excess:]
+        removed["kept"] = len(survivors)
+        return removed

@@ -4,31 +4,41 @@ Experiments and benchmarks reference datasets by name + kwargs so that a
 result row fully identifies its data — the paper's first recommendation
 ("identify the exact sets of architectures, datasets, and metrics used ...
 in a structured way").
+
+``DATASETS`` is the shared :class:`repro.registry.Registry` instance;
+register custom bundles with ``@DATASETS.register("my-data")`` and
+instantiate them with ``DATASETS.create("my-data", **kwargs)``.
+``build_dataset`` / ``DATASET_REGISTRY`` are the historical entry points,
+kept as thin aliases.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
 from ..data import SyntheticCIFAR10, SyntheticImageNet, SyntheticMNIST
+from ..registry import Registry, warn_deprecated
 
-__all__ = ["DATASET_REGISTRY", "build_dataset", "available_datasets"]
+__all__ = ["DATASETS", "DATASET_REGISTRY", "build_dataset", "available_datasets"]
 
-DATASET_REGISTRY: Dict[str, Callable] = {
-    "cifar10": SyntheticCIFAR10,
-    "imagenet": SyntheticImageNet,
-    "mnist": SyntheticMNIST,
-}
+DATASETS = Registry(
+    "dataset",
+    {
+        "cifar10": SyntheticCIFAR10,
+        "imagenet": SyntheticImageNet,
+        "mnist": SyntheticMNIST,
+    },
+)
+
+#: historical dict-style alias — the same object as ``DATASETS``
+DATASET_REGISTRY = DATASETS
 
 
 def build_dataset(name: str, **kwargs):
-    """Instantiate a dataset bundle (train/val + transforms) by name."""
-    if name not in DATASET_REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
-        )
-    return DATASET_REGISTRY[name](**kwargs)
+    """Deprecated: use :meth:`DATASETS.create` instead."""
+    warn_deprecated(
+        "repro.experiment.build_dataset", "repro.experiment.DATASETS.create"
+    )
+    return DATASETS.create(name, **kwargs)
 
 
 def available_datasets():
-    return sorted(DATASET_REGISTRY)
+    return DATASETS.available()

@@ -13,26 +13,45 @@ and deterministic.  Executors exploit that:
 Both dedupe identical specs within a run, consult an optional
 :class:`~repro.experiment.cache.ResultCache` for skip-on-hit / resume, and
 return rows aligned with the input spec order, so ``ParallelExecutor`` is a
-drop-in replacement for ``SerialExecutor``.
+drop-in replacement for ``SerialExecutor``.  Any pruned cell that executes
+also yields its unpruned-control row (see
+:attr:`~repro.experiment.prune.PruningExperiment.baseline_result`), which is
+cached under the baseline spec's hash — so a shard that holds only pruned
+cells still contributes baselines, and the merge run completes from hits.
+
+Executors are registered in the ``EXECUTORS``
+:class:`~repro.registry.Registry` ("serial", "parallel") and share the
+constructor signature ``(workers, cache, progress, on_event)`` — the seam
+where a future SSH/queue remote executor plugs in without touching the
+sweep layer.
+
+Progress is reported two ways: ``progress`` receives plain one-line strings
+(legacy), ``on_event`` receives structured :class:`ProgressEvent` records
+carrying ``(done, total, elapsed)`` plus the per-worker completion count.
 
 For grids too big for one machine, :func:`shard_specs` splits a spec list
-round-robin (``--shard i/n`` in the sweep CLI); shards share work through
-the cache, and a final unsharded invocation assembles the full ResultSet
-from hits.
+round-robin (``--shard i/n`` in the CLI); shards share work through the
+cache, and a final unsharded invocation assembles the full ResultSet from
+hits.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..models.pretrained import load_checkpoint, pretrained_key
+from ..registry import Registry
 from .cache import ResultCache, spec_hash
-from .prune import ExperimentSpec, PruningExperiment
+from .prune import ExperimentSpec, PruningExperiment, baseline_spec_for
 from .results import PruningResult
 
 __all__ = [
+    "EXECUTORS",
+    "ProgressEvent",
     "SerialExecutor",
     "ParallelExecutor",
     "executor_for",
@@ -41,6 +60,43 @@ __all__ = [
 ]
 
 ProgressFn = Callable[[str], None]
+
+EXECUTORS = Registry("executor")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress tick from an executor.
+
+    Attributes
+    ----------
+    kind:
+        ``"start"`` (a cell began executing), ``"done"`` (a cell finished),
+        ``"cache-hit"`` (a cell was satisfied from the result cache), or
+        ``"pretrain"`` (a shared checkpoint is being warmed).
+    label:
+        Human-readable cell label (:func:`spec_label`).
+    done, total:
+        Cells completed so far (cache hits included) out of the run's total.
+    elapsed:
+        Seconds since the executor's ``run()`` started.
+    worker:
+        Worker slot that produced the event; ``None`` for parent-process
+        work (cache hits, serial pre-warm).
+    worker_done:
+        Cells completed by that worker so far (0 for parent events).
+    """
+
+    kind: str
+    label: str
+    done: int
+    total: int
+    elapsed: float
+    worker: Optional[int] = None
+    worker_done: int = 0
+
+
+EventFn = Callable[[ProgressEvent], None]
 
 
 def spec_label(spec: ExperimentSpec) -> str:
@@ -68,20 +124,34 @@ def executor_for(
     workers: Optional[int],
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
+    on_event: Optional[EventFn] = None,
 ) -> "_ExecutorBase":
     """Executor matching a worker count: 1 → serial, 0/None → all cores,
     N → N-process fan-out.  The one place flag/env worker counts map to an
     executor, shared by the CLI, benchmarks, and examples."""
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0 (0 = all cores), got {workers}")
-    if workers == 1:
-        return SerialExecutor(cache=cache, progress=progress)
-    return ParallelExecutor(workers=workers or None, cache=cache, progress=progress)
+    name = "serial" if workers == 1 else "parallel"
+    return EXECUTORS.create(
+        name, workers=workers or None, cache=cache, progress=progress,
+        on_event=on_event,
+    )
 
 
-def _run_spec(spec: ExperimentSpec) -> PruningResult:
-    """Worker entry point: execute one spec (module-level for pickling)."""
-    return PruningExperiment(spec).run()
+def _run_spec(spec: ExperimentSpec) -> Tuple[PruningResult, Optional[PruningResult]]:
+    """Execute one spec; returns (row, synthesized baseline row or None)."""
+    experiment = PruningExperiment(spec)
+    row = experiment.run()
+    return row, experiment.baseline_result
+
+
+def _run_spec_tagged(
+    spec: ExperimentSpec,
+) -> Tuple[int, PruningResult, Optional[PruningResult]]:
+    """Worker entry point: (worker pid, row, baseline) — module-level for
+    pickling; the pid lets the parent attribute progress per worker."""
+    row, baseline = _run_spec(spec)
+    return os.getpid(), row, baseline
 
 
 def _copy_row(row: PruningResult) -> PruningResult:
@@ -89,19 +159,46 @@ def _copy_row(row: PruningResult) -> PruningResult:
 
 
 class _ExecutorBase:
-    """Shared cache/dedupe plumbing for both executors."""
+    """Shared cache/dedupe/progress plumbing for all executors."""
 
     def __init__(
         self,
+        workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
+        on_event: Optional[EventFn] = None,
     ) -> None:
+        self.workers = workers or 1
         self.cache = cache
         self.progress = progress
+        self.on_event = on_event
 
-    def _emit(self, spec: ExperimentSpec, suffix: str = "") -> None:
+    def _emit(
+        self,
+        spec: ExperimentSpec,
+        suffix: str = "",
+        *,
+        kind: str = "done",
+        done: int = 0,
+        total: int = 0,
+        started: float = 0.0,
+        worker: Optional[int] = None,
+        worker_done: int = 0,
+    ) -> None:
         if self.progress:
             self.progress(spec_label(spec) + suffix)
+        if self.on_event:
+            self.on_event(
+                ProgressEvent(
+                    kind=kind,
+                    label=spec_label(spec),
+                    done=done,
+                    total=total,
+                    elapsed=time.monotonic() - started,
+                    worker=worker,
+                    worker_done=worker_done,
+                )
+            )
 
     def _dedupe(
         self, specs: Sequence[ExperimentSpec]
@@ -118,29 +215,70 @@ class _ExecutorBase:
         for i in idxs[1:]:  # duplicates get independent copies
             rows[i] = _copy_row(row)
 
+    def _cache_put(
+        self,
+        spec: ExperimentSpec,
+        row: PruningResult,
+        baseline: Optional[PruningResult],
+    ) -> None:
+        """Persist a computed row, plus its free unpruned-control row.
+
+        Every pruned cell evaluates the baseline anyway, so caching the
+        synthesized row means shards holding only pruned cells still leave
+        baselines behind for the merge run (ROADMAP: shard-aware baseline
+        replication).
+        """
+        if self.cache is None:
+            return
+        self.cache.put(spec, row)
+        if baseline is not None:
+            bspec = baseline_spec_for(spec)
+            if not self.cache.contains(bspec):
+                self.cache.put(bspec, baseline)
+
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
         raise NotImplementedError
 
 
+@EXECUTORS.register("serial")
 class SerialExecutor(_ExecutorBase):
     """Run specs one after another in the current process."""
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        started = time.monotonic()
         rows: List[Optional[PruningResult]] = [None] * len(specs)
+        done = 0
         for idxs in self._dedupe(specs).values():
             spec = specs[idxs[0]]
             row = self.cache.get(spec) if self.cache is not None else None
             if row is not None:
-                self._emit(spec, " [cache hit]")
+                done += len(idxs)
+                self._emit(
+                    spec, " [cache hit]", kind="cache-hit", done=done,
+                    total=len(specs), started=started, worker=None,
+                )
             else:
-                self._emit(spec)
-                row = _run_spec(spec)
-                if self.cache is not None:
-                    self.cache.put(spec, row)
+                self._emit(
+                    spec, kind="start", done=done, total=len(specs),
+                    started=started, worker=0, worker_done=done,
+                )
+                row, baseline = _run_spec(spec)
+                self._cache_put(spec, row, baseline)
+                done += len(idxs)
+                if self.on_event:
+                    self.on_event(
+                        ProgressEvent(
+                            kind="done", label=spec_label(spec), done=done,
+                            total=len(specs),
+                            elapsed=time.monotonic() - started,
+                            worker=0, worker_done=done,
+                        )
+                    )
             self._fill(rows, idxs, row)
         return rows  # type: ignore[return-value]
 
 
+@EXECUTORS.register("parallel")
 class ParallelExecutor(_ExecutorBase):
     """Fan specs out over worker processes (spec-level parallelism).
 
@@ -161,10 +299,15 @@ class ParallelExecutor(_ExecutorBase):
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
+        on_event: Optional[EventFn] = None,
         warm_pretrained: bool = True,
     ) -> None:
-        super().__init__(cache=cache, progress=progress)
-        self.workers = workers if workers else (os.cpu_count() or 1)
+        super().__init__(
+            workers=workers if workers else (os.cpu_count() or 1),
+            cache=cache,
+            progress=progress,
+            on_event=on_event,
+        )
         self.warm_pretrained = warm_pretrained
 
     def _pretrain_key(self, spec: ExperimentSpec) -> str:
@@ -177,7 +320,9 @@ class ParallelExecutor(_ExecutorBase):
             spec.pretrain_seed,
         )
 
-    def _warm_checkpoints(self, specs: Sequence[ExperimentSpec]) -> None:
+    def _warm_checkpoints(
+        self, specs: Sequence[ExperimentSpec], total: int, started: float
+    ) -> None:
         seen: Dict[str, ExperimentSpec] = {}
         for spec in specs:
             seen.setdefault(self._pretrain_key(spec), spec)
@@ -185,16 +330,30 @@ class ParallelExecutor(_ExecutorBase):
             if load_checkpoint(key) is None:
                 if self.progress:
                     self.progress(f"pretraining shared checkpoint {key}")
+                if self.on_event:
+                    self.on_event(
+                        ProgressEvent(
+                            kind="pretrain", label=key, done=0, total=total,
+                            elapsed=time.monotonic() - started, worker=None,
+                        )
+                    )
                 PruningExperiment(spec).load_pretrained()
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
-        rows: List[Optional[PruningResult]] = [None] * len(specs)
+        started = time.monotonic()
+        total = len(specs)
+        rows: List[Optional[PruningResult]] = [None] * total
         pending: Dict[str, List[int]] = {}
+        done = 0
         for h, idxs in self._dedupe(specs).items():
             spec = specs[idxs[0]]
             row = self.cache.get(spec) if self.cache is not None else None
             if row is not None:
-                self._emit(spec, " [cache hit]")
+                done += len(idxs)
+                self._emit(
+                    spec, " [cache hit]", kind="cache-hit", done=done,
+                    total=total, started=started, worker=None,
+                )
                 self._fill(rows, idxs, row)
             else:
                 pending[h] = idxs
@@ -203,30 +362,34 @@ class ParallelExecutor(_ExecutorBase):
 
         miss_specs = [specs[idxs[0]] for idxs in pending.values()]
         if self.warm_pretrained:
-            self._warm_checkpoints(miss_specs)
+            self._warm_checkpoints(miss_specs, total, started)
 
         n_workers = min(self.workers, len(miss_specs))
         if n_workers <= 1:  # no point forking for a single pending spec
-            serial = SerialExecutor(cache=self.cache, progress=self.progress)
+            serial = SerialExecutor(
+                cache=self.cache, progress=self.progress, on_event=self.on_event
+            )
             miss_rows = serial.run(miss_specs)
             for idxs, row in zip(pending.values(), miss_rows):
                 self._fill(rows, idxs, row)
             return rows  # type: ignore[return-value]
 
+        worker_slots: Dict[int, int] = {}  # pid → stable worker index
+        worker_done: Dict[int, int] = {}  # worker index → cells completed
         first_error: Optional[BaseException] = None
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             future_to_idxs = {
-                pool.submit(_run_spec, spec): idxs
+                pool.submit(_run_spec_tagged, spec): idxs
                 for spec, idxs in zip(miss_specs, pending.values())
             }
             not_done = set(future_to_idxs)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
+                finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in finished:
                     idxs = future_to_idxs[fut]
                     spec = specs[idxs[0]]
                     try:
-                        row = fut.result()
+                        pid, row, baseline = fut.result()
                     except BaseException as exc:  # noqa: BLE001 — re-raised below
                         # Keep draining: cells already completed (or still
                         # running) must reach the cache so a rerun only
@@ -237,9 +400,15 @@ class ParallelExecutor(_ExecutorBase):
                             for pending_fut in not_done:
                                 pending_fut.cancel()
                         continue
-                    if self.cache is not None:
-                        self.cache.put(spec, row)
-                    self._emit(spec, " [done]")
+                    self._cache_put(spec, row, baseline)
+                    slot = worker_slots.setdefault(pid, len(worker_slots))
+                    worker_done[slot] = worker_done.get(slot, 0) + len(idxs)
+                    done += len(idxs)
+                    self._emit(
+                        spec, " [done]", kind="done", done=done, total=total,
+                        started=started, worker=slot,
+                        worker_done=worker_done[slot],
+                    )
                     self._fill(rows, idxs, row)
         if first_error is not None:
             raise first_error

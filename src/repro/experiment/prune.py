@@ -5,8 +5,10 @@ Pipeline (Appendix C):
 1. Load (or train-and-cache) the pretrained checkpoint — the *same* initial
    model for every strategy in a sweep (§7.3).
 2. Evaluate the unpruned control (§6: report metrics for the control).
-3. Prune one-shot to the target whole-model compression; gradient-based
-   scores get a single minibatch.
+3. Prune to the target whole-model compression following the spec's
+   schedule (§2.3): one-shot by default, or several prune → fine-tune
+   rounds for iterative/polynomial schedules; gradient-based scores get a
+   single minibatch.
 4. Fine-tune with masks enforced after every optimizer step; early stopping
    on validation accuracy.
 5. Report raw Top-1/Top-5, compression ratio AND theoretical speedup.
@@ -14,7 +16,7 @@ Pipeline (Appendix C):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional
 
 import numpy as np
@@ -28,21 +30,39 @@ from ..metrics import (
     theoretical_speedup,
     total_params,
 )
-from ..models import create_model
+from ..models import MODELS
 from ..models.pretrained import get_pretrained_state
 from ..nn import Module
-from ..pruning import Pruner, PruningContext, create_strategy
-from .config import TrainConfig, cifar_finetune_config
-from .datasets import build_dataset
+from ..pruning import STRATEGIES, Pruner, PruningContext, schedule_targets
+from .config import TrainConfig, _known_fields, cifar_finetune_config
+from .datasets import DATASETS
 from .results import PruningResult
 from .train import Trainer
 
-__all__ = ["ExperimentSpec", "PruningExperiment"]
+__all__ = [
+    "ExperimentSpec",
+    "PruningExperiment",
+    "BASELINE_STRATEGY",
+    "baseline_spec_for",
+]
+
+#: sentinel strategy for deduped baseline specs (compression 1 never prunes,
+#: so the strategy is irrelevant at execution time).  A fixed sentinel —
+#: rather than ``strategies[0]`` — keeps the baseline's spec hash independent
+#: of the sweep's strategy list, so sweeps over different strategy sets share
+#: cached baseline cells.
+BASELINE_STRATEGY = "__baseline__"
 
 
 @dataclass
 class ExperimentSpec:
-    """Everything needed to reproduce one pruning run."""
+    """Everything needed to reproduce one pruning run.
+
+    Component fields (``model``, ``dataset``, ``strategy``, ``schedule``)
+    are registry names, so a serialized spec is all a remote worker needs:
+    ``ExperimentSpec.from_dict(json.loads(text))`` rebuilds it losslessly
+    (identical :func:`~repro.experiment.cache.spec_hash`).
+    """
 
     model: str
     dataset: str
@@ -57,20 +77,60 @@ class ExperimentSpec:
     #: seed used for pretraining; defaults to 0 so all sweep seeds share one
     #: initial model (§7.3).  Set per-seed to study init variance instead.
     pretrain_seed: int = 0
+    #: SCHEDULES registry name; "one_shot" reproduces the paper's protocol,
+    #: iterative schedules interleave prune and fine-tune rounds (§2.3)
+    schedule: str = "one_shot"
+    schedule_steps: int = 1
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "ExperimentSpec":
+        kwargs = _known_fields(cls, d)
+        for key in ("pretrain", "finetune"):
+            if isinstance(kwargs.get(key), dict):
+                kwargs[key] = TrainConfig.from_dict(kwargs[key])
+        return cls(**kwargs)
+
+
+def baseline_spec_for(spec: ExperimentSpec) -> ExperimentSpec:
+    """The normalized unpruned-control spec sharing ``spec``'s setup.
+
+    Strategy and schedule are irrelevant when nothing is pruned, so both are
+    pinned to fixed sentinels — every sweep over the same model/dataset/
+    train-config/seed hits the same cached baseline cell regardless of its
+    strategy list or schedule.
+    """
+    return replace(
+        spec,
+        strategy=BASELINE_STRATEGY,
+        compression=1.0,
+        schedule="one_shot",
+        schedule_steps=1,
+    )
 
 
 class PruningExperiment:
-    """Run one :class:`ExperimentSpec` and produce a :class:`PruningResult`."""
+    """Run one :class:`ExperimentSpec` and produce a :class:`PruningResult`.
+
+    After :meth:`run`, ``baseline_result`` holds the synthesized row for the
+    corresponding :func:`baseline_spec_for` cell (pruned specs only): every
+    pruned run evaluates the unpruned control anyway, so the executors can
+    cache the baseline row for free and a shard holding only pruned cells
+    no longer forces the merge run to re-derive baselines.
+    """
 
     def __init__(self, spec: ExperimentSpec) -> None:
         self.spec = spec
-        self.dataset = build_dataset(spec.dataset, **spec.dataset_kwargs)
+        self.dataset = DATASETS.create(spec.dataset, **spec.dataset_kwargs)
         self.model: Optional[Module] = None
         self.pretrained_key = ""
+        self.baseline_result: Optional[PruningResult] = None
 
     # -- stages ----------------------------------------------------------
     def _build_model(self) -> Module:
-        return create_model(
+        return MODELS.create(
             self.spec.model, seed=self.spec.pretrain_seed, **self.spec.model_kwargs
         )
 
@@ -129,7 +189,28 @@ class PruningExperiment:
         )
 
         if spec.compression > 1.0:
-            strategy = create_strategy(spec.strategy, spec.prune_classifier)
+            # Snapshot the unpruned-control row before any mask lands: it is
+            # exactly what executing baseline_spec_for(spec) would produce,
+            # so executors can cache it alongside this cell's result.
+            self.baseline_result = replace(
+                result,
+                strategy=BASELINE_STRATEGY,
+                compression=1.0,
+                actual_compression=1.0,
+                pre_finetune_top1=baseline["top1"],
+                pre_finetune_top5=baseline.get("top5", 0.0),
+                top1=baseline["top1"],
+                top5=baseline.get("top5", 0.0),
+                total_params=total_params(model),
+                nonzero_params=nonzero_params(model),
+                effective_flops=effective_flops(model, input_shape),
+                theoretical_speedup=theoretical_speedup(model, input_shape),
+                extra={},  # replace() would otherwise share result's dict
+            )
+
+            strategy = STRATEGIES.create(
+                spec.strategy, prune_classifier=spec.prune_classifier
+            )
             # Gradient scores and random masks draw from seed-specific streams
             # so seeds differ exactly where the paper says they should (C.1).
             score_loader = DataLoader(
@@ -144,7 +225,20 @@ class PruningExperiment:
                 inputs=xb, targets=yb, rng=np.random.default_rng(spec.seed)
             )
             pruner = Pruner(model, strategy)
-            registry = pruner.prune(spec.compression, context)
+            targets = schedule_targets(
+                spec.schedule, spec.compression, spec.schedule_steps
+            )
+            # Intermediate rounds: prune part-way, fine-tune, repeat (§2.3
+            # iterative regime).  The final round's fine-tune happens below
+            # after the pre-finetune metrics are recorded.
+            for target in targets[:-1]:
+                pruner.prune(target, context)
+                inter = Trainer(
+                    model, self.dataset, spec.finetune, seed=spec.seed,
+                    masks=pruner.registry,
+                )
+                result.finetune_epochs_ran += len(inter.run())
+            registry = pruner.prune(targets[-1], context)
             result.actual_compression = pruner.actual_compression()
 
             pre = evaluate(model, eval_loader)
@@ -155,7 +249,7 @@ class PruningExperiment:
                 model, self.dataset, spec.finetune, seed=spec.seed, masks=registry
             )
             history = trainer.run()
-            result.finetune_epochs_ran = len(history)
+            result.finetune_epochs_ran += len(history)
             registry.validate()
         else:
             result.actual_compression = 1.0

@@ -19,9 +19,11 @@ The matrix is split into three layers:
    :class:`ResultSet`, replicating each deduped baseline row once per
    strategy so downstream filters see the full matrix.
 
-:func:`run_sweep` is the thin compatibility wrapper gluing the three
-together; ``python -m repro.experiment.sweep`` is the CLI equivalent with
-parallelism and sharding flags.
+:func:`run_config` glues the three together from a declarative
+:class:`~repro.experiment.config.SweepConfig`; ``python -m repro run
+sweep.json`` is the CLI equivalent with parallelism and sharding flags.
+:func:`run_sweep` is the historical keyword-argument entry point, kept as a
+deprecated wrapper.
 """
 
 from __future__ import annotations
@@ -29,29 +31,21 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..registry import warn_deprecated
 from .cache import ResultCache
-from .config import TrainConfig
-from .executor import SerialExecutor
-from .prune import ExperimentSpec
+from .config import PAPER_COMPRESSIONS, SweepConfig, TrainConfig
+from .executor import EXECUTORS, executor_for
+from .prune import BASELINE_STRATEGY, ExperimentSpec, baseline_spec_for
 from .results import PruningResult, ResultSet
 
 __all__ = [
     "expand_sweep",
     "assemble_results",
+    "run_config",
     "run_sweep",
     "PAPER_COMPRESSIONS",
     "BASELINE_STRATEGY",
 ]
-
-#: §6's recommended operating points (plus the unpruned control at 1).
-PAPER_COMPRESSIONS: Sequence[float] = (1, 2, 4, 8, 16, 32)
-
-#: sentinel strategy for deduped baseline specs (compression 1 never prunes,
-#: so the strategy is irrelevant at execution time).  A fixed sentinel —
-#: rather than ``strategies[0]`` — keeps the baseline's spec hash independent
-#: of the sweep's strategy list, so sweeps over different strategy sets share
-#: cached baseline cells.
-BASELINE_STRATEGY = "__baseline__"
 
 
 def expand_sweep(
@@ -66,6 +60,9 @@ def expand_sweep(
     finetune: Optional[TrainConfig] = None,
     pretrain_seed: int = 0,
     dedupe_baselines: bool = True,
+    schedule: str = "one_shot",
+    schedule_steps: int = 1,
+    prune_classifier: bool = False,
 ) -> List[ExperimentSpec]:
     """Expand the experiment grid into an ordered list of specs.
 
@@ -75,10 +72,11 @@ def expand_sweep(
 
     With ``dedupe_baselines`` (default), every compression ≤ 1 entry
     collapses to a single per-seed baseline spec at compression 1.0 with
-    :data:`BASELINE_STRATEGY` as placeholder strategy (no pruning happens,
-    so the strategy is irrelevant); duplicate ≤1 entries in ``compressions``
-    are dropped rather than re-run.  :func:`assemble_results` later
-    replicates each baseline row across strategies.
+    :data:`BASELINE_STRATEGY` as placeholder strategy and the schedule
+    normalized away (no pruning happens, so neither matters); duplicate ≤1
+    entries in ``compressions`` are dropped rather than re-run.
+    :func:`assemble_results` later replicates each baseline row across
+    strategies.
     """
     if not strategies:
         raise ValueError("strategies must be non-empty")
@@ -90,6 +88,9 @@ def expand_sweep(
         model_kwargs=model_kwargs or {},
         dataset_kwargs=dataset_kwargs or {},
         pretrain_seed=pretrain_seed,
+        prune_classifier=prune_classifier,
+        schedule=schedule,
+        schedule_steps=schedule_steps,
     )
     if pretrain is not None:
         base.pretrain = pretrain
@@ -102,11 +103,7 @@ def expand_sweep(
         for compression in compressions:
             if compression <= 1.0 and dedupe_baselines:
                 if not baseline_emitted:
-                    specs.append(
-                        replace(
-                            base, strategy=BASELINE_STRATEGY, compression=1.0, seed=seed
-                        )
-                    )
+                    specs.append(baseline_spec_for(replace(base, seed=seed)))
                     baseline_emitted = True
                 continue
             for strat in strategies:
@@ -140,6 +137,45 @@ def assemble_results(
     return results
 
 
+def run_config(
+    config: SweepConfig,
+    cache: Optional[ResultCache] = None,
+    executor=None,
+    progress: Optional[Callable[[str], None]] = None,
+    on_event: Optional[Callable] = None,
+) -> ResultSet:
+    """Run a declarative :class:`SweepConfig` end-to-end and collect results.
+
+    The config's ``executor``/``workers`` fields pick the executor from the
+    ``EXECUTORS`` registry unless an ``executor`` instance is passed
+    explicitly (in which case that executor owns its cache/progress wiring,
+    so combining it with ``cache`` is rejected rather than silently
+    dropped).  Pass a :class:`ResultCache` to skip already-executed cells
+    and to persist new ones for future sweeps.
+    """
+    specs = config.expand()
+    if executor is None:
+        executor = EXECUTORS.create(
+            config.executor,
+            workers=config.workers or None,  # 0 = all cores (parallel only)
+            cache=cache,
+            progress=progress,
+            on_event=on_event,
+        )
+    elif cache is not None or progress is not None or on_event is not None:
+        raise ValueError(
+            "pass cache/progress/on_event either to run_config or to the "
+            "executor, not both"
+        )
+    rows = executor.run(specs)
+    return assemble_results(
+        specs,
+        rows,
+        config.strategies,
+        replicate_baselines=config.dedupe_baselines,
+    )
+
+
 def run_sweep(
     model: str,
     dataset: str,
@@ -156,41 +192,29 @@ def run_sweep(
     executor=None,
     cache: Optional[ResultCache] = None,
 ) -> ResultSet:
-    """Run the full experiment matrix and collect every result.
+    """Deprecated: build a :class:`SweepConfig` and call :func:`run_config`.
 
-    Compatibility wrapper over ``expand_sweep`` → executor →
-    ``assemble_results``.  ``skip_baseline_duplicates`` runs compression=1
-    only once per seed (it is strategy-independent: no pruning happens) and
-    replicates the row per strategy, saving redundant evaluations.
-
-    ``executor`` may be any object with ``run(specs) -> list[PruningResult]``
-    (e.g. :class:`~repro.experiment.executor.ParallelExecutor`); default is a
-    :class:`~repro.experiment.executor.SerialExecutor` wired to ``progress``
-    and ``cache``.  Pass a :class:`ResultCache` to skip already-executed
-    cells and to persist new ones for future sweeps.  ``cache`` only applies
-    to the default executor — an explicitly passed executor owns its cache
-    wiring, so combining the two is rejected rather than silently dropped.
+    Kept as a thin compatibility wrapper so pre-SweepConfig callers keep
+    working; the keyword surface maps 1:1 onto config fields.  Matching the
+    historical behavior, ``progress`` is quietly ignored when an explicit
+    ``executor`` is passed (the executor owns its progress wiring).
     """
-    specs = expand_sweep(
+    warn_deprecated("repro.experiment.run_sweep", "repro.experiment.run_config")
+    if executor is not None:
+        progress = None  # the old wrapper only wired progress into defaults
+    config = SweepConfig(
         model=model,
         dataset=dataset,
-        strategies=strategies,
-        compressions=compressions,
-        seeds=seeds,
-        model_kwargs=model_kwargs,
-        dataset_kwargs=dataset_kwargs,
+        strategies=tuple(strategies),
+        compressions=tuple(compressions),
+        seeds=tuple(seeds),
+        model_kwargs=model_kwargs or {},
+        dataset_kwargs=dataset_kwargs or {},
         pretrain=pretrain,
         finetune=finetune,
         pretrain_seed=pretrain_seed,
         dedupe_baselines=skip_baseline_duplicates,
     )
-    if executor is None:
-        executor = SerialExecutor(cache=cache, progress=progress)
-    elif cache is not None:
-        raise ValueError(
-            "pass cache either to run_sweep or to the executor, not both"
-        )
-    rows = executor.run(specs)
-    return assemble_results(
-        specs, rows, strategies, replicate_baselines=skip_baseline_duplicates
+    return run_config(
+        config, cache=cache, executor=executor, progress=progress
     )

@@ -1,26 +1,23 @@
-"""Command-line sweep driver: expand → (shard) → execute → save.
+"""Legacy flag-style sweep CLI (superseded by ``python -m repro run``).
 
-Runs an experiment grid through the cached executor layer from a shell,
-with parallel fan-out and multi-machine sharding.  Usage::
+Kept as a thin shim over the declarative :class:`SweepConfig` path: the
+flags are translated into a config object and executed through exactly the
+same expand → (shard) → execute → assemble pipeline as ``python -m repro
+run sweep.json``.  Usage::
 
     PYTHONPATH=src python -m repro.experiment.sweep \\
         --model lenet-5 --dataset cifar10 \\
         --strategies global_weight,random \\
         --compressions 1,2,4 --seeds 0,1 \\
-        --model-kwargs '{"input_size": 16, "in_channels": 3}' \\
-        --dataset-kwargs '{"n_train": 512, "n_val": 192, "size": 16}' \\
-        --pretrain-epochs 4 --finetune-epochs 2 \\
         --workers 4 --out artifacts/results/my_sweep.json
 
-Splitting one grid across machines (cells land in the shared result cache;
-the final merge run completes from cache hits alone)::
+Prefer writing the sweep down::
 
-    machine A:  ... --shard 0/2
-    machine B:  ... --shard 1/2
-    afterwards: ...              # no --shard: assembles the full ResultSet
+    python -m repro expand my_sweep.json     # inspect the grid
+    python -m repro run my_sweep.json        # run it
 
-``--workers 1`` (the default) runs serially; ``--workers 0`` means "all
-cores".  ``--no-cache`` forces every cell to re-run.
+``--emit-config PATH`` writes the equivalent SweepConfig JSON for the given
+flags, as a migration helper.
 """
 
 from __future__ import annotations
@@ -31,9 +28,9 @@ import sys
 from typing import List, Optional
 
 from .cache import ResultCache
-from .config import OptimizerConfig, TrainConfig
+from .config import OptimizerConfig, PAPER_COMPRESSIONS, SweepConfig, TrainConfig
 from .executor import executor_for, shard_specs
-from .runner import PAPER_COMPRESSIONS, assemble_results, expand_sweep
+from .runner import assemble_results
 
 __all__ = ["build_parser", "main"]
 
@@ -55,7 +52,8 @@ def _parse_shard(text: str):
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.experiment.sweep",
-        description="Run a pruning experiment grid with caching and parallelism.",
+        description="Run a pruning experiment grid with caching and parallelism "
+        "(legacy interface; prefer `python -m repro run sweep.json`).",
     )
     p.add_argument("--model", required=True, help="model registry name, e.g. resnet-20")
     p.add_argument("--dataset", required=True, help="dataset registry name, e.g. cifar10")
@@ -76,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override fine-tuning epochs (default: spec default)")
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--pretrain-seed", type=int, default=0)
+    p.add_argument("--schedule", default="one_shot",
+                   help="pruning schedule registry name (default: one_shot)")
+    p.add_argument("--schedule-steps", type=int, default=1,
+                   help="prune/fine-tune rounds for iterative schedules")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes; 1 = serial, 0 = all cores")
     p.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
@@ -86,6 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache root (default: artifacts/results/cache)")
     p.add_argument("--out", default=None,
                    help="write the assembled ResultSet JSON here")
+    p.add_argument("--emit-config", default=None, metavar="PATH",
+                   help="write the equivalent SweepConfig JSON and exit")
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     return p
 
@@ -101,21 +105,35 @@ def _train_config(epochs: Optional[int], batch_size: int, lr: float) -> Optional
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-
-    specs = expand_sweep(
+def config_from_args(args) -> SweepConfig:
+    """The declarative equivalent of one legacy flag invocation."""
+    return SweepConfig(
         model=args.model,
         dataset=args.dataset,
-        strategies=args.strategies,
-        compressions=args.compressions,
-        seeds=args.seeds,
+        strategies=tuple(args.strategies),
+        compressions=tuple(args.compressions),
+        seeds=tuple(args.seeds),
         model_kwargs=args.model_kwargs,
         dataset_kwargs=args.dataset_kwargs,
         pretrain=_train_config(args.pretrain_epochs, args.batch_size, 2e-3),
         finetune=_train_config(args.finetune_epochs, args.batch_size, 3e-4),
         pretrain_seed=args.pretrain_seed,
+        schedule=args.schedule,
+        schedule_steps=args.schedule_steps,
+        executor="serial" if args.workers == 1 else "parallel",
+        workers=args.workers,
     )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    if args.emit_config:
+        path = config.save(args.emit_config)
+        print(f"wrote sweep config to {path}")
+        return 0
+
+    specs = config.expand()
     if args.shard is not None:
         index, total = args.shard
         specs = shard_specs(specs, index, total)
@@ -128,7 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({'serial' if args.workers == 1 else f'workers={executor.workers}'})",
           flush=True)
     rows = executor.run(specs)
-    results = assemble_results(specs, rows, args.strategies)
+    results = assemble_results(specs, rows, config.strategies)
 
     if args.out:
         results.save(args.out)

@@ -16,7 +16,7 @@ from ..autograd import Tensor, cross_entropy
 from ..data import DataLoader
 from ..metrics import evaluate
 from ..nn import Module
-from ..optim import SGD, Adam, EarlyStopping, Optimizer
+from ..optim import OPTIMIZERS, EarlyStopping, Optimizer
 from ..pruning import MaskRegistry
 from .config import TrainConfig
 
@@ -24,13 +24,11 @@ __all__ = ["Trainer", "build_optimizer"]
 
 
 def build_optimizer(model: Module, config: TrainConfig) -> Optimizer:
-    """Instantiate the optimizer described by ``config``."""
+    """Instantiate the optimizer described by ``config`` via ``OPTIMIZERS``."""
     oc = config.optimizer
-    params = list(model.parameters())
-    if oc.name == "adam":
-        return Adam(params, lr=oc.lr, weight_decay=oc.weight_decay)
-    return SGD(
-        params,
+    return OPTIMIZERS.create(
+        oc.name,
+        list(model.parameters()),
         lr=oc.lr,
         momentum=oc.momentum,
         nesterov=oc.nesterov,

@@ -22,6 +22,7 @@ any real publication.  See DESIGN.md's substitution table.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -450,7 +451,9 @@ _MAGNITUDE_VARIANT_METHODS = {
 
 def _paper_quality(key: str, rng: np.random.Generator) -> Tuple[float, float, float]:
     """Per-paper curve shape: (free_compression, drop_rate, quality)."""
-    r = np.random.default_rng(abs(hash(key)) % (2**32))
+    # crc32, not hash(): builtin str hashing is randomized per process
+    # (PYTHONHASHSEED), which would make the "deterministic" corpus flaky.
+    r = np.random.default_rng(zlib.crc32(key.encode()))
     free = float(r.uniform(1.0, 3.0))  # compression that costs ~nothing
     drop = float(r.uniform(0.35, 1.4))  # accuracy pp lost per extra octave
     quality = float(r.normal(0.3, 0.35))  # small gains are common (§3.2)
@@ -470,7 +473,7 @@ def _make_curves(papers: List[Paper], rng: np.random.Generator) -> List[Reported
         if p.classic:
             continue
         methods = _METHOD_VARIANTS.get(p.key, [p.label])
-        r = np.random.default_rng(abs(hash("curves:" + p.key)) % (2**32))
+        r = np.random.default_rng(zlib.crc32(("curves:" + p.key).encode()))
         for pair in p.pairs:
             ds, arch = pair
             if arch not in _ARCH_BASELINES:

@@ -13,7 +13,13 @@ from .resnet import (
     resnet110,
 )
 from .mobilenet import MobileNetSmall, mobilenet_small
-from .registry import MODEL_REGISTRY, available_models, create_model, register_model
+from .registry import (
+    MODEL_REGISTRY,
+    MODELS,
+    available_models,
+    create_model,
+    register_model,
+)
 
 __all__ = [
     "LeNet300100",
@@ -32,6 +38,7 @@ __all__ = [
     "resnet110",
     "MobileNetSmall",
     "mobilenet_small",
+    "MODELS",
     "MODEL_REGISTRY",
     "create_model",
     "available_models",

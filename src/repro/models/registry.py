@@ -3,48 +3,62 @@
 Gives experiments and benchmarks a single string-keyed entry point, which is
 also how results are tagged on disk (the paper's recommendation to "identify
 the exact sets of architectures ... in a structured way").
+
+``MODELS`` is the shared :class:`repro.registry.Registry` instance; register
+custom architectures with ``@MODELS.register("my-net")`` and instantiate
+them with ``MODELS.create("my-net", **kwargs)``.  ``create_model`` /
+``register_model`` / ``MODEL_REGISTRY`` are the historical entry points,
+kept as thin aliases.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from ..nn import Module
+from ..registry import Registry, warn_deprecated
 from .lenet import lenet5, lenet_300_100
 from .mobilenet import mobilenet_small
 from .resnet import resnet18, resnet20, resnet32, resnet56, resnet110
 from .vgg import cifar_vgg
 
-__all__ = ["MODEL_REGISTRY", "create_model", "available_models", "register_model"]
+__all__ = [
+    "MODELS",
+    "MODEL_REGISTRY",
+    "create_model",
+    "available_models",
+    "register_model",
+]
 
-MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
-    "lenet-300-100": lenet_300_100,
-    "lenet-5": lenet5,
-    "cifar-vgg": cifar_vgg,
-    "resnet-20": resnet20,
-    "resnet-32": resnet32,
-    "resnet-56": resnet56,
-    "resnet-110": resnet110,
-    "resnet-18": resnet18,
-    "mobilenet-small": mobilenet_small,
-}
+MODELS = Registry(
+    "model",
+    {
+        "lenet-300-100": lenet_300_100,
+        "lenet-5": lenet5,
+        "cifar-vgg": cifar_vgg,
+        "resnet-20": resnet20,
+        "resnet-32": resnet32,
+        "resnet-56": resnet56,
+        "resnet-110": resnet110,
+        "resnet-18": resnet18,
+        "mobilenet-small": mobilenet_small,
+    },
+)
+
+#: historical dict-style alias — the same object as ``MODELS``
+MODEL_REGISTRY = MODELS
 
 
 def register_model(name: str, factory: Callable[..., Module]) -> None:
-    """Add a custom architecture to the registry (used by downstream code)."""
-    if name in MODEL_REGISTRY:
-        raise ValueError(f"model {name!r} already registered")
-    MODEL_REGISTRY[name] = factory
+    """Add a custom architecture to the registry (alias of MODELS.register)."""
+    MODELS.register(name, factory)
 
 
 def create_model(name: str, **kwargs) -> Module:
-    """Instantiate a registered architecture by name."""
-    if name not in MODEL_REGISTRY:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
-        )
-    return MODEL_REGISTRY[name](**kwargs)
+    """Deprecated: use :meth:`MODELS.create` instead."""
+    warn_deprecated("repro.models.create_model", "repro.models.MODELS.create")
+    return MODELS.create(name, **kwargs)
 
 
 def available_models() -> List[str]:
-    return sorted(MODEL_REGISTRY)
+    return MODELS.available()

@@ -1,18 +1,42 @@
-"""Optimizers, LR schedules and early stopping (the ``torch.optim`` substitute)."""
+"""Optimizers, LR schedules and early stopping (the ``torch.optim`` substitute).
+
+``OPTIMIZERS`` is the shared :class:`repro.registry.Registry` of optimizer
+builders.  Every registered builder has the normalized signature
+``(params, lr=..., momentum=..., nesterov=..., weight_decay=...)`` so that
+an :class:`~repro.experiment.config.OptimizerConfig` can select one by name;
+builders ignore hyperparameters their update rule doesn't use (Adam drops
+``momentum``/``nesterov``, matching the historical behavior).
+"""
 
 from .base import Optimizer
 from .sgd import SGD
 from .adam import Adam
 from .lr_scheduler import CosineAnnealingLR, FixedLR, LRScheduler, StepLR
 from .early_stopping import EarlyStopping
+from ..registry import Registry
 
 __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "OPTIMIZERS",
     "LRScheduler",
     "FixedLR",
     "StepLR",
     "CosineAnnealingLR",
     "EarlyStopping",
 ]
+
+OPTIMIZERS = Registry("optimizer")
+
+
+@OPTIMIZERS.register("sgd")
+def _build_sgd(params, lr=0.1, momentum=0.0, nesterov=False, weight_decay=0.0):
+    return SGD(
+        params, lr=lr, momentum=momentum, nesterov=nesterov, weight_decay=weight_decay
+    )
+
+
+@OPTIMIZERS.register("adam")
+def _build_adam(params, lr=1e-3, momentum=0.0, nesterov=False, weight_decay=0.0):
+    return Adam(params, lr=lr, weight_decay=weight_decay)

@@ -18,6 +18,7 @@ from .scoring import (
 )
 from .strategies import (
     PAPER_LABELS,
+    STRATEGIES,
     STRATEGY_REGISTRY,
     GlobalMagGrad,
     GlobalMagWeight,
@@ -29,16 +30,18 @@ from .strategies import (
 )
 from .structured import GlobalFilterL1, LayerFilterL1
 from .schedule import (
+    SCHEDULES,
     compression_to_sparsity,
     iterative_linear,
     one_shot,
     polynomial_decay,
+    schedule_targets,
     sparsity_to_compression,
 )
 
 # Register the structured strategies alongside the unstructured baselines.
-STRATEGY_REGISTRY.setdefault(GlobalFilterL1.name, GlobalFilterL1)
-STRATEGY_REGISTRY.setdefault(LayerFilterL1.name, LayerFilterL1)
+STRATEGIES.setdefault(GlobalFilterL1.name, GlobalFilterL1)
+STRATEGIES.setdefault(LayerFilterL1.name, LayerFilterL1)
 PAPER_LABELS.setdefault("global_filter_l1", "Global Filter L1")
 PAPER_LABELS.setdefault("layer_filter_l1", "Layer Filter L1")
 
@@ -64,9 +67,12 @@ __all__ = [
     "LayerRandomPruning",
     "GlobalFilterL1",
     "LayerFilterL1",
+    "STRATEGIES",
     "STRATEGY_REGISTRY",
+    "SCHEDULES",
     "PAPER_LABELS",
     "create_strategy",
+    "schedule_targets",
     "one_shot",
     "iterative_linear",
     "polynomial_decay",

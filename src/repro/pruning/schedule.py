@@ -12,6 +12,13 @@ but catalogs three scheduling families found in the literature:
 A schedule is a sequence of intermediate compression targets; the
 experiment harness interleaves them with fine-tuning epochs.  The ablation
 bench ``benchmarks/bench_ablation_schedule.py`` compares them.
+
+``SCHEDULES`` is the shared :class:`repro.registry.Registry` of schedule
+families.  Every registered schedule has the normalized signature
+``(final_compression, steps) -> list[float]`` so that
+:class:`~repro.experiment.prune.ExperimentSpec` can select one by name
+(``schedule`` + ``schedule_steps`` fields); :func:`schedule_targets` is the
+lookup helper the experiment harness uses.
 """
 
 from __future__ import annotations
@@ -20,7 +27,19 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["one_shot", "iterative_linear", "polynomial_decay", "compression_to_sparsity", "sparsity_to_compression"]
+from ..registry import Registry
+
+__all__ = [
+    "SCHEDULES",
+    "schedule_targets",
+    "one_shot",
+    "iterative_linear",
+    "polynomial_decay",
+    "compression_to_sparsity",
+    "sparsity_to_compression",
+]
+
+SCHEDULES = Registry("schedule")
 
 
 def compression_to_sparsity(compression: float) -> float:
@@ -70,3 +89,28 @@ def polynomial_decay(
     ts = np.arange(1, steps + 1) / steps
     sparsities = final_sparsity * (1.0 - (1.0 - ts) ** power)
     return [sparsity_to_compression(float(s)) for s in sparsities]
+
+
+# -- registry entries (normalized ``(final_compression, steps)`` signature) --
+
+@SCHEDULES.register("one_shot")
+def _one_shot_schedule(final_compression: float, steps: int = 1) -> List[float]:
+    """Single prune step regardless of ``steps`` (the paper's own protocol)."""
+    return one_shot(final_compression)
+
+
+@SCHEDULES.register("iterative")
+def _iterative_schedule(final_compression: float, steps: int = 3) -> List[float]:
+    return iterative_linear(final_compression, steps)
+
+
+@SCHEDULES.register("polynomial")
+def _polynomial_schedule(final_compression: float, steps: int = 3) -> List[float]:
+    return polynomial_decay(final_compression, steps)
+
+
+def schedule_targets(name: str, final_compression: float, steps: int = 1) -> List[float]:
+    """Compression targets for a named schedule, ending at the final target."""
+    if steps < 1:
+        raise ValueError(f"schedule_steps must be >= 1, got {steps}")
+    return SCHEDULES.create(name, final_compression, steps)

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..nn import Module
+from ..registry import Registry, warn_deprecated
 from .base import (
     PruningContext,
     PruningStrategy,
@@ -38,11 +39,20 @@ __all__ = [
     "LayerMagGrad",
     "RandomPruning",
     "LayerRandomPruning",
+    "STRATEGIES",
     "STRATEGY_REGISTRY",
     "create_strategy",
 ]
 
+#: shared registry of pruning strategies; classes register themselves via
+#: ``@STRATEGIES.register`` under their ``name`` attribute
+STRATEGIES = Registry("strategy")
 
+#: historical dict-style alias — the same object as ``STRATEGIES``
+STRATEGY_REGISTRY = STRATEGIES
+
+
+@STRATEGIES.register
 class GlobalMagWeight(PruningStrategy):
     """Global Magnitude Pruning: lowest ``|w|`` anywhere is pruned."""
 
@@ -54,6 +64,7 @@ class GlobalMagWeight(PruningStrategy):
         return masks_from_scores_global(scores, fraction_to_keep)
 
 
+@STRATEGIES.register
 class LayerMagWeight(PruningStrategy):
     """Layerwise Magnitude Pruning: lowest ``|w|`` within each layer."""
 
@@ -79,6 +90,7 @@ class _GradStrategy(PruningStrategy):
         )
 
 
+@STRATEGIES.register
 class GlobalMagGrad(_GradStrategy):
     """Global Gradient Magnitude Pruning: lowest ``|w·g|`` anywhere."""
 
@@ -89,6 +101,7 @@ class GlobalMagGrad(_GradStrategy):
         return masks_from_scores_global(self._scores(model, context), fraction_to_keep)
 
 
+@STRATEGIES.register
 class LayerMagGrad(_GradStrategy):
     """Layerwise Gradient Magnitude Pruning: lowest ``|w·g|`` per layer."""
 
@@ -101,6 +114,7 @@ class LayerMagGrad(_GradStrategy):
         )
 
 
+@STRATEGIES.register
 class RandomPruning(PruningStrategy):
     """Uniform random pruning across the whole network (straw man)."""
 
@@ -113,6 +127,7 @@ class RandomPruning(PruningStrategy):
         return masks_from_scores_global(scores, fraction_to_keep)
 
 
+@STRATEGIES.register
 class LayerRandomPruning(PruningStrategy):
     """Random pruning with the same fraction in every layer.
 
@@ -130,18 +145,6 @@ class LayerRandomPruning(PruningStrategy):
         return masks_from_scores_layerwise(scores, fraction_to_keep)
 
 
-STRATEGY_REGISTRY = {
-    cls.name: cls
-    for cls in (
-        GlobalMagWeight,
-        LayerMagWeight,
-        GlobalMagGrad,
-        LayerMagGrad,
-        RandomPruning,
-        LayerRandomPruning,
-    )
-}
-
 #: Display names matching the paper's figure legends.
 PAPER_LABELS = {
     "global_weight": "Global Weight",
@@ -154,9 +157,8 @@ PAPER_LABELS = {
 
 
 def create_strategy(name: str, prune_classifier: bool = False) -> PruningStrategy:
-    """Instantiate a registered strategy by its registry key."""
-    if name not in STRATEGY_REGISTRY:
-        raise KeyError(
-            f"unknown strategy {name!r}; available: {sorted(STRATEGY_REGISTRY)}"
-        )
-    return STRATEGY_REGISTRY[name](prune_classifier=prune_classifier)
+    """Deprecated: use :meth:`STRATEGIES.create` instead."""
+    warn_deprecated(
+        "repro.pruning.create_strategy", "repro.pruning.STRATEGIES.create"
+    )
+    return STRATEGIES.create(name, prune_classifier=prune_classifier)

@@ -1,0 +1,130 @@
+"""Back-compat shims: equivalence with the new API + warn-exactly-once.
+
+The four historical entry points (``create_model``, ``create_strategy``,
+``build_dataset``, ``run_sweep``) are thin wrappers over the registry /
+SweepConfig API.  They must produce identical objects/results and emit a
+``DeprecationWarning`` exactly once per process each.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.registry as registry_mod
+from repro.experiment import (
+    DATASETS,
+    OptimizerConfig,
+    ResultCache,
+    SweepConfig,
+    TrainConfig,
+    build_dataset,
+    run_config,
+    run_sweep,
+)
+from repro.models import MODELS, create_model
+from repro.pruning import STRATEGIES, create_strategy
+
+
+@pytest.fixture
+def fresh_deprecations():
+    """Reset the warn-once bookkeeping so each test observes first use."""
+    saved = set(registry_mod._WARNED)
+    registry_mod._WARNED.clear()
+    yield
+    registry_mod._WARNED.clear()
+    registry_mod._WARNED.update(saved)
+
+
+def _collect(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+SWEEP_KW = dict(
+    model="lenet-300-100",
+    dataset="cifar10",
+    strategies=["global_weight"],
+    compressions=[1, 2],
+    seeds=[0],
+    model_kwargs=dict(input_size=8, in_channels=3),
+    dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+    pretrain=TrainConfig(epochs=1, batch_size=32,
+                         optimizer=OptimizerConfig("adam", 2e-3),
+                         early_stop_patience=None),
+    finetune=TrainConfig(epochs=1, batch_size=32,
+                         optimizer=OptimizerConfig("adam", 3e-4),
+                         early_stop_patience=None),
+)
+
+
+class TestWarnExactlyOnce:
+    @pytest.mark.parametrize("shim,call", [
+        ("create_model",
+         lambda: create_model("lenet-300-100", input_size=8, in_channels=1)),
+        ("create_strategy", lambda: create_strategy("global_weight")),
+        ("build_dataset",
+         lambda: build_dataset("cifar10", n_train=16, n_val=16, size=8)),
+    ])
+    def test_shim_warns_once(self, fresh_deprecations, shim, call):
+        first = _collect(call)
+        assert len(first) == 1, shim
+        assert shim in str(first[0].message)
+        assert "deprecated" in str(first[0].message)
+        # second call: silent
+        assert _collect(call) == []
+
+    def test_run_sweep_warns_once(self, fresh_deprecations, tmp_path):
+        def call():
+            run_sweep(cache=ResultCache(tmp_path / "c"), **SWEEP_KW)
+
+        first = _collect(call)
+        assert len(first) == 1
+        assert "run_sweep" in str(first[0].message)
+        assert _collect(call) == []
+
+
+class TestShimEquivalence:
+    def test_create_model_matches_registry(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = create_model("lenet-300-100", input_size=8, in_channels=1, seed=3)
+        new = MODELS.create("lenet-300-100", input_size=8, in_channels=1, seed=3)
+        for (ka, va), (kb, vb) in zip(
+            sorted(old.state_dict().items()), sorted(new.state_dict().items())
+        ):
+            assert ka == kb
+            np.testing.assert_array_equal(va, vb)
+
+    def test_create_strategy_matches_registry(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = create_strategy("global_weight", prune_classifier=True)
+        new = STRATEGIES.create("global_weight", prune_classifier=True)
+        assert type(old) is type(new)
+        assert old.prune_classifier == new.prune_classifier
+
+    def test_build_dataset_matches_registry(self):
+        kw = dict(n_train=32, n_val=16, size=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = build_dataset("cifar10", **kw)
+        new = DATASETS.create("cifar10", **kw)
+        assert type(old) is type(new)
+        np.testing.assert_array_equal(old.train.x, new.train.x)
+        np.testing.assert_array_equal(old.train.y, new.train.y)
+
+    def test_run_sweep_matches_run_config(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_sweep(cache=ResultCache(tmp_path / "old"), **SWEEP_KW)
+        config = SweepConfig(**{
+            **SWEEP_KW,
+            "strategies": tuple(SWEEP_KW["strategies"]),
+            "compressions": tuple(SWEEP_KW["compressions"]),
+            "seeds": tuple(SWEEP_KW["seeds"]),
+        })
+        new = run_config(config, cache=ResultCache(tmp_path / "new"))
+        assert [r.to_dict() for r in old] == [r.to_dict() for r in new]

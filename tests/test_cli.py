@@ -1,0 +1,150 @@
+"""Smoke tests for the ``python -m repro`` CLI (run / expand / ls / cache)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiment import (
+    ExperimentSpec,
+    ResultCache,
+    ResultSet,
+    SweepConfig,
+    OptimizerConfig,
+    TrainConfig,
+    spec_hash,
+)
+
+
+def tiny_sweep_file(tmp_path, **overrides):
+    train = dict(epochs=1, batch_size=32,
+                 optimizer=dict(name="adam", lr=2e-3),
+                 early_stop_patience=None, restore_best=True)
+    payload = dict(
+        model="lenet-300-100",
+        model_kwargs=dict(input_size=8, in_channels=3),
+        dataset="cifar10",
+        dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+        strategies=["global_weight", "random"],
+        compressions=[1, 2],
+        seeds=[0],
+        pretrain=train,
+        finetune=dict(train, optimizer=dict(name="adam", lr=3e-4)),
+    )
+    payload.update(overrides)
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLs:
+    def test_single_registry(self, capsys):
+        assert main(["ls", "models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet-20" in out and "lenet-5" in out
+
+    def test_all_registries(self, capsys):
+        assert main(["ls"]) == 0
+        out = capsys.readouterr().out
+        for section in ("models:", "datasets:", "strategies:", "schedules:",
+                        "optimizers:", "executors:"):
+            assert section in out
+        assert "one_shot" in out and "serial" in out
+
+    def test_unknown_registry_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ls", "nonsense"])
+
+
+class TestExpand:
+    def test_lists_cells_and_hashes(self, tmp_path, capsys):
+        path = tiny_sweep_file(tmp_path)
+        assert main(["expand", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 cell(s)" in out  # 1 deduped baseline + 2 strategies @ 2x
+        assert "baseline (compression 1)" in out
+        assert "global_weight @ 2x" in out
+
+    def test_json_mode_round_trips_specs(self, tmp_path, capsys):
+        path = tiny_sweep_file(tmp_path)
+        assert main(["expand", str(path), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 3
+        for entry in entries:
+            h = entry.pop("hash")
+            assert spec_hash(ExperimentSpec.from_dict(entry)) == h
+
+
+class TestRun:
+    def test_run_end_to_end_and_cache_resume(self, tmp_path, capsys):
+        path = tiny_sweep_file(tmp_path)
+        out_file = tmp_path / "rows.json"
+        argv = ["run", str(path), "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out_file)]
+        assert main(argv) == 0
+        rows = ResultSet.load(out_file)
+        assert len(rows) == 4  # 2 baseline clones + 2 strategies @ 2x
+        assert rows.strategies() == ["global_weight", "random"]
+
+        # second invocation: pure cache hits, byte-identical output
+        before = out_file.read_text()
+        assert main(argv) == 0
+        assert out_file.read_text() == before
+        assert "[cache hit]" in capsys.readouterr().out
+
+    def test_missing_config_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["run", str(tmp_path / "nope.json")])
+
+
+class TestCacheCommands:
+    def _populate(self, tmp_path, n=3):
+        cache = ResultCache(tmp_path / "cache")
+        cfg = SweepConfig(
+            model="lenet-300-100", dataset="cifar10",
+            strategies=("global_weight",), compressions=(1, 2, 4), seeds=(0,),
+            pretrain=TrainConfig(epochs=1, optimizer=OptimizerConfig("adam", 2e-3)),
+        )
+        from repro.experiment.results import PruningResult
+
+        for spec in cfg.expand()[:n]:
+            cache.put(spec, PruningResult(
+                model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+                compression=spec.compression, seed=spec.seed, top1=0.5,
+            ))
+        return cache
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries       : 3" in out
+        assert "stale entries : 0" in out
+
+    def test_gc_removes_stale_schema_orphans(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        # hand-craft an entry from an older schema version
+        orphan = cache.root / "ff" / "ff00000000000000.json"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text(json.dumps({"schema": 1, "result": {}}))
+        assert main(["cache", "gc",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "stale-schema orphans removed : 1" in out
+        assert "entries kept                 : 3" in out
+        assert not orphan.exists()
+
+    def test_gc_max_entries(self, tmp_path, capsys):
+        self._populate(tmp_path, n=3)
+        assert main(["cache", "gc", "--max-entries", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "evicted (count) removed      : 2" in out
+        assert "entries kept                 : 1" in out
+
+    def test_clear(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["cache", "clear",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out

@@ -455,3 +455,175 @@ class TestSweepCLI:
         assert main(argv + ["--workers", "2"]) == 0
         assert out.read_text() == before
         assert "[cache hit]" in capsys.readouterr().out
+
+
+class TestResultCacheGC:
+    def _fill(self, cache, n=4):
+        specs = tiny_specs(("global_weight", "random"), (1, 2, 4), (0,))[:n]
+        for spec in specs:
+            cache.put(spec, PruningResult(
+                model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+                compression=spec.compression, seed=spec.seed, top1=0.5,
+            ))
+        return specs
+
+    def test_orphan_sweep_removes_stale_schema(self, tmp_path):
+        import json as _json
+
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, n=2)
+        orphan = cache.root / "aa" / "aa00000000000000.json"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text(_json.dumps({"schema": 1, "result": {"top1": 0.1}}))
+        torn = cache.root / "bb" / "bb00000000000000.json"
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text("{not json")
+        removed = cache.gc()
+        assert removed["stale"] == 2  # the old-schema entry and the torn file
+        assert removed["kept"] == 2
+        assert not orphan.exists() and not torn.exists()
+
+    def test_age_based_eviction(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = ResultCache(tmp_path / "c")
+        specs = self._fill(cache, n=3)
+        old = cache.path_for(specs[0])
+        past = _time.time() - 1000
+        _os.utime(old, (past, past))
+        removed = cache.gc(max_age=500)
+        assert removed["expired"] == 1
+        assert removed["kept"] == 2
+        assert not old.exists()
+
+    def test_count_based_eviction_drops_oldest(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = ResultCache(tmp_path / "c")
+        specs = self._fill(cache, n=3)
+        oldest = cache.path_for(specs[0])
+        past = _time.time() - 1000
+        _os.utime(oldest, (past, past))
+        removed = cache.gc(max_entries=2)
+        assert removed["evicted"] == 1
+        assert not oldest.exists()
+        assert len(cache) == 2
+
+    def test_invalid_args_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(ValueError):
+            cache.gc(max_age=-1)
+        with pytest.raises(ValueError):
+            cache.gc(max_entries=-1)
+
+    def test_stats(self, tmp_path):
+        from repro.experiment.cache import SCHEMA_VERSION
+
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, n=2)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["size_bytes"] > 0
+        assert stats["by_schema"] == {str(SCHEMA_VERSION): 2}
+        assert stats["stale_entries"] == 0
+
+
+class TestBaselineReplication:
+    """Satellite: pruned cells leave the baseline row in the cache, so a
+    shard holding only pruned cells still contributes baselines."""
+
+    def test_pruned_cell_caches_baseline_row(self, tmp_path):
+        from repro.experiment import baseline_spec_for
+
+        baseline_spec, pruned_spec = tiny_specs(("global_weight",), (1, 2), (0,))
+        cache = ResultCache(tmp_path / "c")
+        SerialExecutor(cache=cache).run([pruned_spec])  # baseline never ran
+        assert cache.contains(baseline_spec)
+        assert baseline_spec_for(pruned_spec) == baseline_spec
+
+    def test_synthesized_baseline_matches_executed_baseline(self, tmp_path):
+        baseline_spec, pruned_spec = tiny_specs(("global_weight",), (1, 2), (0,))
+        cache = ResultCache(tmp_path / "c")
+        SerialExecutor(cache=cache).run([pruned_spec])
+        synthesized = cache.get(baseline_spec)
+        executed = SerialExecutor().run([baseline_spec])[0]
+        assert synthesized.to_dict() == executed.to_dict()
+
+    def test_merge_completes_from_hits_without_baseline_shard(self, tmp_path, monkeypatch):
+        """A shard of only-pruned cells + a merge run over the full grid:
+        the merge's baseline cells are cache hits, nothing re-executes."""
+        specs = tiny_specs(("global_weight", "random"), (1, 2), (0,))
+        pruned_only = [s for s in specs if s.compression > 1.0]
+        cache = ResultCache(tmp_path / "c")
+        SerialExecutor(cache=cache).run(pruned_only)
+
+        def boom(self):
+            raise AssertionError("cache hit expected — experiment re-ran")
+
+        monkeypatch.setattr(PruningExperiment, "run", boom)
+        rows = SerialExecutor(cache=cache).run(specs)
+        assert [r.strategy for r in rows if r.compression <= 1.0]
+
+
+class TestProgressEvents:
+    """Satellite: executors report structured (done, total, elapsed)."""
+
+    def test_serial_event_stream(self, tmp_path):
+        from repro.experiment import ProgressEvent
+
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        events = []
+        SerialExecutor(
+            cache=ResultCache(tmp_path / "c"), on_event=events.append
+        ).run(specs)
+        assert all(isinstance(e, ProgressEvent) for e in events)
+        starts = [e for e in events if e.kind == "start"]
+        dones = [e for e in events if e.kind == "done"]
+        assert len(starts) == len(dones) == len(specs)
+        assert [e.done for e in dones] == [1, 2]
+        assert all(e.total == len(specs) for e in events)
+        assert all(e.elapsed >= 0.0 for e in events)
+        assert all(e.worker == 0 for e in dones)
+        assert [e.worker_done for e in dones] == [1, 2]
+
+    def test_cache_hits_reported_as_events(self, tmp_path):
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        cache = ResultCache(tmp_path / "c")
+        SerialExecutor(cache=cache).run(specs)
+        events = []
+        SerialExecutor(cache=cache, on_event=events.append).run(specs)
+        assert [e.kind for e in events] == ["cache-hit", "cache-hit"]
+        assert events[-1].done == len(specs)
+        assert all(e.worker is None for e in events)
+
+    def test_legacy_string_progress_still_works(self, tmp_path):
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        messages = []
+        SerialExecutor(
+            cache=ResultCache(tmp_path / "c"), progress=messages.append
+        ).run(specs)
+        assert len(messages) == len(specs)
+        assert all("seed 0" in m for m in messages)
+
+
+@pytest.mark.slow
+class TestParallelProgressEvents:
+    def test_parallel_event_stream_tracks_workers(self, tmp_path):
+        specs = tiny_specs(("global_weight", "random"), (1, 2, 4), (0,))
+        events = []
+        ParallelExecutor(
+            workers=2, cache=ResultCache(tmp_path / "c"),
+            on_event=events.append,
+        ).run(specs)
+        dones = [e for e in events if e.kind == "done"]
+        assert len(dones) == len(specs)
+        assert sorted(e.done for e in dones) == list(range(1, len(specs) + 1))
+        assert all(e.total == len(specs) for e in dones)
+        assert all(e.worker is not None for e in dones)
+        # per-worker completion counts sum to the total
+        per_worker = {}
+        for e in dones:
+            per_worker[e.worker] = max(per_worker.get(e.worker, 0), e.worker_done)
+        assert sum(per_worker.values()) == len(specs)

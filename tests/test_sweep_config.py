@@ -1,0 +1,169 @@
+"""SweepConfig / ExperimentSpec round-trip and schedule-axis tests.
+
+Acceptance criterion: ``SweepConfig.from_dict(cfg.to_dict())`` reproduces
+byte-identical ``spec_hash``es for every expanded cell, so a JSON sweep
+file is a complete, replayable experiment description.
+"""
+
+import json
+
+import pytest
+
+from repro.experiment import (
+    BASELINE_STRATEGY,
+    ExperimentSpec,
+    OptimizerConfig,
+    SweepConfig,
+    TrainConfig,
+    baseline_spec_for,
+    expand_sweep,
+    spec_hash,
+)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        model="lenet-300-100",
+        dataset="cifar10",
+        strategies=("global_weight", "random"),
+        compressions=(1, 2, 4),
+        seeds=(0, 1),
+        model_kwargs=dict(input_size=8, in_channels=3),
+        dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+        pretrain=TrainConfig(epochs=1, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 2e-3),
+                             early_stop_patience=None),
+        finetune=TrainConfig(epochs=1, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 3e-4),
+                             early_stop_patience=None),
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+class TestSweepConfigRoundTrip:
+    def test_dict_round_trip_equality(self):
+        cfg = tiny_config()
+        assert SweepConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_round_trip_equality(self):
+        cfg = tiny_config(schedule="iterative", schedule_steps=3, workers=2,
+                          executor="parallel")
+        again = SweepConfig.from_json(cfg.to_json())
+        assert again == cfg
+        # and the serialized form itself is stable
+        assert again.to_json() == cfg.to_json()
+
+    def test_round_trip_preserves_spec_hashes(self):
+        cfg = tiny_config()
+        again = SweepConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        hashes = [spec_hash(s) for s in cfg.expand()]
+        assert [spec_hash(s) for s in again.expand()] == hashes
+
+    def test_save_load(self, tmp_path):
+        cfg = tiny_config()
+        path = cfg.save(tmp_path / "sweep.json")
+        assert SweepConfig.load(path) == cfg
+
+    def test_lists_normalized_to_tuples(self):
+        cfg = SweepConfig(model="m", dataset="d",
+                          strategies=["a"], compressions=[1, 2], seeds=[0])
+        assert cfg.strategies == ("a",)
+        assert cfg.compressions == (1.0, 2.0)
+        assert cfg.seeds == (0,)
+
+    def test_unknown_keys_rejected(self):
+        payload = tiny_config().to_dict()
+        payload["strategy"] = "typo"
+        with pytest.raises(ValueError, match="strategy"):
+            SweepConfig.from_dict(payload)
+
+    def test_future_schema_version_rejected(self):
+        payload = tiny_config().to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            SweepConfig.from_dict(payload)
+
+    def test_missing_optional_fields_get_defaults(self):
+        cfg = SweepConfig.from_dict(
+            {"model": "m", "dataset": "d", "strategies": ["s"]}
+        )
+        assert cfg.schedule == "one_shot"
+        assert cfg.executor == "serial"
+        assert cfg.schema_version == 1
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError):
+            SweepConfig(model="m", dataset="d", strategies=())
+
+    def test_invalid_axes_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_config(schedule_steps=0)
+        with pytest.raises(ValueError):
+            tiny_config(workers=-1)
+
+    def test_unknown_schedule_rejected_at_load_time(self):
+        """A schedule typo must fail when the config is built, not after
+        minutes of pretraining when the first pruned cell runs."""
+        with pytest.raises(ValueError, match="unknown schedule"):
+            tiny_config(schedule="itertive")
+
+
+class TestConfigExpansion:
+    def test_expand_matches_expand_sweep(self):
+        cfg = tiny_config()
+        direct = expand_sweep(
+            model=cfg.model,
+            dataset=cfg.dataset,
+            strategies=cfg.strategies,
+            compressions=cfg.compressions,
+            seeds=cfg.seeds,
+            model_kwargs=dict(cfg.model_kwargs),
+            dataset_kwargs=dict(cfg.dataset_kwargs),
+            pretrain=cfg.pretrain,
+            finetune=cfg.finetune,
+        )
+        assert [spec_hash(s) for s in cfg.expand()] == [
+            spec_hash(s) for s in direct
+        ]
+
+    def test_schedule_axis_changes_pruned_hashes_only(self):
+        one_shot = tiny_config().expand()
+        iterative = tiny_config(schedule="iterative", schedule_steps=3).expand()
+        for a, b in zip(one_shot, iterative):
+            if a.compression <= 1.0:
+                # baselines never prune: schedule normalized away, cache shared
+                assert spec_hash(a) == spec_hash(b)
+            else:
+                assert spec_hash(a) != spec_hash(b)
+
+    def test_execution_fields_do_not_affect_hashes(self):
+        serial = tiny_config().expand()
+        parallel = tiny_config(executor="parallel", workers=8).expand()
+        assert [spec_hash(s) for s in serial] == [spec_hash(s) for s in parallel]
+
+
+class TestExperimentSpecRoundTrip:
+    def test_dict_round_trip_identical_hash(self):
+        for spec in tiny_config(schedule="polynomial", schedule_steps=2).expand():
+            clone = ExperimentSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict()))
+            )
+            assert clone == spec
+            assert spec_hash(clone) == spec_hash(spec)
+
+    def test_unknown_keys_rejected(self):
+        payload = tiny_config().expand()[0].to_dict()
+        payload["oops"] = 1
+        with pytest.raises(ValueError, match="oops"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_baseline_spec_normalized(self):
+        spec = tiny_config(schedule="iterative", schedule_steps=4).expand()[-1]
+        assert spec.compression > 1.0
+        baseline = baseline_spec_for(spec)
+        assert baseline.strategy == BASELINE_STRATEGY
+        assert baseline.compression == 1.0
+        assert baseline.schedule == "one_shot"
+        assert baseline.schedule_steps == 1
+        assert baseline.seed == spec.seed
