@@ -9,10 +9,16 @@ extra.
 Scale control: ``REPRO_BENCH_SCALE=smoke`` (default) runs CPU-friendly
 configurations; ``full`` widens seeds/epochs/datasets toward the paper's
 protocol.  EXPERIMENTS.md records the scale used for the committed numbers.
+
+Execution control: ``REPRO_SWEEP_WORKERS`` (0 = all cores) fans cells over
+local processes; ``REPRO_SWEEP_EXECUTOR``/``REPRO_EXECUTOR_OPTIONS`` select
+any registered executor instead — e.g. the durable ``queue`` executor for
+multi-machine benchmark grids (see :func:`sweep_executor`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import Dict, List, Optional, Sequence
@@ -20,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.experiment import (
+    EXECUTORS,
     OptimizerConfig,
     PruningResult,
     ResultCache,
@@ -71,6 +78,36 @@ MODEL_KW = {
     "resnet-110": dict(width_scale=0.25),
     "resnet-18": dict(width_scale=0.25, num_classes=20),
 }
+
+
+def sweep_executor(progress=None):
+    """The executor benchmark sweeps run through, picked from the env.
+
+    ``REPRO_SWEEP_WORKERS`` (0 = all cores, default 1 = serial) keeps its
+    historical meaning; ``REPRO_SWEEP_EXECUTOR`` selects any registered
+    executor by name instead, with ``REPRO_EXECUTOR_OPTIONS`` (a JSON dict)
+    supplying its extra constructor kwargs.  Fanning a benchmark grid out
+    over machines is therefore just::
+
+        REPRO_SWEEP_EXECUTOR=queue \\
+        REPRO_EXECUTOR_OPTIONS='{"queue_dir": "/shared/q"}' \\
+            python benchmarks/bench_fig07.py
+        # elsewhere: python -m repro worker /shared/q
+    """
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+    name = os.environ.get("REPRO_SWEEP_EXECUTOR")
+    if name:
+        options = json.loads(os.environ.get("REPRO_EXECUTOR_OPTIONS", "{}"))
+        # queue runs must read the same cache the remote workers publish to,
+        # so let the executor default it into <queue_dir>/cache (matching
+        # the `python -m repro run/worker` CLI) instead of the local
+        # artifacts cache
+        cache = None if (name == "queue" and "queue_dir" in options) else ResultCache()
+        return EXECUTORS.create(
+            name, workers=workers or None, cache=cache,
+            progress=progress, **options,
+        )
+    return executor_for(workers, cache=ResultCache(), progress=progress)
 
 
 def pretrain_config(lr: float = 2e-3) -> TrainConfig:
@@ -154,9 +191,7 @@ def cached_sweep(
     # run <name>_<scale>.sweep.json` replays this bench's grid verbatim
     config.save(path.with_suffix("").with_suffix(".sweep.json"))
     specs = config.expand()
-    executor = executor_for(
-        int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
-        cache=ResultCache(),
+    executor = sweep_executor(
         progress=lambda msg: print(f"    {name}: {msg}", flush=True),
     )
     results = assemble_results(specs, executor.run(specs), config.strategies)

@@ -78,6 +78,36 @@ def main() -> None:
           f"speedup {best.theoretical_speedup:.2f}x) "
           f"top1={best.top1:.3f} (Δ{best.delta_top1:+.3f} vs control)")
 
+    # 5. Scaling out: the same config runs through the durable work-queue
+    #    executor, which is how a sweep spans machines (and survives worker
+    #    crashes).  The two-terminal flow over any shared directory:
+    #
+    #      terminal A (submit + assemble; streams progress):
+    #        python -m repro run artifacts/quickstart_sweep.json \
+    #            --executor queue --queue-dir artifacts/quickstart_queue
+    #
+    #      terminal B (on every machine that can see the directory):
+    #        python -m repro worker artifacts/quickstart_queue --idle-timeout 60
+    #
+    #    Kill a worker mid-cell and nothing is lost: its lease expires, the
+    #    cell is re-enqueued, and another worker finishes it.  Below, the
+    #    submitter's built-in local worker drains the queue in-process —
+    #    and because every cell above is already in the shared cache layout,
+    #    the queue run completes from cache hits alone.
+    queue_results = run_config(
+        SweepConfig.from_dict({
+            **config.to_dict(),
+            "executor": "queue",
+            "executor_options": {"queue_dir": "artifacts/quickstart_queue"},
+        }),
+        cache=ResultCache(),
+    )
+    assert len(queue_results) == len(results)
+    print("\nqueue executor replayed the sweep "
+          f"({len(queue_results)} rows, all cache hits) — "
+          "add `python -m repro worker artifacts/quickstart_queue` "
+          "processes to fan real work out across machines")
+
 
 if __name__ == "__main__":
     main()

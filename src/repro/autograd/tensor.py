@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,7 +31,10 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (like torch's): executors that run experiment
+# cells on worker threads must not have one thread's eval-time no_grad()
+# silently stop a concurrently *training* thread from recording its tape.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
@@ -38,23 +42,23 @@ class no_grad:
 
     Inside a ``with no_grad():`` block, ops return plain result tensors with
     no parents, mirroring ``torch.no_grad``.  Used by evaluation loops and by
-    in-place parameter updates in the optimizers.
+    in-place parameter updates in the optimizers.  The mode only affects the
+    current thread.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new ops will be recorded on the autograd tape."""
-    return _GRAD_ENABLED
+    """Return whether new ops will be recorded on the autograd tape
+    (in the current thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -171,7 +175,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output, recording the tape edge if grad is enabled."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

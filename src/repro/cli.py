@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro run sweep.json        # execute a declarative sweep
+    python -m repro worker QUEUE_DIR      # pull + run cells from a work queue
     python -m repro expand sweep.json     # dry-run: list cells + spec hashes
     python -m repro ls [models|datasets|strategies|schedules|optimizers|executors]
     python -m repro cache stats|gc|clear  # result-cache maintenance
@@ -22,13 +23,28 @@ CLI offered::
 anything — useful for eyeballing a grid and for verifying that a config
 edit didn't silently change cached-cell identities (hashes are stable
 across processes and machines).
+
+``run --executor queue --queue-dir DIR`` submits through the durable work
+queue (:mod:`repro.experiment.queue`) instead of local processes; ``worker``
+is the other half — run it on every machine that shares ``DIR`` (NFS,
+sshfs, rsync) and cells are claimed, executed, and published through the
+shared result cache (default ``DIR/cache``) with crash-safe leases and
+bounded retries::
+
+    terminal A:  python -m repro run sweep.json --executor queue --queue-dir /shared/q
+    terminal B:  python -m repro worker /shared/q --idle-timeout 60
+
+``worker --import MODULE`` imports MODULE first so custom registered
+components (models, datasets, strategies) exist in the worker process too.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .experiment.cache import ResultCache, spec_hash
@@ -41,6 +57,7 @@ from .experiment.executor import (
     shard_specs,
     spec_label,
 )
+from .experiment.queue import QueueWorker, WorkQueue
 from .experiment.runner import assemble_results
 from .models import MODELS
 from .optim import OPTIMIZERS
@@ -95,6 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the assembled ResultSet JSON here")
     run.add_argument("--quiet", action="store_true",
                      help="suppress progress lines")
+    run.add_argument("--queue-dir", default=None, metavar="DIR",
+                     help="work-queue directory for --executor queue "
+                          "(shared with `python -m repro worker DIR`)")
+    run.add_argument("--lease-timeout", type=float, default=None, metavar="S",
+                     help="queue executor: seconds without a heartbeat before "
+                          "a worker's cell is re-enqueued")
+    run.add_argument("--max-retries", type=int, default=None, metavar="N",
+                     help="queue executor: failed-cell retries before "
+                          "quarantine (cell runs at most 1+N times)")
+    run.add_argument("--wait-timeout", type=float, default=None, metavar="S",
+                     help="queue executor: give up if the sweep is still "
+                          "unfinished after this many seconds")
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull cells from a shared work-queue directory and execute them",
+    )
+    worker.add_argument("queue_dir", help="queue directory created by "
+                        "`python -m repro run --executor queue --queue-dir`")
+    worker.add_argument("--cache-dir", default=None,
+                        help="shared result cache root "
+                             "(default: <queue-dir>/cache)")
+    worker.add_argument("--import", dest="imports", action="append",
+                        default=[], metavar="MODULE",
+                        help="import MODULE before working (registers custom "
+                             "models/datasets/strategies); repeatable")
+    worker.add_argument("--worker-id", default=None,
+                        help="lease owner name (default: <hostname>-<pid>)")
+    worker.add_argument("--once", action="store_true",
+                        help="process at most one cell, then exit "
+                             "(exits immediately when the queue is empty)")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after claiming this many cells")
+    worker.add_argument("--idle-timeout", type=float, default=None, metavar="S",
+                        help="exit after the queue stays empty this long "
+                             "(default: wait for work forever)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
 
     expand = sub.add_parser(
         "expand", help="list a config's cells and spec hashes without running"
@@ -162,6 +217,13 @@ def _progress_printer():
         elif event.kind == "done":
             print(f"  [{event.done}/{event.total}{who} {event.elapsed:.1f}s] "
                   f"{event.label} [done]", flush=True)
+        elif event.kind == "failed":
+            # last traceback line = the exception itself ("CrashyError: ...")
+            reason = ""
+            if event.failure:
+                reason = " — " + event.failure.strip().splitlines()[-1]
+            print(f"  [{event.done}/{event.total} {event.elapsed:.1f}s] "
+                  f"{event.label} [FAILED]{reason}", flush=True)
         elif event.kind == "pretrain":
             print(f"  pretraining shared checkpoint {event.label}", flush=True)
 
@@ -175,12 +237,43 @@ def _cmd_run(args) -> int:
         index, total = args.shard
         specs = shard_specs(specs, index, total)
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    on_event = None if args.quiet else _progress_printer()
     executor_name = args.executor or config.executor
+    # config-file executor options belong to the config's executor; an
+    # --executor override switches to a different constructor, so only
+    # flag-provided options apply there
+    options = dict(config.executor_options) if executor_name == config.executor else {}
+    queue_flags = {
+        key: getattr(args, key)
+        for key in ("queue_dir", "lease_timeout", "max_retries", "wait_timeout")
+        if getattr(args, key) is not None
+    }
+    if queue_flags and executor_name != "queue":
+        flags = ", ".join("--" + k.replace("_", "-") for k in queue_flags)
+        raise ValueError(
+            f"{flags} only apply to the queue executor — add "
+            f"--executor queue (current executor: {executor_name!r})"
+        )
+    options.update(queue_flags)
+    if args.no_cache and executor_name == "queue":
+        raise ValueError(
+            "--no-cache cannot be combined with the queue executor: the "
+            "shared result cache is how workers deliver rows back (clear "
+            "<queue-dir>/cache instead to force re-execution)"
+        )
+
+    if args.no_cache:
+        cache = None
+    elif (executor_name == "queue" and args.cache_dir is None
+            and "queue_dir" in options):
+        # queue runs default the cache INTO the queue directory so workers
+        # started with just `python -m repro worker <queue-dir>` share it
+        cache = ResultCache(Path(options["queue_dir"]) / "cache")
+    else:
+        cache = ResultCache(args.cache_dir)
+    on_event = None if args.quiet else _progress_printer()
     workers = args.workers if args.workers is not None else config.workers
     if (args.executor is None and args.workers is not None
-            and config.executor in ("serial", "parallel")):
+            and config.executor in ("serial", "parallel") and not options):
         # a bare --workers override on a builtin executor picks
         # serial/parallel from the count, like the old CLI; a custom
         # registered executor keeps its name and just gets the new count
@@ -188,7 +281,7 @@ def _cmd_run(args) -> int:
     else:
         executor = EXECUTORS.create(
             executor_name, workers=workers or None, cache=cache,
-            on_event=on_event,
+            on_event=on_event, **options,
         )
 
     print(f"{len(specs)} spec(s) to execute via "
@@ -199,14 +292,45 @@ def _cmd_run(args) -> int:
         replicate_baselines=config.dedupe_baselines,
     )
 
+    failed = [r for r in results if r.extra.get("failed")]
     if args.out:
         results.save(args.out)
         print(f"wrote {len(results)} rows to {args.out}")
     else:
         for r in results:
-            print(f"{r.strategy:16s} c={r.compression:<5g} seed={r.seed} "
-                  f"top1={r.top1:.3f} (Δ{r.delta_top1:+.3f}) "
-                  f"actual={r.actual_compression:.2f}x")
+            if r.extra.get("failed"):
+                print(f"{r.strategy:16s} c={r.compression:<5g} seed={r.seed} "
+                      f"FAILED after {r.extra.get('attempts', '?')} attempt(s)")
+            else:
+                print(f"{r.strategy:16s} c={r.compression:<5g} seed={r.seed} "
+                      f"top1={r.top1:.3f} (Δ{r.delta_top1:+.3f}) "
+                      f"actual={r.actual_compression:.2f}x")
+    if failed:
+        print(f"WARNING: {len(failed)} quarantined cell(s) — see each row's "
+              "extra['failures'] for tracebacks", file=sys.stderr)
+        return 1  # scripted callers must not mistake a partial table for success
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    for module in args.imports:
+        importlib.import_module(module)
+    queue = WorkQueue(args.queue_dir)
+    cache = ResultCache(args.cache_dir or Path(args.queue_dir) / "cache")
+    progress = None if args.quiet else lambda msg: print(msg, flush=True)
+    worker = QueueWorker(queue, cache, worker_id=args.worker_id, progress=progress)
+    if not args.quiet:
+        counts = queue.counts()
+        print(f"worker {worker.worker_id} on {queue.root} "
+              f"(cache {cache.root}; queue: {counts})", flush=True)
+    max_cells = 1 if args.once else args.max_cells
+    idle_timeout = args.idle_timeout
+    if args.once and idle_timeout is None:
+        idle_timeout = 0.0  # "at most one" must not block on an empty queue
+    claimed = worker.run(max_cells=max_cells, idle_timeout=idle_timeout)
+    if not args.quiet:
+        print(f"worker {worker.worker_id} exiting after {claimed} cell(s); "
+              f"queue: {queue.counts()}", flush=True)
     return 0
 
 
@@ -239,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "expand":
         return _cmd_expand(args)
     if args.command == "ls":

@@ -3,7 +3,10 @@
 The declarative entry point is :class:`SweepConfig` (+ ``python -m repro
 run sweep.json``); the pieces it drives — :func:`expand_sweep`,
 :func:`spec_hash`, the ``EXECUTORS`` registry, :class:`ResultCache` — are
-all public for programmatic use.
+all public for programmatic use.  Multi-machine sweeps go through the
+durable ``"queue"`` executor (:mod:`repro.experiment.queue`): the submitter
+enqueues cells into a shared directory and any number of ``python -m repro
+worker`` processes drain them, publishing rows through the shared cache.
 """
 
 from .config import (
@@ -30,6 +33,7 @@ from .prune import (
     PruningExperiment,
     baseline_spec_for,
 )
+from .queue import QueueClaim, QueueExecutor, QueueWorker, WorkQueue
 from .results import CurvePoint, PruningResult, ResultSet, aggregate_curve
 from .runner import (
     PAPER_COMPRESSIONS,
@@ -70,6 +74,10 @@ __all__ = [
     "ProgressEvent",
     "SerialExecutor",
     "ParallelExecutor",
+    "QueueExecutor",
+    "QueueWorker",
+    "QueueClaim",
+    "WorkQueue",
     "executor_for",
     "shard_specs",
     "PAPER_COMPRESSIONS",

@@ -25,6 +25,15 @@ Invalidation is by construction: any change to the spec (model, dataset,
 strategy, compression, seed, train configs) changes the hash and therefore
 the file name.  Delete the directory (or call :meth:`ResultCache.clear`) to
 drop everything.
+
+The cache is also the *result transport* for multi-machine sweeps: the
+work queue (:mod:`repro.experiment.queue`, layout documented there) moves
+only specs between machines, while every worker publishes its rows to a
+shared cache (by default ``<queue-dir>/cache``) *before* marking the cell
+done — the submitter then assembles the final table purely from hits.
+Atomic writes make concurrent workers racing on one cell harmless, and
+content addressing makes the rows location-independent: any machine that
+can see the directory can produce or consume them.
 """
 
 from __future__ import annotations

@@ -36,7 +36,10 @@ to a file, diffed, shipped to a remote worker, and replayed bit-for-bit::
       "prune_classifier": false,
       "dedupe_baselines": true,
       "executor": "serial",            // EXECUTORS registry name
-      "workers": 1                     // 0 = all cores; serial ignores it
+      "workers": 1,                    // 0 = all cores; serial ignores it
+      "executor_options": {}           // extra executor kwargs, e.g. the
+                                       // queue executor's {"queue_dir": ...,
+                                       // "lease_timeout": 30, "max_retries": 2}
     }
 
 Schema versioning: ``schema_version`` is bumped whenever a field is
@@ -164,6 +167,12 @@ class SweepConfig:
     dedupe_baselines: bool = True
     executor: str = "serial"
     workers: int = 1
+    #: extra keyword arguments for the executor's constructor, beyond the
+    #: uniform ``(workers, cache, progress, on_event)`` — the declarative
+    #: home for executor-specific knobs like the queue executor's
+    #: ``queue_dir``/``lease_timeout``/``max_retries``/``local_workers``.
+    #: Additive with a no-op default, so schema_version stays 1.
+    executor_options: Dict = field(default_factory=dict)
     schema_version: int = SWEEP_SCHEMA_VERSION
 
     def __post_init__(self):

@@ -20,10 +20,12 @@ cached under the baseline spec's hash — so a shard that holds only pruned
 cells still contributes baselines, and the merge run completes from hits.
 
 Executors are registered in the ``EXECUTORS``
-:class:`~repro.registry.Registry` ("serial", "parallel") and share the
-constructor signature ``(workers, cache, progress, on_event)`` — the seam
-where a future SSH/queue remote executor plugs in without touching the
-sweep layer.
+:class:`~repro.registry.Registry` ("serial", "parallel", "queue") and share
+the constructor signature ``(workers, cache, progress, on_event)`` — the
+seam where new executors plug in without touching the sweep layer.  The
+durable multi-machine ``"queue"`` executor lives in
+:mod:`repro.experiment.queue` (shared-directory work queue + ``python -m
+repro worker`` processes).
 
 Progress is reported two ways: ``progress`` receives plain one-line strings
 (legacy), ``on_event`` receives structured :class:`ProgressEvent` records
@@ -39,7 +41,13 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -72,8 +80,9 @@ class ProgressEvent:
     ----------
     kind:
         ``"start"`` (a cell began executing), ``"done"`` (a cell finished),
-        ``"cache-hit"`` (a cell was satisfied from the result cache), or
-        ``"pretrain"`` (a shared checkpoint is being warmed).
+        ``"cache-hit"`` (a cell was satisfied from the result cache),
+        ``"pretrain"`` (a shared checkpoint is being warmed), or
+        ``"failed"`` (a cell raised; ``failure`` carries the traceback).
     label:
         Human-readable cell label (:func:`spec_label`).
     done, total:
@@ -85,6 +94,10 @@ class ProgressEvent:
         work (cache hits, serial pre-warm).
     worker_done:
         Cells completed by that worker so far (0 for parent events).
+    failure:
+        For ``kind="failed"`` events: the cell's captured traceback (for
+        process-pool cells this includes the remote worker's traceback, so
+        the error's origin survives the process boundary).  None otherwise.
     """
 
     kind: str
@@ -94,6 +107,7 @@ class ProgressEvent:
     elapsed: float
     worker: Optional[int] = None
     worker_done: int = 0
+    failure: Optional[str] = None
 
 
 EventFn = Callable[[ProgressEvent], None]
@@ -184,6 +198,7 @@ class _ExecutorBase:
         started: float = 0.0,
         worker: Optional[int] = None,
         worker_done: int = 0,
+        failure: Optional[str] = None,
     ) -> None:
         if self.progress:
             self.progress(spec_label(spec) + suffix)
@@ -197,6 +212,7 @@ class _ExecutorBase:
                     elapsed=time.monotonic() - started,
                     worker=worker,
                     worker_done=worker_done,
+                    failure=failure,
                 )
             )
 
@@ -262,7 +278,18 @@ class SerialExecutor(_ExecutorBase):
                     spec, kind="start", done=done, total=len(specs),
                     started=started, worker=0, worker_done=done,
                 )
-                row, baseline = _run_spec(spec)
+                try:
+                    row, baseline = _run_spec(spec)
+                except Exception:
+                    # surface the traceback on the event stream before the
+                    # raise unwinds the sweep: callers watching events see
+                    # which cell died and why even if they swallow the error
+                    self._emit(
+                        spec, " [failed]", kind="failed", done=done,
+                        total=len(specs), started=started, worker=0,
+                        worker_done=done, failure=traceback.format_exc(),
+                    )
+                    raise
                 self._cache_put(spec, row, baseline)
                 done += len(idxs)
                 if self.on_event:
@@ -395,6 +422,18 @@ class ParallelExecutor(_ExecutorBase):
                         # running) must reach the cache so a rerun only
                         # re-pays the failed/cancelled ones.  Queued cells
                         # are cancelled rather than run-and-discarded.
+                        # ProcessPoolExecutor re-raises with the remote
+                        # traceback chained as __cause__; format the chain
+                        # so the failure event names the worker-side origin
+                        # rather than just this fut.result() line.
+                        if not isinstance(exc, CancelledError):
+                            self._emit(
+                                spec, " [failed]", kind="failed", done=done,
+                                total=total, started=started,
+                                failure="".join(traceback.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )),
+                            )
                         if first_error is None:
                             first_error = exc
                             for pending_fut in not_done:

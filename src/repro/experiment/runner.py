@@ -161,6 +161,7 @@ def run_config(
             cache=cache,
             progress=progress,
             on_event=on_event,
+            **dict(config.executor_options),
         )
     elif cache is not None or progress is not None or on_event is not None:
         raise ValueError(

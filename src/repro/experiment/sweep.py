@@ -80,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prune/fine-tune rounds for iterative schedules")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes; 1 = serial, 0 = all cores")
+    p.add_argument("--queue-dir", default=None, metavar="DIR",
+                   help="run through the durable work-queue executor rooted "
+                        "at DIR (pair with `python -m repro worker DIR`)")
     p.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
                    help="run only round-robin shard I of N (0-based)")
     p.add_argument("--no-cache", action="store_true",
@@ -120,8 +123,13 @@ def config_from_args(args) -> SweepConfig:
         pretrain_seed=args.pretrain_seed,
         schedule=args.schedule,
         schedule_steps=args.schedule_steps,
-        executor="serial" if args.workers == 1 else "parallel",
+        executor="queue" if args.queue_dir else (
+            "serial" if args.workers == 1 else "parallel"
+        ),
         workers=args.workers,
+        executor_options=(
+            {"queue_dir": args.queue_dir} if args.queue_dir else {}
+        ),
     )
 
 
@@ -140,11 +148,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress = None if args.quiet else lambda msg: print(f"  {msg}", flush=True)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = executor_for(args.workers, cache=cache, progress=progress)
+    if args.queue_dir:
+        from .executor import EXECUTORS
 
-    print(f"{len(specs)} spec(s) to execute "
-          f"({'serial' if args.workers == 1 else f'workers={executor.workers}'})",
-          flush=True)
+        if args.no_cache:
+            raise ValueError(
+                "--no-cache cannot be combined with --queue-dir: the shared "
+                "result cache is how queue workers deliver rows back"
+            )
+        if args.cache_dir is None:
+            cache = None  # let the executor default to <queue-dir>/cache
+        executor = EXECUTORS.create(
+            "queue", workers=args.workers or None, cache=cache,
+            progress=progress, queue_dir=args.queue_dir,
+        )  # 0 ("all cores") must not mean a zero-worker coordinator here
+        print(f"{len(specs)} spec(s) via work queue at {args.queue_dir}",
+              flush=True)
+    else:
+        executor = executor_for(args.workers, cache=cache, progress=progress)
+        print(f"{len(specs)} spec(s) to execute "
+              f"({'serial' if args.workers == 1 else f'workers={executor.workers}'})",
+              flush=True)
     rows = executor.run(specs)
     results = assemble_results(specs, rows, config.strategies)
 

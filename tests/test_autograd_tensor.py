@@ -280,6 +280,40 @@ class TestGradMode:
                 pass
             assert not is_grad_enabled()
 
+    def test_no_grad_is_thread_local(self):
+        """Regression: grad mode was a process-wide global, so one worker
+        thread evaluating under no_grad() silently stopped a concurrently
+        *training* thread from recording its tape (queue-executor threads
+        produced different metrics than a serial run)."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def holder():
+            with no_grad():
+                observed["holder_disabled"] = not is_grad_enabled()
+                entered.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        try:
+            assert entered.wait(timeout=10)
+            # this thread still records graphs while the other holds no_grad
+            assert is_grad_enabled()
+            a = Tensor([3.0], requires_grad=True)
+            out = (a * 2).sum()
+            assert out.requires_grad
+            out.backward()
+            np.testing.assert_allclose(a.grad, [2.0])
+        finally:
+            release.set()
+            t.join(timeout=10)
+        assert observed["holder_disabled"]
+        assert is_grad_enabled()
+
 
 class TestUnbroadcast:
     def test_noop_when_same_shape(self):

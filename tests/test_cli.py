@@ -97,6 +97,96 @@ class TestRun:
             main(["run", str(tmp_path / "nope.json")])
 
 
+class TestQueueCLI:
+    """`run --executor queue` + the `worker` subcommand, in-process."""
+
+    def test_run_via_queue_with_local_worker(self, tmp_path, capsys):
+        """A bare queue run completes on its own: the submitter's default
+        local worker thread drains the queue it just filled, the result
+        cache defaults into the queue directory, and the table matches a
+        plain serial run of the same config."""
+        path = tiny_sweep_file(
+            tmp_path, compressions=[1, 2], strategies=["global_weight"]
+        )
+        queue_dir = tmp_path / "q"
+        out_file = tmp_path / "rows.json"
+        assert main(["run", str(path), "--executor", "queue",
+                     "--queue-dir", str(queue_dir),
+                     "--wait-timeout", "120",
+                     "--out", str(out_file)]) == 0
+        assert (queue_dir / "cache").is_dir()  # cache defaulted into queue
+        from repro.experiment import WorkQueue
+
+        counts = WorkQueue(queue_dir).counts()
+        assert counts["done"] == 2 and counts["failed"] == 0
+
+        serial_out = tmp_path / "serial.json"
+        assert main(["run", str(path), "--cache-dir", str(tmp_path / "ref"),
+                     "--out", str(serial_out)]) == 0
+        produced = ResultSet.load(out_file)
+        reference = ResultSet.load(serial_out)
+        assert [r.to_dict() for r in produced] == [
+            r.to_dict() for r in reference
+        ]
+
+    def test_worker_subcommand_drains_a_queue(self, tmp_path, capsys):
+        from repro.experiment import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        config = SweepConfig.load(tiny_sweep_file(
+            tmp_path, compressions=[1, 2], strategies=["global_weight"]
+        ))
+        specs = config.expand()
+        for spec in specs:
+            queue.submit(spec)
+        assert main(["worker", str(tmp_path / "q"),
+                     "--idle-timeout", "0", "--worker-id", "cli-w"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-w" in out and "exiting after 2 cell(s)" in out
+        assert queue.counts()["done"] == 2
+        cache = ResultCache(tmp_path / "q" / "cache")
+        assert all(cache.get(s) is not None for s in specs)
+
+    def test_queue_without_queue_dir_rejected(self, tmp_path):
+        path = tiny_sweep_file(tmp_path)
+        with pytest.raises(ValueError, match="queue directory"):
+            main(["run", str(path), "--executor", "queue"])
+
+    def test_worker_once_exits_on_empty_queue(self, tmp_path, capsys):
+        from repro.experiment import WorkQueue
+
+        WorkQueue(tmp_path / "q")  # valid but empty
+        assert main(["worker", str(tmp_path / "q"), "--once"]) == 0
+        assert "exiting after 0 cell(s)" in capsys.readouterr().out
+
+    def test_no_cache_with_queue_rejected(self, tmp_path):
+        path = tiny_sweep_file(tmp_path)
+        with pytest.raises(ValueError, match="no-cache"):
+            main(["run", str(path), "--executor", "queue",
+                  "--queue-dir", str(tmp_path / "q"), "--no-cache"])
+
+    def test_queue_flags_on_other_executor_rejected(self, tmp_path):
+        path = tiny_sweep_file(tmp_path)
+        with pytest.raises(ValueError, match="--executor queue"):
+            main(["run", str(path), "--lease-timeout", "30"])
+
+    def test_executor_override_drops_config_executor_options(self, tmp_path):
+        """A queue config replayed with --executor serial must not forward
+        queue-only constructor options to SerialExecutor."""
+        path = tiny_sweep_file(
+            tmp_path, compressions=[1, 2], strategies=["global_weight"],
+            executor="queue",
+            executor_options={"queue_dir": str(tmp_path / "q"),
+                              "lease_timeout": 3.0},
+        )
+        out_file = tmp_path / "rows.json"
+        assert main(["run", str(path), "--executor", "serial",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_file)]) == 0
+        assert len(ResultSet.load(out_file)) == 2
+        assert not (tmp_path / "q").exists()  # the queue was never touched
+
+
 class TestCacheCommands:
     def _populate(self, tmp_path, n=3):
         cache = ResultCache(tmp_path / "cache")
