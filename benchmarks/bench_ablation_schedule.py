@@ -1,56 +1,60 @@
 """Ablation (§2.3 "Scheduling"): one-shot vs iterative vs polynomial-decay
 pruning schedules at the same final compression.
 
-The paper catalogs these scheduling families but does not benchmark them;
-this ablation exercises the schedule substrate end-to-end: each iterative
-round prunes to the intermediate target and fine-tunes briefly.
+The paper catalogs these scheduling families but does not benchmark them.
+Each schedule runs as a normal sweep cell — ``ExperimentSpec.schedule`` /
+``schedule_steps`` drive the iterative prune → fine-tune rounds inside
+:class:`~repro.experiment.PruningExperiment` — through the same cached
+executor path every figure benchmark uses, so schedule cells land in the
+result cache, fan out over ``REPRO_SWEEP_WORKERS`` processes (or any
+``REPRO_SWEEP_EXECUTOR``), and resume after interruption like everything
+else.
 """
 
 import numpy as np
 
-from common import MODEL_KW, SCALE, _CIFAR_KW, cifar_ft_config, pretrain_config
-from repro.data import DataLoader
-from repro.experiment import DATASETS, PruningExperiment, ExperimentSpec, Trainer
-from repro.metrics import evaluate
-from repro.models.pretrained import get_pretrained_state
-from repro.pruning import GlobalMagWeight, Pruner, iterative_linear, one_shot, polynomial_decay
+from common import MODEL_KW, _CIFAR_KW, cifar_ft_config, pretrain_config, sweep_executor
+from repro.analysis import ResultFrame
+from repro.experiment import SweepConfig, run_config
 
 FINAL_COMPRESSION = 8.0
 
-
-def _run_schedule(schedule_name, targets):
-    dataset = DATASETS.create("cifar10", **_CIFAR_KW)
-    spec = ExperimentSpec(
-        model="resnet-20", dataset="cifar10", strategy="global_weight",
-        compression=FINAL_COMPRESSION, model_kwargs=MODEL_KW["resnet-20"],
-        dataset_kwargs=dict(_CIFAR_KW), pretrain=pretrain_config(),
-    )
-    exp = PruningExperiment(spec)
-    model = exp.load_pretrained()
-    pruner = Pruner(model, GlobalMagWeight())
-    ft = cifar_ft_config()
-    for target in targets:
-        pruner.prune(target)
-        trainer = Trainer(model, dataset, ft, seed=0, masks=pruner.registry)
-        trainer.run()
-    loader = DataLoader(dataset.val, batch_size=128,
-                        transform=dataset.eval_transform())
-    top1 = evaluate(model, loader)["top1"]
-    return schedule_name, pruner.actual_compression(), top1
+#: (display label, SCHEDULES registry name, rounds)
+SCHEDULE_AXIS = [
+    ("one-shot", "one_shot", 1),
+    ("iterative-linear", "iterative", 3),
+    ("polynomial-decay", "polynomial", 3),
+]
 
 
-def _generate():
-    steps = 3
-    rows = [
-        _run_schedule("one-shot", one_shot(FINAL_COMPRESSION)),
-        _run_schedule("iterative-linear", iterative_linear(FINAL_COMPRESSION, steps)),
-        _run_schedule("polynomial-decay", polynomial_decay(FINAL_COMPRESSION, steps)),
-    ]
+def _run_schedules():
+    rows = []
+    for label, schedule, steps in SCHEDULE_AXIS:
+        config = SweepConfig(
+            model="resnet-20",
+            dataset="cifar10",
+            strategies=("global_weight",),
+            compressions=(FINAL_COMPRESSION,),
+            seeds=(0,),
+            model_kwargs=MODEL_KW["resnet-20"],
+            dataset_kwargs=dict(_CIFAR_KW),
+            pretrain=pretrain_config(),
+            finetune=cifar_ft_config(),
+            schedule=schedule,
+            schedule_steps=steps,
+        )
+        results = run_config(config, executor=sweep_executor())
+        frame = ResultFrame.from_results(results).filter(
+            compression=FINAL_COMPRESSION
+        )
+        rows.append(
+            (label, float(frame["actual_compression"][0]), float(frame["top1"][0]))
+        )
     return rows
 
 
 def test_schedule_ablation(benchmark):
-    rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    rows = benchmark.pedantic(_run_schedules, rounds=1, iterations=1)
     print(f"\n== Schedule ablation: global magnitude to {FINAL_COMPRESSION}x ==")
     for name, comp, top1 in rows:
         print(f"  {name:18s} final compression {comp:5.2f}x  top-1 {top1:.3f}")

@@ -8,7 +8,7 @@ methods, because global pruning removes parameters that carry few FLOPs.
 import numpy as np
 
 from common import SCALE, cached_sweep, print_accuracy_table
-from repro.experiment import aggregate_curve
+from repro.analysis import ResultFrame
 
 
 def _sweep():
@@ -26,22 +26,20 @@ def test_fig6(benchmark):
 
     print_accuracy_table(results, title="Figure 6 left: ResNet-18/ImageNet, Top-1 vs compression")
 
+    frame = ResultFrame.from_results(results)
+    speed_curves = frame.tradeoff_curves(x="compression", y="theoretical_speedup")
     print("\n== Figure 6 right: speedup achieved at each compression ==")
-    for strat in results.strategies():
-        pts = aggregate_curve(results.filter(strategy=strat),
-                              x_attr="compression", y_attr="theoretical_speedup")
+    for strat, pts in speed_curves.items():
         cells = " ".join(f"{p.mean:6.2f}x" for p in pts)
         print(f"{strat:18s} {cells}")
 
     # The figure's core claim: for a fixed compression ratio, global pruning
     # yields LOWER theoretical speedup than layerwise pruning (so at fixed
     # speedup the ranking can invert).
-    comps = [c for c in results.compressions() if c > 1]
+    comps = [c for c in frame.unique("compression") if c > 1]
     mid = comps[len(comps) // 2]
-    g = aggregate_curve(results.filter(strategy="global_weight", compression=mid),
-                        y_attr="theoretical_speedup")[0].mean
-    l = aggregate_curve(results.filter(strategy="layer_weight", compression=mid),
-                        y_attr="theoretical_speedup")[0].mean
+    g = next(p.mean for p in speed_curves["global_weight"] if p.x == mid)
+    l = next(p.mean for p in speed_curves["layer_weight"] if p.x == mid)
     print(f"\nspeedup at {mid}x compression: global={g:.2f}x layerwise={l:.2f}x")
     assert l > g, "layerwise must achieve higher speedup at fixed compression"
 

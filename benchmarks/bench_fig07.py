@@ -4,7 +4,7 @@ strategies — results vary across models, datasets, and pruning amounts."""
 import numpy as np
 
 from common import PAPER_STRATEGIES, cached_sweep, print_accuracy_table
-from repro.experiment import aggregate_curve
+from repro.analysis import ResultFrame
 from repro.plotting import curves_from_results, export_curves_csv, render_curves
 from repro.pruning import PAPER_LABELS
 
@@ -32,11 +32,15 @@ def test_fig7(benchmark):
         export_curves_csv(curves, f"fig07_{name.lower().replace('-', '')}")
 
     def mean_at(rs, strat, comp):
-        pts = aggregate_curve(rs.filter(strategy=strat, compression=comp))
+        pts = ResultFrame.from_results(rs).filter(
+            strategy=strat, compression=comp
+        ).curve()
         return pts[0].mean if pts else None
 
     for rs in (vgg, resnet):
-        comps = [c for c in rs.compressions() if c > 1]
+        comps = [
+            c for c in ResultFrame.from_results(rs).unique("compression") if c > 1
+        ]
         # compare at a large-but-not-floor ratio: at the most extreme point
         # all methods can collapse to chance, where ordering is noise
         hi = comps[-2] if len(comps) >= 2 else comps[-1]

@@ -9,7 +9,7 @@ Different initial models yield different tradeoff curves, and reporting
 import numpy as np
 
 from common import SCALE, cached_sweep
-from repro.experiment import aggregate_curve
+from repro.analysis import ResultFrame
 
 # The paper uses ResNet-56; smoke scale substitutes the topologically
 # identical ResNet-20 (same family, 3 stages of basic blocks) to fit the
@@ -38,8 +38,9 @@ def test_fig8(benchmark):
     header_printed = False
     rows = {}
     for wlabel, rs in sweeps.items():
+        frame = ResultFrame.from_results(rs)
         for strat in ("global_weight", "layer_weight"):
-            pts = aggregate_curve(rs.filter(strategy=strat))
+            pts = frame.filter(strategy=strat).curve()
             if not header_printed:
                 comps = " ".join(f"c={p.x:<5g}" for p in pts)
                 print(f"{'series':12s} {comps}   (absolute top-1)")

@@ -206,16 +206,16 @@ def print_accuracy_table(
     title: str = "",
 ) -> None:
     """Paper-style rows: one line per (strategy, operating point)."""
-    from repro.experiment import aggregate_curve
+    from repro.analysis import ResultFrame
     from repro.pruning import PAPER_LABELS
 
+    frame = ResultFrame.from_results(results)
     if title:
         print(f"\n== {title} ==")
     header = f"{'strategy':18s} " + " ".join(
-        f"{x_attr[:4]}={c:<5g}" for c in results.compressions()
+        f"{x_attr[:4]}={c:<5g}" for c in frame.unique("compression")
     )
     print(header)
-    for strat in results.strategies():
-        points = aggregate_curve(results.filter(strategy=strat), x_attr="compression", y_attr=y_attr)
+    for strat, points in frame.tradeoff_curves(x="compression", y=y_attr).items():
         cells = " ".join(f"{p.mean:.3f}±{p.std:.2f}" for p in points)
         print(f"{PAPER_LABELS.get(strat, strat):18s} {cells}")

@@ -16,16 +16,16 @@ import os
 
 os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 
+from repro.analysis import ResultFrame
 from repro.experiment import (
     OptimizerConfig,
     ResultCache,
     SweepConfig,
     TrainConfig,
-    aggregate_curve,
     run_config,
 )
 from repro.meta import audit_results
-from repro.plotting import curves_from_results, render_curves
+from repro.plotting import curves_from_frame, render_curves
 from repro.pruning import PAPER_LABELS
 
 STRATEGIES = ("global_weight", "layer_weight", "global_gradient",
@@ -56,19 +56,19 @@ def main() -> None:
         progress=lambda msg: print(f"  {msg}"),
     )
 
-    curves = curves_from_results(list(results), labels=PAPER_LABELS)
+    frame = ResultFrame.from_results(results)
+    curves = curves_from_frame(frame, labels=PAPER_LABELS)
     print()
     print(render_curves(curves, title="ResNet-56 on CIFAR-10 (synthetic)",
                         x_label="compression ratio"))
 
     print("\nmean±std top-1 by strategy and compression:")
-    for strat in results.strategies():
-        points = aggregate_curve(results.filter(strategy=strat))
+    for strat, points in frame.tradeoff_curves().items():
         row = " ".join(f"{p.x:g}x:{p.mean:.3f}±{p.std:.2f}" for p in points)
         print(f"  {PAPER_LABELS[strat]:16s} {row}")
 
     print("\nAppendix-B checklist audit of this run:")
-    for item in audit_results(results):
+    for item in audit_results(frame):
         print(f"  {item}")
 
 

@@ -1,13 +1,16 @@
-"""Quickstart: describe a pruning sweep declaratively, run it, read results.
+"""Quickstart: describe a pruning sweep declaratively, run it, report it.
 
 The whole experiment lives in one :class:`SweepConfig` — the "structured
 way" of identifying architectures, datasets and hyperparameters the paper
 recommends (§6).  The config round-trips losslessly through JSON, so the
 file this script writes can be replayed, diffed, or shipped to another
-machine:
+machine; the results file it produces feeds ``python -m repro report``,
+which emits the paper's standard report for any finished sweep:
 
     python examples/quickstart.py
-    python -m repro run artifacts/quickstart_sweep.json   # the CLI twin
+    python -m repro run artifacts/quickstart_sweep.json \
+        --out artifacts/quickstart_results.json          # the CLI twin
+    python -m repro report artifacts/quickstart_results.json
 
 Runs in about a minute on a laptop CPU.
 """
@@ -16,15 +19,14 @@ import os
 
 os.environ.setdefault("REPRO_ARTIFACTS", "artifacts")
 
+from repro.analysis import ResultFrame, build_report, render_report
 from repro.experiment import (
     OptimizerConfig,
     ResultCache,
     SweepConfig,
     TrainConfig,
-    aggregate_curve,
     run_config,
 )
-from repro.pruning import PAPER_LABELS
 
 
 def main() -> None:
@@ -60,25 +62,35 @@ def main() -> None:
         cache=ResultCache(),
         progress=lambda msg: print(f"  {msg}"),
     )
+    results.save("artifacts/quickstart_results.json")
 
-    # 4. Report the §6 recommended metrics: raw accuracy vs the unpruned
-    #    control, and BOTH compression ratio and theoretical speedup.
-    print("\n=== tradeoff curves (mean top-1 across seeds) ===")
-    for strategy in results.strategies():
-        rows = results.filter(strategy=strategy)
-        points = aggregate_curve(rows, x_attr="compression", y_attr="top1")
-        curve = "  ".join(f"{p.x:g}x:{p.mean:.3f}" for p in points)
-        print(f"{PAPER_LABELS.get(strategy, strategy):14s} {curve}")
+    # 4. Report it.  `python -m repro report` turns any finished sweep —
+    #    this results file, the result cache, or a queue directory — into
+    #    the paper's §6 standard report: per-strategy accuracy-vs-
+    #    compression AND accuracy-vs-speedup curves (mean ± std over
+    #    seeds), a summary table, Pareto-dominant operating points, and
+    #    the Appendix B checklist audit.  This is the same call the CLI
+    #    makes:
+    #
+    #        python -m repro report artifacts/quickstart_results.json \
+    #            --csv artifacts/quickstart_curves.csv
+    frame = ResultFrame.from_results(results)
+    print()
+    print(render_report(build_report(frame)))
 
-    best = max(
-        (r for r in results if r.compression > 1), key=lambda r: r.delta_top1
+    # 5. The frame behind the report is directly queryable — vectorized
+    #    filters (values, sequences, predicates), group-bys, aggregation,
+    #    Pareto frontiers:
+    best = frame.filter(compression=lambda c: c > 1).pareto_frontier(
+        x="actual_compression", y="delta_top1"
     )
-    print(f"\nbest pruned cell: {best.strategy} @ {best.compression:g}x "
-          f"(actual {best.actual_compression:.2f}x, "
-          f"speedup {best.theoretical_speedup:.2f}x) "
-          f"top1={best.top1:.3f} (Δ{best.delta_top1:+.3f} vs control)")
+    rec = best.to_records()[0]  # frontier is x-ascending: [0] = best accuracy
+    print(f"\nbest pruned cell: {rec['strategy']} @ {rec['compression']:g}x "
+          f"(actual {rec['actual_compression']:.2f}x, "
+          f"speedup {rec['theoretical_speedup']:.2f}x) "
+          f"top1={rec['top1']:.3f} (Δ{rec['delta_top1']:+.3f} vs control)")
 
-    # 5. Scaling out: the same config runs through the durable work-queue
+    # 6. Scaling out: the same config runs through the durable work-queue
     #    executor, which is how a sweep spans machines (and survives worker
     #    crashes).  The two-terminal flow over any shared directory:
     #
@@ -93,7 +105,10 @@ def main() -> None:
     #    cell is re-enqueued, and another worker finishes it.  Below, the
     #    submitter's built-in local worker drains the queue in-process —
     #    and because every cell above is already in the shared cache layout,
-    #    the queue run completes from cache hits alone.
+    #    the queue run completes from cache hits alone.  Afterwards,
+    #    `python -m repro report artifacts/quickstart_queue` reports
+    #    straight off the queue directory — identical curves, no assembly
+    #    step needed.
     queue_results = run_config(
         SweepConfig.from_dict({
             **config.to_dict(),

@@ -16,6 +16,8 @@ Top-level packages:
 * :mod:`repro.pruning` — the ShrinkBench core: masks, scores, strategies.
 * :mod:`repro.metrics` — size, FLOPs, compression ratio, speedup, accuracy.
 * :mod:`repro.experiment` — train → prune → fine-tune → evaluate harness.
+* :mod:`repro.analysis` — columnar ResultFrame queries + the §6 standard
+  report (``python -m repro report``).
 * :mod:`repro.meta` — the 81-paper corpus meta-analysis (Figures 1-5, Table 1).
 * :mod:`repro.plotting` — tradeoff curves, ASCII plots, CSV export.
 """

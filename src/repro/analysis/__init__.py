@@ -1,0 +1,28 @@
+"""Analysis layer: columnar ResultFrame + the §6 standard report.
+
+:class:`ResultFrame` (:mod:`repro.analysis.frame`) is the vectorized
+container every results consumer queries — experiment sweeps and the
+meta-analysis corpus alike.  :func:`build_report`/:func:`render_report`
+(:mod:`repro.analysis.report`) turn any finished sweep artifact into the
+paper's standard report; ``python -m repro report`` is the CLI wrapper.
+"""
+
+from .frame import ResultFrame, is_queue_dir, load_frame
+from .report import (
+    StandardReport,
+    build_report,
+    render_report,
+    report_csv_rows,
+    write_report_csv,
+)
+
+__all__ = [
+    "ResultFrame",
+    "is_queue_dir",
+    "load_frame",
+    "StandardReport",
+    "build_report",
+    "render_report",
+    "report_csv_rows",
+    "write_report_csv",
+]

@@ -1,0 +1,633 @@
+"""Columnar ResultFrame: the vectorized analysis layer over result rows.
+
+The paper's §6 prescribes *how* results must be aggregated — mean ± std
+over seeds, raw accuracy plus deltas vs the unpruned control, both the
+compression and the speedup axis — and §4's figures are all tradeoff
+curves and Pareto frontiers over a corpus of such rows.  A sweep can now
+produce thousands of rows across processes and machines; this module is
+the single place they are filtered, grouped, joined to their baselines,
+and reduced to curves.
+
+Column schema
+-------------
+A :class:`ResultFrame` is a mapping of column name → 1-D NumPy array, all
+of equal length (one entry per result row).  Frames built from experiment
+rows (:class:`~repro.experiment.results.PruningResult`) carry one column
+per dataclass field plus three derived columns:
+
+=====================  =========  =========================================
+column                 dtype      meaning
+=====================  =========  =========================================
+model, dataset,        object     registry names identifying the cell
+strategy
+compression            float64    target whole-model compression
+seed                   int64      fine-tuning seed
+actual_compression     float64    achieved compression (may be ``inf``)
+theoretical_speedup    float64    dense FLOPs / effective FLOPs
+total_params,          int64      parameter counts
+nonzero_params
+dense_flops,           float64    FLOP counts
+effective_flops
+baseline_top1/5        float64    unpruned control accuracy (§6)
+pre_finetune_top1/5    float64    accuracy right after pruning
+top1, top5             float64    accuracy after fine-tuning
+pretrained_key         object     shared-checkpoint provenance (§7.3)
+finetune_epochs_ran    int64      epochs actually run (early stopping)
+extra                  object     free-form dict (``extra["failed"]`` marks
+                                  quarantined queue cells)
+delta_top1/5           float64    derived: top1/5 − baseline_top1/5
+speedup                float64    derived: alias of theoretical_speedup
+=====================  =========  =========================================
+
+Frames are *generic*: :meth:`ResultFrame.from_records` builds a frame with
+whatever columns its records carry (the meta-analysis corpus uses this),
+and every query method works on arbitrary columns.
+
+Constructors are lossless and interchangeable: ``from_results`` /
+``from_json`` / ``from_cache`` / ``from_queue`` all yield frames whose
+curve data is point-for-point identical for the same sweep — a finished
+multi-machine queue run and its saved ``results.json`` produce the same
+report (``python -m repro report`` accepts any of the three).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..experiment.prune import BASELINE_STRATEGY
+from ..experiment.results import CurvePoint, PruningResult, ResultSet
+
+__all__ = ["ResultFrame", "is_queue_dir", "load_frame"]
+
+#: derived column → the base columns it is computed from
+_DERIVED = {
+    "delta_top1": ("top1", "baseline_top1"),
+    "delta_top5": ("top5", "baseline_top5"),
+    "speedup": ("theoretical_speedup",),
+}
+
+
+def _infer_column(values: List[Any]) -> np.ndarray:
+    """Pack a list of Python values into the narrowest sensible array.
+
+    ints → int64, numbers (or None, encoded as NaN) → float64, everything
+    else (strings, dicts) → object.  Bools count as objects, not ints, so
+    flag columns keep their identity.  An all-None column is float64 NaN —
+    "metric never reported" must still answer ``np.isfinite`` filters.
+    """
+    non_null = [v for v in values if v is not None]
+    if values and not non_null:
+        return np.full(len(values), np.nan, dtype=np.float64)
+    if non_null and all(
+        isinstance(v, int) and not isinstance(v, bool) for v in non_null
+    ):
+        if len(non_null) == len(values):
+            return np.asarray(values, dtype=np.int64)
+        return np.asarray(
+            [float("nan") if v is None else float(v) for v in values],
+            dtype=np.float64,
+        )
+    if non_null and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in non_null
+    ):
+        return np.asarray(
+            [float("nan") if v is None else float(v) for v in values],
+            dtype=np.float64,
+        )
+    out = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        out[i] = v
+    return out
+
+
+def _json_safe(value: Any) -> Any:
+    """Unwrap NumPy scalars so records serialize/compare like plain Python."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
+
+
+class ResultFrame:
+    """Typed columns + vectorized queries over result rows (see module doc).
+
+    Usage::
+
+        frame = ResultFrame.from_json("results.json")
+        gw = frame.filter(strategy="global_weight", compression=[2, 4, 8])
+        curves = frame.ok().tradeoff_curves(x="compression", y="top1")
+        best = frame.pareto_frontier(x="actual_compression", y="top1")
+    """
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
+        self._columns: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for name, values in columns.items():
+            arr = values if isinstance(values, np.ndarray) else _infer_column(list(values))
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} rows, expected {length}"
+                )
+            self._columns[name] = arr
+        self._length = length or 0
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Dict[str, Any]],
+        columns: Optional[Sequence[str]] = None,
+    ) -> "ResultFrame":
+        """Frame over a list of dicts; missing keys become None/NaN.
+
+        Column order is first-appearance order (or the explicit ``columns``
+        sequence, which also fixes the schema of an empty frame).
+        """
+        records = list(records)
+        names: List[str] = list(columns) if columns is not None else []
+        for rec in records:
+            for key in rec:
+                if key not in names:
+                    names.append(key)
+        cols = {
+            name: _infer_column([rec.get(name) for rec in records])
+            for name in names
+        }
+        return cls(cols)
+
+    @classmethod
+    def from_results(
+        cls, results: Union[ResultSet, Iterable[PruningResult]]
+    ) -> "ResultFrame":
+        """Lossless frame from a :class:`ResultSet` (or any row iterable)."""
+        rows = list(results)
+        field_names = list(PruningResult.__dataclass_fields__)
+        frame = cls.from_records([r.to_dict() for r in rows], columns=field_names)
+        return frame.derived()
+
+    @classmethod
+    def from_json(cls, path) -> "ResultFrame":
+        """Frame from a saved ``ResultSet`` JSON file (``results.json``)."""
+        data = json.loads(Path(path).read_text())
+        return cls.from_results(PruningResult.from_dict(d) for d in data)
+
+    @classmethod
+    def from_cache(cls, root) -> "ResultFrame":
+        """Frame from a :class:`~repro.experiment.cache.ResultCache` directory.
+
+        Reads every current-schema entry (layout documented in
+        :mod:`repro.experiment.cache`); torn or stale-schema files are
+        skipped, matching the cache's own hit rules.  Entry order is the
+        sorted hash order, which is stable across machines.
+        """
+        from ..experiment.cache import SCHEMA_VERSION
+
+        rows: List[PruningResult] = []
+        for path in sorted(Path(root).glob("??/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+                continue
+            result = payload.get("result")
+            if isinstance(result, dict):
+                rows.append(PruningResult.from_dict(result))
+        return cls.from_results(rows)
+
+    @classmethod
+    def from_queue(cls, root, cache_dir=None) -> "ResultFrame":
+        """Frame from a finished work-queue directory.
+
+        Done cells live in the queue's shared result cache — by default
+        ``<queue-dir>/cache``, or ``cache_dir`` when the sweep ran with an
+        explicit ``--cache-dir`` override; quarantined cells are surfaced
+        as placeholder rows with ``extra["failed"]`` — exactly the rows a
+        ``python -m repro run --executor queue`` invocation assembles.
+        """
+        from ..experiment.prune import ExperimentSpec
+        from ..experiment.queue import QueueExecutor
+
+        root = Path(root)
+        rows = list(cls.from_cache(cache_dir or root / "cache").to_results())
+        for path in sorted((root / "failed").glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict) or "spec" not in payload:
+                continue
+            spec = ExperimentSpec.from_dict(payload["spec"])
+            rows.append(QueueExecutor._quarantine_row(spec, payload))
+        return cls.from_results(rows)
+
+    # -- export ----------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Row dicts in column order (NumPy scalars unwrapped)."""
+        names = self.columns
+        return [
+            {name: _json_safe(self._columns[name][i]) for name in names}
+            for i in range(len(self))
+        ]
+
+    def to_results(self) -> ResultSet:
+        """Back to a :class:`ResultSet` of :class:`PruningResult` rows.
+
+        Derived/extra columns that are not dataclass fields are dropped;
+        ``from_results(rs).to_results()`` is an identity on the rows.
+        """
+        return ResultSet(PruningResult.from_dict(rec) for rec in self.to_records())
+
+    def save(self, path) -> Path:
+        """Persist as the standard ``results.json`` row-list format."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = [
+            {k: v for k, v in rec.items()
+             if k in PruningResult.__dataclass_fields__}
+            for rec in self.to_records()
+        ]
+        path.write_text(json.dumps(rows, indent=1, default=float))
+        return path
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown column {name!r}; available: {self.columns}"
+            ) from None
+
+    __getitem__ = column
+
+    def unique(self, name: str) -> List[Any]:
+        """Sorted distinct values of a column."""
+        return sorted({_json_safe(v) for v in self.column(name)})
+
+    def __repr__(self) -> str:
+        return f"ResultFrame({len(self)} rows × {len(self._columns)} columns)"
+
+    # -- row selection ---------------------------------------------------
+    def take(self, indices) -> "ResultFrame":
+        """Subframe of the given row indices (or a boolean mask)."""
+        indices = np.asarray(indices)
+        return ResultFrame(
+            {name: col[indices] for name, col in self._columns.items()}
+        )
+
+    def mask(self, **conditions) -> np.ndarray:
+        """Boolean row mask for :meth:`filter`'s conditions (AND-combined).
+
+        Each condition value may be a scalar (equality), a sequence
+        (membership), or a callable predicate.  Predicates are applied
+        vectorized when they accept the whole column (e.g. ``np.isfinite``
+        or ``lambda c: c > 2``) and fall back to per-element evaluation.
+        """
+        out = np.ones(len(self), dtype=bool)
+        for name, cond in conditions.items():
+            col = self.column(name)
+            if callable(cond):
+                result = None
+                try:
+                    result = np.asarray(cond(col))
+                except Exception:
+                    result = None
+                if result is None or result.shape != (len(col),):
+                    result = np.fromiter(
+                        (bool(cond(v)) for v in col), dtype=bool, count=len(col)
+                    )
+                out &= result.astype(bool)
+            elif isinstance(cond, (list, tuple, set, frozenset, np.ndarray)):
+                allowed = set(cond) if not isinstance(cond, (set, frozenset)) else cond
+                out &= np.fromiter(
+                    (v in allowed for v in col), dtype=bool, count=len(col)
+                )
+            else:
+                eq = col == cond
+                if not isinstance(eq, np.ndarray):  # incomparable types
+                    eq = np.fromiter(
+                        (v == cond for v in col), dtype=bool, count=len(col)
+                    )
+                out &= eq.astype(bool)
+        return out
+
+    def filter(self, **conditions) -> "ResultFrame":
+        """Subframe where every condition holds (see :meth:`mask`)."""
+        return self.take(self.mask(**conditions))
+
+    def sort_by(self, *names: str) -> "ResultFrame":
+        """Rows reordered by the given columns (last name varies slowest)."""
+        if not names:
+            return self
+        if len(names) == 1:
+            order = np.argsort(self.column(names[0]))
+        else:
+            order = np.lexsort([self.column(n) for n in reversed(names)])
+        return self.take(order)
+
+    def with_columns(self, **arrays) -> "ResultFrame":
+        """New frame with extra (or replaced) columns."""
+        cols = dict(self._columns)
+        for name, values in arrays.items():
+            arr = values if isinstance(values, np.ndarray) else _infer_column(list(values))
+            if len(self._columns) and len(arr) != len(self):
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} rows, expected {len(self)}"
+                )
+            cols[name] = arr
+        return ResultFrame(cols)
+
+    # -- grouping / aggregation ------------------------------------------
+    def group_by(
+        self, keys: Union[str, Sequence[str]], sort: bool = True
+    ) -> List[Tuple[Any, "ResultFrame"]]:
+        """``[(key, subframe), ...]`` partitioned by the key column(s).
+
+        A single key name yields scalar keys, several yield tuples.  With
+        ``sort`` the groups come in sorted key order; without, in order of
+        first appearance (which the meta-analysis figures rely on to keep
+        the corpus' curve ordering).
+        """
+        single = isinstance(keys, str)
+        names = (keys,) if single else tuple(keys)
+        cols = [self.column(n) for n in names]
+        buckets: Dict[Any, List[int]] = {}
+        for i in range(len(self)):
+            key = tuple(_json_safe(c[i]) for c in cols)
+            buckets.setdefault(key if not single else key[0], []).append(i)
+        items = sorted(buckets.items()) if sort else list(buckets.items())
+        return [(key, self.take(idx)) for key, idx in items]
+
+    @staticmethod
+    def _stat(values: np.ndarray, stat: str) -> float:
+        """One reduction over a float column; non-finite values propagate
+        into their own column's statistic and nowhere else."""
+        with np.errstate(invalid="ignore", over="ignore"):
+            if stat == "mean":
+                return float(values.mean())
+            if stat == "std":
+                return float(values.std(ddof=1)) if len(values) > 1 else 0.0
+            if stat == "min":
+                return float(values.min())
+            if stat == "max":
+                return float(values.max())
+        raise ValueError(
+            f"unknown stat {stat!r} (expected mean/std/min/max)"
+        )
+
+    def aggregate(
+        self,
+        by: Union[str, Sequence[str]] = ("strategy", "compression"),
+        values: Optional[Sequence[str]] = None,
+        stats: Sequence[str] = ("mean", "std"),
+    ) -> "ResultFrame":
+        """Reduce to one row per group: ``<value>_<stat>`` columns plus ``n``.
+
+        ``by`` defaults to the §6 operating-point key (strategy ×
+        compression) and the seeds axis is what gets reduced; ``values``
+        defaults to every numeric column not used as a key.  Non-finite
+        values (``actual_compression`` is legitimately ``inf`` for
+        all-pruned masks) propagate through their own column's statistics
+        without touching any other column.
+        """
+        names = (by,) if isinstance(by, str) else tuple(by)
+        if values is None:
+            values = [
+                c for c, arr in self._columns.items()
+                if c not in names and arr.dtype.kind in "if"
+            ]
+        records: List[Dict[str, Any]] = []
+        for key, sub in self.group_by(names, sort=True):
+            key_tuple = (key,) if len(names) == 1 else key
+            rec: Dict[str, Any] = dict(zip(names, key_tuple))
+            rec["n"] = len(sub)
+            for value in values:
+                col = np.asarray(sub.column(value), dtype=np.float64)
+                for stat in stats:
+                    rec[f"{value}_{stat}"] = self._stat(col, stat)
+            records.append(rec)
+        columns = list(names) + ["n"] + [
+            f"{v}_{s}" for v in values for s in stats
+        ]
+        return ResultFrame.from_records(records, columns=columns)
+
+    # -- §6 derived metrics ----------------------------------------------
+    def derived(self) -> "ResultFrame":
+        """Add the standard derived columns (delta_top1/5, speedup).
+
+        Deltas come from each row's own recorded control (§6: every row
+        carries the unpruned control's raw accuracy); :meth:`join_baseline`
+        attaches the control *row* where cross-row matching is wanted.
+        Missing base columns (generic frames) are skipped; existing derived
+        columns are left untouched.
+        """
+        new: Dict[str, np.ndarray] = {}
+        for name, bases in _DERIVED.items():
+            if name in self._columns or any(b not in self._columns for b in bases):
+                continue
+            if len(bases) == 1:
+                new[name] = np.asarray(self.column(bases[0]), dtype=np.float64)
+            else:
+                a, b = bases
+                new[name] = np.asarray(self.column(a), dtype=np.float64) - np.asarray(
+                    self.column(b), dtype=np.float64
+                )
+        return self.with_columns(**new) if new else self
+
+    def join_baseline(
+        self, on: Sequence[str] = ("model", "dataset", "seed")
+    ) -> "ResultFrame":
+        """Match every row to its unpruned control row (compression ≤ 1).
+
+        Adds ``control_top1``/``control_top5`` columns holding the matched
+        baseline row's measured accuracy (NaN where no control row exists).
+        This is the one place the baseline join lives; callers that used to
+        re-bucket rows per seed to find their controls use this instead.
+        """
+        on = tuple(on)
+        controls: Dict[Tuple, Tuple[float, float]] = {}
+        base = self.filter(compression=lambda c: c <= 1.0)
+        key_cols = [base.column(n) for n in on]
+        top1 = np.asarray(base.column("top1"), dtype=np.float64)
+        top5 = np.asarray(base.column("top5"), dtype=np.float64)
+        for i in range(len(base)):
+            key = tuple(_json_safe(c[i]) for c in key_cols)
+            controls.setdefault(key, (float(top1[i]), float(top5[i])))
+        my_cols = [self.column(n) for n in on]
+        c1 = np.full(len(self), np.nan)
+        c5 = np.full(len(self), np.nan)
+        for i in range(len(self)):
+            key = tuple(_json_safe(c[i]) for c in my_cols)
+            if key in controls:
+                c1[i], c5[i] = controls[key]
+        return self.with_columns(control_top1=c1, control_top5=c5)
+
+    def replicate_baselines(
+        self, strategies: Optional[Sequence[str]] = None
+    ) -> "ResultFrame":
+        """Copy deduped baseline rows across strategies (sweep semantics).
+
+        Sweeps store exactly one unpruned control per seed under the
+        :data:`~repro.experiment.prune.BASELINE_STRATEGY` sentinel (cache
+        and queue layouts); assembled ``results.json`` files instead carry
+        one copy per strategy.  This transform maps the former onto the
+        latter — per (model, dataset), each sentinel row is replicated once
+        per strategy that appears in that pair's pruned rows — so all
+        frame sources yield identical curves.  A frame with no sentinel
+        rows (already replicated) is returned unchanged.
+        """
+        if "strategy" not in self._columns or not len(self):
+            return self
+        sentinel = self.mask(strategy=BASELINE_STRATEGY)
+        if not sentinel.any():
+            return self
+        records = self.to_records()
+        by_pair: Dict[Tuple, List[str]] = {}
+        for rec in records:
+            if rec["strategy"] != BASELINE_STRATEGY:
+                pair = (rec.get("model"), rec.get("dataset"))
+                names = by_pair.setdefault(pair, [])
+                if rec["strategy"] not in names:
+                    names.append(rec["strategy"])
+        out: List[Dict[str, Any]] = []
+        for rec in records:
+            if rec["strategy"] != BASELINE_STRATEGY:
+                out.append(rec)
+                continue
+            targets = strategies or by_pair.get(
+                (rec.get("model"), rec.get("dataset")), []
+            )
+            if not targets:
+                out.append(rec)  # nothing to replicate against: keep as-is
+                continue
+            for name in targets:
+                clone = dict(rec)
+                clone["strategy"] = name
+                if isinstance(clone.get("extra"), dict):
+                    clone["extra"] = dict(clone["extra"])
+                out.append(clone)
+        return ResultFrame.from_records(out, columns=self.columns)
+
+    # -- failure bookkeeping ---------------------------------------------
+    def failed_mask(self) -> np.ndarray:
+        """True for quarantined placeholder rows (``extra["failed"]``)."""
+        if "extra" not in self._columns:
+            return np.zeros(len(self), dtype=bool)
+        return np.fromiter(
+            (isinstance(e, dict) and bool(e.get("failed"))
+             for e in self.column("extra")),
+            dtype=bool,
+            count=len(self),
+        )
+
+    def ok(self) -> "ResultFrame":
+        """Rows that actually executed (quarantined cells dropped)."""
+        return self.take(~self.failed_mask())
+
+    def failures(self) -> "ResultFrame":
+        """Only the quarantined placeholder rows."""
+        return self.take(self.failed_mask())
+
+    # -- curves / frontiers ----------------------------------------------
+    def curve(self, x: str = "compression", y: str = "top1") -> List[CurvePoint]:
+        """Mean ± sample std of ``y`` at each ``x`` (§6), sorted by x."""
+        if not len(self):
+            return []
+        points = []
+        for xv, sub in self.group_by(x, sort=True):
+            ys = np.asarray(sub.column(y), dtype=np.float64)
+            points.append(
+                CurvePoint(
+                    x=float(xv),
+                    mean=self._stat(ys, "mean"),
+                    std=self._stat(ys, "std"),
+                    n=len(ys),
+                )
+            )
+        return points
+
+    def tradeoff_curves(
+        self,
+        group: str = "strategy",
+        x: str = "compression",
+        y: str = "top1",
+    ) -> Dict[Any, List[CurvePoint]]:
+        """One aggregated curve per group value, keyed and sorted by group."""
+        if not len(self):
+            return {}
+        return {
+            key: sub.curve(x=x, y=y) for key, sub in self.group_by(group, sort=True)
+        }
+
+    def pareto_frontier(
+        self, x: str = "compression", y: str = "top1"
+    ) -> "ResultFrame":
+        """Rows not dominated in the (maximize x, maximize y) sense.
+
+        A row is dominated when another row is at least as good on both
+        axes and strictly better on one — the paper's frontier reading of
+        its tradeoff scatter plots.  Returns the surviving rows sorted by
+        ``x`` ascending.
+        """
+        if not len(self):
+            return self
+        xs = np.asarray(self.column(x), dtype=np.float64)
+        ys = np.asarray(self.column(y), dtype=np.float64)
+        ge_x = xs[None, :] >= xs[:, None]
+        ge_y = ys[None, :] >= ys[:, None]
+        strict = (xs[None, :] > xs[:, None]) | (ys[None, :] > ys[:, None])
+        dominated = (ge_x & ge_y & strict).any(axis=1)
+        return self.take(~dominated).sort_by(x)
+
+
+def is_queue_dir(path) -> bool:
+    """True when ``path`` has the work-queue on-disk layout.
+
+    The single definition of "looks like a queue" — shared by
+    :func:`load_frame`'s sniffing and the CLI's queue guards, so the
+    layout rule lives in one place.
+    """
+    path = Path(path)
+    return (path / "queue.json").is_file() or (path / "pending").is_dir()
+
+
+def load_frame(source, cache_dir=None) -> ResultFrame:
+    """Frame from any finished-sweep artifact, sniffed by layout.
+
+    * a file → saved ``results.json`` (:meth:`ResultFrame.from_json`);
+    * a directory satisfying :func:`is_queue_dir` → work-queue directory
+      (:meth:`ResultFrame.from_queue`; ``cache_dir`` overrides the default
+      ``<queue-dir>/cache`` result store, mirroring ``--cache-dir`` on the
+      run/worker CLI);
+    * any other directory → result-cache root (:meth:`ResultFrame.from_cache`).
+    """
+    path = Path(source)
+    if path.is_file():
+        return ResultFrame.from_json(path)
+    if not path.is_dir():
+        raise FileNotFoundError(f"no results at {path}")
+    if is_queue_dir(path):
+        return ResultFrame.from_queue(path, cache_dir=cache_dir)
+    return ResultFrame.from_cache(path)

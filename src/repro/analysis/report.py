@@ -1,0 +1,220 @@
+"""The §6 standard report: one artifact bundle per finished sweep.
+
+Blalock et al. close with concrete reporting recommendations (§6): tradeoff
+*curves* rather than single points, mean ± std over seeds, raw accuracy
+plus the delta vs the unpruned control, and both the compression and the
+speedup axis.  :func:`build_report` reduces a
+:class:`~repro.analysis.frame.ResultFrame` to exactly that bundle and
+:func:`render_report` / :func:`write_report_csv` emit it as terminal text
+and machine-readable CSV.  ``python -m repro report <source>`` wraps the
+three for any finished sweep artifact (``results.json``, a result-cache
+directory, or a work-queue directory — all produce identical curve data).
+
+Report contents
+---------------
+* accuracy-vs-compression and accuracy-vs-speedup tradeoff curves per
+  strategy (ASCII rendering + CSV rows ``strategy, x_metric, x, y_mean,
+  y_std, n``);
+* a seeds × strategies summary table (mean ± std at every operating
+  point, with the per-cell seed count);
+* Pareto-dominant operating points (no other strategy/ratio pair is at
+  least as compressed *and* at least as accurate);
+* the Appendix B checklist audit;
+* quarantined-cell accounting for fault-tolerant queue sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..experiment.results import CurvePoint
+from .frame import ResultFrame, load_frame
+
+__all__ = [
+    "StandardReport",
+    "build_report",
+    "render_report",
+    "report_csv_rows",
+    "write_report_csv",
+]
+
+#: the two x-axes §6 requires; labels keep the CSV self-describing
+X_METRICS: Sequence[Tuple[str, str]] = (
+    ("compression", "compression ratio"),
+    ("theoretical_speedup", "theoretical speedup"),
+)
+
+
+@dataclass
+class StandardReport:
+    """Everything ``python -m repro report`` prints/exports, as data."""
+
+    frame: ResultFrame  # prepared rows: baselines replicated, derived cols
+    y: str
+    #: {x_metric: {strategy: [CurvePoint]}}
+    curves: Dict[str, Dict[str, List[CurvePoint]]]
+    #: one row per (strategy, compression): <y>_mean/std, n, speedup stats
+    summary: ResultFrame
+    #: Pareto-dominant pruned operating points (strategy, x, y columns)
+    pareto: ResultFrame
+    #: Appendix B audit verdicts (:class:`~repro.meta.checklist.ChecklistItem`)
+    checklist: List[Any] = field(default_factory=list)
+    n_failed: int = 0
+
+
+def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
+    """Reduce raw sweep rows to the §6 report bundle.
+
+    The input frame may come from any constructor; deduped baseline
+    sentinel rows are replicated across strategies first, so curve data is
+    identical whether the source was a saved ``results.json``, the result
+    cache, or a queue directory.  Quarantined cells are excluded from all
+    statistics and surfaced via ``n_failed``.
+    """
+    from ..meta.checklist import audit_results  # lazy: avoid import cycle
+
+    prepared = frame.replicate_baselines().derived()
+    n_failed = int(prepared.failed_mask().sum())
+    ok = prepared.ok()
+    curves = {
+        x_metric: ok.tradeoff_curves(group="strategy", x=x_metric, y=y)
+        for x_metric, _ in X_METRICS
+    }
+    summary = ok.aggregate(
+        by=("strategy", "compression"),
+        values=[c for c in (y, f"delta_{y}", "actual_compression",
+                            "theoretical_speedup") if c in ok],
+    )
+    pruned = summary.filter(compression=lambda c: c > 1.0)
+    pareto = pruned.pareto_frontier(x="compression", y=f"{y}_mean")
+    checklist = audit_results(ok) if len(ok) else []
+    return StandardReport(
+        frame=prepared,
+        y=y,
+        curves=curves,
+        summary=summary,
+        pareto=pareto,
+        checklist=checklist,
+        n_failed=n_failed,
+    )
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    """Fixed-width float that keeps inf/nan readable instead of exploding."""
+    return f"{value:.{digits}f}" if np.isfinite(value) else str(value)
+
+
+def _summary_table(report: StandardReport) -> List[str]:
+    """Seeds × strategies matrix: mean±std(n) per operating point."""
+    summary = report.summary
+    if not len(summary):
+        return ["(no rows)"]
+    comps = summary.unique("compression")
+    header = f"{'strategy':18s} " + " ".join(f"{'c=' + format(c, 'g'):>14s}" for c in comps)
+    lines = [header]
+    for strat, sub in summary.group_by("strategy", sort=True):
+        by_comp = {
+            rec["compression"]: rec for rec in sub.to_records()
+        }
+        cells = []
+        for c in comps:
+            rec = by_comp.get(c)
+            if rec is None:
+                cells.append(f"{'—':>14s}")
+            else:
+                cells.append(
+                    f"{_fmt(rec[report.y + '_mean']):>8s}"
+                    f"±{_fmt(rec[report.y + '_std'], 2)}({rec['n']})"
+                )
+        lines.append(f"{strat:18s} " + " ".join(cells))
+    return lines
+
+
+def render_report(report: StandardReport, width: int = 64) -> str:
+    """The full terminal report (curves, summary, Pareto, checklist)."""
+    from ..plotting import TradeoffCurve, render_curves  # lazy: import cycle
+
+    out: List[str] = []
+    frame = report.frame
+    strategies = [s for s, _ in report.curves.get("compression", {}).items()]
+    seeds = frame.unique("seed") if "seed" in frame and len(frame) else []
+    out.append("== standard report (Blalock et al., §6) ==")
+    out.append(
+        f"rows: {len(frame)}   strategies: {len(strategies)}   "
+        f"seeds: {seeds}   quarantined: {report.n_failed}"
+    )
+    for x_metric, x_label in X_METRICS:
+        by_strategy = report.curves.get(x_metric, {})
+        curves = [
+            TradeoffCurve.from_points(str(strategy), points)
+            for strategy, points in by_strategy.items()
+            if points
+        ]
+        out.append("")
+        out.append(f"-- {report.y} vs {x_label} (mean ± std over seeds) --")
+        out.append(
+            render_curves(
+                curves, width=width,
+                title=f"{report.y} vs {x_label}", x_label=x_label,
+            )
+        )
+    out.append("")
+    out.append(f"-- summary: {report.y} mean±std(n seeds) per operating point --")
+    out.extend(_summary_table(report))
+    out.append("")
+    out.append("-- Pareto-dominant operating points (compression vs "
+               f"{report.y}) --")
+    if len(report.pareto):
+        for rec in report.pareto.to_records():
+            out.append(
+                f"  {rec['strategy']:18s} @ {rec['compression']:g}x  "
+                f"{report.y}={_fmt(rec[report.y + '_mean'])}"
+                f"±{_fmt(rec[report.y + '_std'], 2)}  "
+                f"speedup={_fmt(rec.get('theoretical_speedup_mean', float('nan')), 2)}x"
+            )
+    else:
+        out.append("  (no pruned operating points)")
+    out.append("")
+    out.append("-- Appendix B checklist audit --")
+    if report.checklist:
+        out.extend(f"  {item}" for item in report.checklist)
+    else:
+        out.append("  (no rows to audit)")
+    if report.n_failed:
+        out.append("")
+        out.append(
+            f"WARNING: {report.n_failed} quarantined cell(s) excluded from "
+            "all statistics — see each row's extra['failures'] for tracebacks"
+        )
+    return "\n".join(out)
+
+
+def report_csv_rows(report: StandardReport) -> List[List[Any]]:
+    """Curve data as CSV rows (header included): the §6 artifact.
+
+    Long format — one row per (strategy, x-axis, operating point) with
+    mean, sample std and seed count, so downstream plots carry error bars.
+    Non-finite values render as ``inf``/``nan``, which ``float()`` parses
+    back.
+    """
+    rows: List[List[Any]] = [
+        ["strategy", "x_metric", "x", f"{report.y}_mean", f"{report.y}_std", "n"]
+    ]
+    for x_metric, _ in X_METRICS:
+        for strategy, points in report.curves.get(x_metric, {}).items():
+            for p in points:
+                rows.append([strategy, x_metric, p.x, p.mean, p.std, p.n])
+    return rows
+
+
+def write_report_csv(report: StandardReport, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        csv.writer(f).writerows(report_csv_rows(report))
+    return path

@@ -3,10 +3,24 @@
 Subcommands::
 
     python -m repro run sweep.json        # execute a declarative sweep
+    python -m repro report SOURCE         # §6 standard report from a sweep
     python -m repro worker QUEUE_DIR      # pull + run cells from a work queue
+    python -m repro queue stats|retry-failed|compact QUEUE_DIR
     python -m repro expand sweep.json     # dry-run: list cells + spec hashes
     python -m repro ls [models|datasets|strategies|schedules|optimizers|executors]
     python -m repro cache stats|gc|clear  # result-cache maintenance
+
+``report`` closes the loop on a finished sweep: point it at a saved
+``results.json``, a result-cache directory, or a work-queue directory
+(all three yield point-for-point identical curves) and it prints the
+paper's §6 standard report — per-strategy accuracy-vs-compression and
+accuracy-vs-speedup curves, the seeds × strategies summary table,
+Pareto-dominant operating points, and the Appendix B checklist audit —
+with ``--csv`` exporting the curve data::
+
+    python -m repro run sweep.json --out results.json
+    python -m repro report results.json --csv curves.csv
+    python -m repro report /shared/q      # straight off the queue directory
 
 ``run`` takes a :class:`~repro.experiment.config.SweepConfig` JSON file (the
 schema is documented in :mod:`repro.experiment.config`) and drives
@@ -150,6 +164,45 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: wait for work forever)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress progress lines")
+
+    report = sub.add_parser(
+        "report",
+        help="print the §6 standard report for a finished sweep "
+             "(results.json, result-cache dir, or queue dir)",
+    )
+    report.add_argument("source", help="results JSON file, result-cache "
+                        "directory, or work-queue directory")
+    report.add_argument("--y", default="top1", choices=["top1", "top5"],
+                        help="quality metric on the curves (default: top1)")
+    report.add_argument("--csv", default=None, metavar="PATH",
+                        help="also export the curve data "
+                             "(strategy, x_metric, x, mean, std, n) as CSV")
+    report.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="queue-dir sources only: read rows from this "
+                             "shared result cache instead of "
+                             "<queue-dir>/cache (mirrors run/worker "
+                             "--cache-dir)")
+    report.add_argument("--width", type=int, default=64,
+                        help="ASCII plot width in columns")
+
+    queue = sub.add_parser("queue", help="work-queue maintenance")
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    qstats = queue_sub.add_parser(
+        "stats", help="pending/leased/done/failed counts, lease ages, "
+                      "quarantine roster"
+    )
+    qretry = queue_sub.add_parser(
+        "retry-failed",
+        help="re-enqueue quarantined cells with a fresh retry budget",
+    )
+    qcompact = queue_sub.add_parser(
+        "compact", help="GC done/ markers (results stay in the cache)"
+    )
+    qcompact.add_argument("--max-age-days", type=float, default=None,
+                          help="only remove markers older than this many days "
+                               "(default: all)")
+    for sp in (qstats, qretry, qcompact):
+        sp.add_argument("queue_dir", help="work-queue directory")
 
     expand = sub.add_parser(
         "expand", help="list a config's cells and spec hashes without running"
@@ -312,6 +365,86 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .analysis import (
+        build_report,
+        is_queue_dir,
+        load_frame,
+        render_report,
+        write_report_csv,
+    )
+
+    source = Path(args.source)
+    if args.cache_dir is not None and not (source.is_dir() and is_queue_dir(source)):
+        print("--cache-dir only applies when SOURCE is a work-queue "
+              "directory", file=sys.stderr)
+        return 2
+    try:
+        frame = load_frame(source, cache_dir=args.cache_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not len(frame):
+        print(f"no result rows found in {args.source}", file=sys.stderr)
+        return 2
+    # a queue directory may still be draining: a report over it is partial
+    outstanding = 0
+    if source.is_dir() and is_queue_dir(source):
+        for sub in ("pending", "leased"):
+            if (source / sub).is_dir():
+                outstanding += sum(1 for _ in (source / sub).glob("*.json"))
+    report = build_report(frame, y=args.y)
+    print(render_report(report, width=args.width))
+    if args.csv:
+        path = write_report_csv(report, args.csv)
+        print(f"\ncurve data -> {path}")
+    if outstanding:
+        print(f"WARNING: {outstanding} cell(s) still pending/leased in "
+              f"{source} — this report is partial", file=sys.stderr)
+    return 1 if (report.n_failed or outstanding) else 0
+
+
+def _cmd_queue(args) -> int:
+    from .analysis import is_queue_dir
+
+    # WorkQueue() scaffolds the layout on construction; a maintenance
+    # command must not do that to an arbitrary (e.g. cache) directory
+    if not is_queue_dir(args.queue_dir):
+        print(f"no work queue at {args.queue_dir} (missing queue.json)",
+              file=sys.stderr)
+        return 2
+    queue = WorkQueue(args.queue_dir)
+    if args.queue_command == "stats":
+        stats = queue.stats()
+        print(f"queue         : {stats['root']}")
+        print(f"lease timeout : {stats['lease_timeout']:g}s")
+        print(f"max retries   : {stats['max_retries']}")
+        for state in ("pending", "leased", "done", "failed"):
+            print(f"{state:14s}: {stats['counts'][state]}")
+        if stats["leases"]:
+            print("live leases:")
+            for lease in stats["leases"]:
+                flag = "  EXPIRED" if lease["expired"] else ""
+                print(f"  {lease['hash']}  worker={lease['worker']} "
+                      f"age={lease['age']:.1f}s{flag}")
+        if stats["failed"]:
+            print("quarantined:")
+            for cell in stats["failed"]:
+                print(f"  {cell['hash']}  attempts={cell['attempts']}"
+                      + (f"  {cell['error']}" if cell["error"] else ""))
+    elif args.queue_command == "retry-failed":
+        retried = queue.retry_failed()
+        print(f"re-enqueued {len(retried)} quarantined cell(s); "
+              f"queue: {queue.counts()}")
+    else:
+        max_age = None
+        if args.max_age_days is not None:
+            max_age = args.max_age_days * 86400.0
+        removed = queue.compact(max_age=max_age)
+        print(f"removed {removed} done marker(s); queue: {queue.counts()}")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     for module in args.imports:
         importlib.import_module(module)
@@ -363,8 +496,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
     if args.command == "expand":
         return _cmd_expand(args)
     if args.command == "ls":

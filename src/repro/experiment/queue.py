@@ -429,6 +429,97 @@ class WorkQueue:
                 out[state] = 0
         return out
 
+    # -- maintenance (python -m repro queue ...) -------------------------
+    def stats(self) -> Dict:
+        """Health snapshot: per-state counts, live leases with their ages,
+        and the quarantine roster — ``python -m repro queue stats``."""
+        now = time.time()
+        leases: List[Dict] = []
+        for name in sorted(os.listdir(self.leased_dir)):
+            if not name.endswith(".json"):
+                continue
+            h = name[: -len(".json")]
+            age = self._lease_age(h, now)
+            if age is None:
+                continue  # raced with completion
+            info = self.lease_info(h) or {}
+            leases.append(
+                {
+                    "hash": h,
+                    "worker": str(info.get("worker", "unknown")),
+                    "age": age,
+                    "expired": age > self.lease_timeout,
+                }
+            )
+        failed: List[Dict] = []
+        for name in sorted(os.listdir(self.failed_dir)):
+            if not name.endswith(".json"):
+                continue
+            payload = self._read_json(self.failed_dir / name) or {}
+            failures = payload.get("failures", [])
+            last = failures[-1]["error"].strip().splitlines()[-1] if failures else ""
+            failed.append(
+                {
+                    "hash": name[: -len(".json")],
+                    "attempts": payload.get("attempts", len(failures)),
+                    "error": last,
+                }
+            )
+        return {
+            "root": str(self.root),
+            "lease_timeout": self.lease_timeout,
+            "max_retries": self.max_retries,
+            "counts": self.counts(),
+            "leases": leases,
+            "failed": failed,
+        }
+
+    def retry_failed(self) -> List[str]:
+        """Re-enqueue every quarantined cell with a fresh retry budget.
+
+        :meth:`submit` already knows how to resurrect a quarantined cell
+        (keeping its failure history for the audit trail); this sweeps the
+        whole quarantine — ``python -m repro queue retry-failed``.
+        Returns the re-enqueued hashes.
+        """
+        retried: List[str] = []
+        for name in sorted(os.listdir(self.failed_dir)):
+            if not name.endswith(".json"):
+                continue
+            payload = self._read_json(self.failed_dir / name)
+            if payload is None or not isinstance(payload.get("spec"), dict):
+                continue
+            retried.append(self.submit(ExperimentSpec.from_dict(payload["spec"])))
+        return retried
+
+    def compact(self, max_age: Optional[float] = None) -> int:
+        """GC ``done/`` markers; returns how many were removed.
+
+        Done markers exist only to signal "the result is in the cache" to
+        a submitter mid-run; once a sweep has been assembled they are pure
+        bookkeeping and can be dropped (re-submitting the same cell later
+        is still free — it resolves from the cache before enqueueing).
+        With ``max_age`` only markers older than that many seconds go —
+        ``python -m repro queue compact [--max-age-days]``.
+        """
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        now = time.time()
+        removed = 0
+        for name in sorted(os.listdir(self.done_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = self.done_dir / name
+            if max_age is not None:
+                try:
+                    if now - path.stat().st_mtime <= max_age:
+                        continue
+                except OSError:
+                    continue  # raced with a concurrent delete
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
 
 class QueueWorker:
     """Pull cells from a :class:`WorkQueue`, run them, publish via the cache.

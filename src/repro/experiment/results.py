@@ -4,6 +4,13 @@ Implements the paper's reporting recommendations (§6): every result row
 carries raw accuracy (not just deltas), both compression ratio and
 theoretical speedup, Top-1 and Top-5, the unpruned control, and the seed —
 so means and standard deviations across seeds are always computable.
+
+:class:`PruningResult` (the row) and :class:`ResultSet` (the transport
+container: collect/persist/load) are the stable interchange format; the
+*analysis* surface — filtering, grouping, aggregation, curves — lives in
+the columnar :class:`repro.analysis.ResultFrame`.  ``ResultSet.filter``
+and :func:`aggregate_curve` are kept as thin warn-once shims over the
+frame, like the PR 2 registry shims.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from ..registry import warn_deprecated
 
 __all__ = ["PruningResult", "ResultSet", "CurvePoint", "aggregate_curve"]
 
@@ -80,14 +89,37 @@ class ResultSet:
         return iter(self.results)
 
     # -- queries -------------------------------------------------------------
+    def to_frame(self):
+        """The columnar :class:`repro.analysis.ResultFrame` over these rows."""
+        from ..analysis.frame import ResultFrame
+
+        return ResultFrame.from_results(self)
+
     def filter(self, **conditions) -> "ResultSet":
-        """Subset where every attribute equals the given value."""
-        out = [
-            r
-            for r in self.results
-            if all(getattr(r, k) == v for k, v in conditions.items())
-        ]
-        return ResultSet(out)
+        """Deprecated: subset where every attribute equals the given value.
+
+        Thin shim over :meth:`repro.analysis.ResultFrame.filter` (which
+        also supports sequence membership and predicates); kept so seed-era
+        call sites keep working.  Returns the *same* row objects, not
+        copies.
+        """
+        warn_deprecated(
+            "repro.experiment.ResultSet.filter",
+            "repro.analysis.ResultFrame.filter",
+        )
+        try:
+            mask = self.to_frame().mask(**conditions)
+            return ResultSet(
+                self.results[i] for i in np.nonzero(mask)[0]
+            )
+        except KeyError:
+            # non-column attribute (e.g. a custom property): old slow path
+            out = [
+                r
+                for r in self.results
+                if all(getattr(r, k) == v for k, v in conditions.items())
+            ]
+            return ResultSet(out)
 
     def strategies(self) -> List[str]:
         return sorted({r.strategy for r in self.results})
@@ -127,15 +159,15 @@ def aggregate_curve(
     x_attr: str = "compression",
     y_attr: str = "top1",
 ) -> List[CurvePoint]:
-    """Group by x, compute mean ± sample std over seeds (§6: report both)."""
-    groups: Dict[float, List[float]] = {}
-    for r in results:
-        groups.setdefault(float(getattr(r, x_attr)), []).append(
-            float(getattr(r, y_attr))
-        )
-    points = []
-    for x in sorted(groups):
-        ys = np.asarray(groups[x], dtype=np.float64)
-        std = float(ys.std(ddof=1)) if len(ys) > 1 else 0.0
-        points.append(CurvePoint(x=x, mean=float(ys.mean()), std=std, n=len(ys)))
-    return points
+    """Deprecated: group by x, mean ± sample std over seeds (§6).
+
+    Thin warn-once shim over :meth:`repro.analysis.ResultFrame.curve`,
+    which is where the aggregation now lives (and where Pareto frontiers,
+    group-bys and the baseline join live alongside it).
+    """
+    warn_deprecated(
+        "repro.experiment.aggregate_curve", "repro.analysis.ResultFrame.curve"
+    )
+    from ..analysis.frame import ResultFrame
+
+    return ResultFrame.from_results(results).curve(x=x_attr, y=y_attr)

@@ -22,7 +22,15 @@ from .normalization import (
     standardized_initial_sizes,
 )
 from .architectures import FAMILIES, IMAGENET_BASELINES, ArchPoint, family_curve
-from .tradeoff import FIG3_COLUMNS, FIG3_METRIC_ROWS, PanelCurve, fig1_series, fig3_panels, fig5_split
+from .tradeoff import (
+    FIG3_COLUMNS,
+    FIG3_METRIC_ROWS,
+    PanelCurve,
+    corpus_frame,
+    fig1_series,
+    fig3_panels,
+    fig5_split,
+)
 from .checklist import ChecklistItem, audit_results
 
 __all__ = [
@@ -51,6 +59,7 @@ __all__ = [
     "IMAGENET_BASELINES",
     "family_curve",
     "PanelCurve",
+    "corpus_frame",
     "fig1_series",
     "fig3_panels",
     "fig5_split",

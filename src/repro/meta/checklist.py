@@ -2,7 +2,8 @@
 
 The paper closes with a checklist for evaluating pruning methods.  This
 module turns the *results*-facing items into automated checks over a
-:class:`~repro.experiment.ResultSet`, so a benchmark run can be audited for
+:class:`~repro.analysis.ResultFrame` (a :class:`~repro.experiment.ResultSet`
+or plain row iterable is converted), so a benchmark run can be audited for
 the very pitfalls the paper catalogs.
 """
 
@@ -13,7 +14,7 @@ from typing import List
 
 import numpy as np
 
-from ..experiment.results import ResultSet
+from ..analysis.frame import ResultFrame
 
 __all__ = ["ChecklistItem", "audit_results"]
 
@@ -31,10 +32,16 @@ class ChecklistItem:
         return f"[{mark}] {self.item}" + (f" — {self.detail}" if self.detail else "")
 
 
-def audit_results(results: ResultSet) -> List[ChecklistItem]:
-    """Run the Appendix B result checks against a result set."""
+def audit_results(results) -> List[ChecklistItem]:
+    """Run the Appendix B result checks against a result set/frame."""
+    frame = (
+        results if isinstance(results, ResultFrame)
+        else ResultFrame.from_results(results)
+    )
     items: List[ChecklistItem] = []
-    comps = [c for c in results.compressions() if c > 1]
+    comps = [c for c in frame.unique("compression") if c > 1] if len(frame) else []
+    top1 = np.asarray(frame["top1"], dtype=np.float64)
+    base1 = np.asarray(frame["baseline_top1"], dtype=np.float64)
 
     # "Data is presented across a range of compression ratios, including
     #  extreme compression ratios at which accuracy declines substantially."
@@ -46,10 +53,10 @@ def audit_results(results: ResultSet) -> List[ChecklistItem]:
             f"points: {comps}",
         )
     )
-    if results.results:
+    if len(frame):
         max_c = max(comps) if comps else 1
-        hi = [r for r in results if r.compression == max_c]
-        declined = any(r.top1 < r.baseline_top1 - 0.02 for r in hi)
+        hi = frame.mask(compression=max_c)
+        declined = bool((top1[hi] < base1[hi] - 0.02).any())
         items.append(
             ChecklistItem(
                 "includes extreme ratios where accuracy declines substantially",
@@ -59,13 +66,11 @@ def audit_results(results: ResultSet) -> List[ChecklistItem]:
         )
 
     # "Data specifies the raw accuracy of the network at each point."
-    raw = all(r.top1 > 0 for r in results) and all(
-        r.baseline_top1 > 0 for r in results
-    )
+    raw = bool((top1 > 0).all()) and bool((base1 > 0).all())
     items.append(ChecklistItem("raw accuracy reported at each point", raw))
 
     # "Data includes multiple runs with separate seeds."
-    seeds = results.seeds()
+    seeds = frame.unique("seed") if len(frame) else []
     items.append(
         ChecklistItem(
             "multiple runs with separate random seeds",
@@ -76,12 +81,11 @@ def audit_results(results: ResultSet) -> List[ChecklistItem]:
 
     # "Data includes ... a measure of central tendency and variation."
     # Computable iff multiple seeds exist per (strategy, compression).
-    computable = True
-    for strat in results.strategies():
-        for comp in results.compressions():
-            n = len(results.filter(strategy=strat, compression=comp))
-            if 0 < n < 2:
-                computable = False
+    counts = (
+        frame.aggregate(by=("strategy", "compression"), values=(), stats=())
+        if len(frame) else None
+    )
+    computable = counts is None or bool((np.asarray(counts["n"]) >= 2).all())
     items.append(
         ChecklistItem(
             "error bars computable (>=2 runs per configuration)", computable
@@ -90,11 +94,13 @@ def audit_results(results: ResultSet) -> List[ChecklistItem]:
 
     # "Data includes FLOP-counts if the paper makes arguments about
     #  efficiency."
-    flops = all(r.dense_flops > 0 and r.effective_flops >= 0 for r in results)
+    dense = np.asarray(frame["dense_flops"], dtype=np.float64)
+    effective = np.asarray(frame["effective_flops"], dtype=np.float64)
+    flops = bool((dense > 0).all()) and bool((effective >= 0).all())
     items.append(ChecklistItem("FLOP counts reported", flops))
 
     # "comparison to a random pruning baseline / a magnitude baseline."
-    strategies = set(results.strategies())
+    strategies = set(frame.unique("strategy")) if len(frame) else set()
     items.append(
         ChecklistItem(
             "random pruning baseline present",
@@ -110,9 +116,8 @@ def audit_results(results: ResultSet) -> List[ChecklistItem]:
     )
 
     # "report both compression ratio and theoretical speedup" (§6)
-    both = all(
-        r.actual_compression >= 1.0 and r.theoretical_speedup >= 1.0
-        for r in results
-    )
+    comp = np.asarray(frame["actual_compression"], dtype=np.float64)
+    speed = np.asarray(frame["theoretical_speedup"], dtype=np.float64)
+    both = bool((comp >= 1.0).all()) and bool((speed >= 1.0).all())
     items.append(ChecklistItem("both compression and speedup reported", both))
     return items

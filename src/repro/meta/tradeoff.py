@@ -8,25 +8,30 @@
 * **Figure 5** — ResNet-50/ImageNet split into unstructured
   magnitude-based variants (top) vs all other methods (bottom), showing
   that fine-tuning/implementation variation rivals cross-method variation.
+
+Every panel is a declarative query over the columnar
+:func:`corpus_frame` (one row per self-reported operating point) — the
+same :class:`~repro.analysis.ResultFrame` machinery experiment sweeps
+report through, so "which points have both metrics" is a vectorized
+filter and "one curve per method" is a group-by, not bespoke
+dict-bucketing per figure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.frame import ResultFrame
 from .architectures import FAMILIES, IMAGENET_BASELINES, family_curve
-from .corpus import Corpus, ReportedCurve
+from .corpus import Corpus
 from .corpus_data import _MAGNITUDE_VARIANT_METHODS
-from .normalization import (
-    normalized_results,
-    standardized_initial_flops,
-    standardized_initial_sizes,
-)
+from .normalization import normalized_results, standardized_initial_sizes
 
 __all__ = [
+    "corpus_frame",
     "fig1_series",
     "fig3_panels",
     "fig5_split",
@@ -45,6 +50,65 @@ class PanelCurve:
     year: int = 0
 
 
+def corpus_frame(corpus: Corpus) -> ResultFrame:
+    """The corpus' self-reported points as one columnar frame.
+
+    One row per :class:`~repro.meta.corpus.TradeoffPoint`, with the curve
+    identity alongside: ``curve_id`` (position in ``corpus.curves``, the
+    group key for "one reported curve per method"), ``paper_key``,
+    ``method``, ``label`` (paper display label), ``year``, ``dataset``,
+    ``architecture``, and the four metrics ``compression`` / ``speedup`` /
+    ``delta_top1`` / ``delta_top5`` (NaN where a paper does not report the
+    metric — the sparsity §4.4 highlights, selectable via
+    ``frame.filter(compression=np.isfinite)``).
+    """
+    records = []
+    for curve_id, rc in enumerate(corpus.curves):
+        paper = corpus.papers[rc.paper_key]
+        for pt in rc.points:
+            records.append(
+                {
+                    "curve_id": curve_id,
+                    "paper_key": rc.paper_key,
+                    "method": rc.method,
+                    "label": paper.label,
+                    "year": paper.year,
+                    "dataset": rc.dataset,
+                    "architecture": rc.architecture,
+                    "compression": pt.compression,
+                    "speedup": pt.speedup,
+                    "delta_top1": pt.delta_top1,
+                    "delta_top5": pt.delta_top5,
+                }
+            )
+    return ResultFrame.from_records(
+        records,
+        columns=[
+            "curve_id", "paper_key", "method", "label", "year", "dataset",
+            "architecture", "compression", "speedup", "delta_top1",
+            "delta_top5",
+        ],
+    )
+
+
+def _panel_curves(sub: ResultFrame, x: str, y: str, label_col: str = "method") -> List[PanelCurve]:
+    """One :class:`PanelCurve` per reported curve with any (x, y) points,
+    in corpus order, each sorted along x."""
+    curves: List[PanelCurve] = []
+    for _, cf in sub.group_by("curve_id", sort=False):
+        cf = cf.sort_by(x)
+        curves.append(
+            PanelCurve(
+                label=str(cf[label_col][0]),
+                xs=[float(v) for v in cf[x]],
+                ys=[float(v) for v in cf[y]],
+                paper_key=str(cf["paper_key"][0]),
+                year=int(cf["year"][0]),
+            )
+        )
+    return curves
+
+
 def fig1_series(corpus: Corpus, x_metric: str = "params", y_metric: str = "top1"):
     """Figure 1 data: family frontiers + normalized pruned points.
 
@@ -56,7 +120,6 @@ def fig1_series(corpus: Corpus, x_metric: str = "params", y_metric: str = "top1"
         name: family_curve(name, x="params" if x_metric == "params" else "flops")
         for name in FAMILIES
     }
-    rows = normalized_results(corpus, IMAGENET_BASELINES)
     member_of = {
         "VGG-16": "VGG",
         "ResNet-50": "ResNet",
@@ -64,17 +127,26 @@ def fig1_series(corpus: Corpus, x_metric: str = "params", y_metric: str = "top1"
         "ResNet-34": "ResNet",
         "MobileNet-v2": "MobileNet-v2",
     }
-    pruned: Dict[str, Dict[str, List[float]]] = {}
     xkey = "params" if x_metric == "params" else "flops"
-    for row in rows:
-        if row["dataset"] != "ImageNet":
-            continue
-        fam = member_of.get(row["architecture"])
-        if fam is None or xkey not in row or y_metric not in row:
-            continue
-        bucket = pruned.setdefault(fam, {"xs": [], "ys": []})
-        bucket["xs"].append(row[xkey])
-        bucket["ys"].append(row[y_metric])
+    frame = ResultFrame.from_records(
+        normalized_results(corpus, IMAGENET_BASELINES)
+    )
+    pruned: Dict[str, Dict[str, List[float]]] = {}
+    if not len(frame) or xkey not in frame or y_metric not in frame:
+        return families, pruned
+    sub = frame.filter(
+        dataset="ImageNet",
+        architecture=list(member_of),
+        **{xkey: np.isfinite, y_metric: np.isfinite},
+    )
+    sub = sub.with_columns(
+        family=[member_of[a] for a in sub["architecture"]]
+    )
+    for fam, ff in sub.group_by("family", sort=False):
+        pruned[fam] = {
+            "xs": [float(v) for v in ff[xkey]],
+            "ys": [float(v) for v in ff[y_metric]],
+        }
     return families, pruned
 
 
@@ -99,42 +171,25 @@ def fig3_panels(corpus: Corpus) -> Dict[Tuple[str, str, str], List[PanelCurve]]:
 
     A method appears in a panel only for the points where it reports both
     the panel's metrics — reproducing the sparsity the paper highlights.
+    Each panel is one frame query: filter to the configuration and to rows
+    where both metrics are finite, group by reported curve, sort along x.
     """
+    frame = corpus_frame(corpus)
     panels: Dict[Tuple[str, str, str], List[PanelCurve]] = {}
     for col_label, pairs in FIG3_COLUMNS:
         for x_metric, y_metric in FIG3_METRIC_ROWS:
             if "top5" in y_metric and col_label == "ResNet-56 on CIFAR-10":
                 continue  # CIFAR-10 has 10 classes; Top-5 is not reported
-            key = (col_label, x_metric, y_metric)
             curves: List[PanelCurve] = []
-            for pair in pairs:
-                for rc in corpus.curves_for_pair(*pair):
-                    xs, ys = [], []
-                    for pt in rc.points:
-                        x = getattr(pt, x_metric)
-                        y = getattr(pt, y_metric)
-                        if x is not None and y is not None:
-                            xs.append(float(x))
-                            ys.append(float(y))
-                    if xs:
-                        order = np.argsort(xs)
-                        paper = corpus.papers[rc.paper_key]
-                        label = (
-                            rc.method
-                            if rc.method != paper.label
-                            else paper.label
-                        )
-                        curves.append(
-                            PanelCurve(
-                                label=label,
-                                xs=[xs[i] for i in order],
-                                ys=[ys[i] for i in order],
-                                paper_key=rc.paper_key,
-                                year=paper.year,
-                            )
-                        )
+            for dataset, architecture in pairs:
+                sub = frame.filter(
+                    dataset=dataset,
+                    architecture=architecture,
+                    **{x_metric: np.isfinite, y_metric: np.isfinite},
+                )
+                curves.extend(_panel_curves(sub, x_metric, y_metric))
             if curves:
-                panels[key] = curves
+                panels[(col_label, x_metric, y_metric)] = curves
     return panels
 
 
@@ -143,32 +198,34 @@ def fig5_split(corpus: Corpus) -> Tuple[List[PanelCurve], List[PanelCurve]]:
 
     X is absolute parameter count (normalized), Y is absolute Top-1.
     """
-    std_sizes = standardized_initial_sizes(corpus)
-    base_top1 = IMAGENET_BASELINES["ResNet-50"][0]
+    std = standardized_initial_sizes(corpus).get("ResNet-50")
     magnitude: List[PanelCurve] = []
     others: List[PanelCurve] = []
-    for rc in corpus.curves_for_pair("ImageNet", "ResNet-50"):
-        xs, ys = [], []
-        for pt in rc.points:
-            if pt.compression is None or pt.delta_top1 is None:
-                continue
-            std = std_sizes.get("ResNet-50")
-            if std is None:
-                continue
-            xs.append(std / pt.compression)
-            ys.append(base_top1 + pt.delta_top1)
-        if not xs:
-            continue
-        order = np.argsort(xs)
-        paper = corpus.papers[rc.paper_key]
+    if std is None:
+        return magnitude, others
+    base_top1 = IMAGENET_BASELINES["ResNet-50"][0]
+    sub = corpus_frame(corpus).filter(
+        dataset="ImageNet",
+        architecture="ResNet-50",
+        compression=np.isfinite,
+        delta_top1=np.isfinite,
+    )
+    sub = sub.with_columns(
+        params=std / np.asarray(sub["compression"], dtype=np.float64),
+        top1=base_top1 + np.asarray(sub["delta_top1"], dtype=np.float64),
+    )
+    for _, cf in sub.group_by("curve_id", sort=False):
+        cf = cf.sort_by("params")
+        paper_label = str(cf["label"][0])
+        method = str(cf["method"][0])
         curve = PanelCurve(
-            label=f"{paper.label}, {rc.method}" if rc.method != paper.label else paper.label,
-            xs=[xs[i] for i in order],
-            ys=[ys[i] for i in order],
-            paper_key=rc.paper_key,
-            year=paper.year,
+            label=f"{paper_label}, {method}" if method != paper_label else paper_label,
+            xs=[float(v) for v in cf["params"]],
+            ys=[float(v) for v in cf["top1"]],
+            paper_key=str(cf["paper_key"][0]),
+            year=int(cf["year"][0]),
         )
-        if (rc.paper_key, rc.method) in _MAGNITUDE_VARIANT_METHODS:
+        if (curve.paper_key, method) in _MAGNITUDE_VARIANT_METHODS:
             magnitude.append(curve)
         else:
             others.append(curve)

@@ -1,14 +1,16 @@
 """Plotting: tradeoff curves, ASCII rendering, CSV export."""
 
-from .series import TradeoffCurve, curves_from_results
+from .series import TradeoffCurve, curves_from_frame, curves_from_results
 from .ascii_plot import render_curves, render_histogram
-from .export import export_curves_csv, figures_dir
+from .export import export_curves_csv, export_frame_csv, figures_dir
 
 __all__ = [
     "TradeoffCurve",
+    "curves_from_frame",
     "curves_from_results",
     "render_curves",
     "render_histogram",
     "export_curves_csv",
+    "export_frame_csv",
     "figures_dir",
 ]

@@ -3,20 +3,26 @@
 A :class:`TradeoffCurve` is the paper's unit of comparison (§2.4): "a
 pruning method is best characterized not by a single model it has pruned,
 but by a family of models corresponding to different points on the
-efficiency-quality curve."  Curves carry mean ± std per x (§6: report
-measures of central tendency).
+efficiency-quality curve."  Curves carry mean ± std (and the seed count)
+per x (§6: report measures of central tendency).
+
+Aggregation itself lives in the columnar
+:class:`~repro.analysis.ResultFrame`; :func:`curves_from_frame` /
+:func:`curves_from_results` adapt its grouped curves into labeled
+renderable series.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..experiment.results import CurvePoint, PruningResult, aggregate_curve
+from ..analysis.frame import ResultFrame
+from ..experiment.results import CurvePoint, PruningResult
 
-__all__ = ["TradeoffCurve", "curves_from_results"]
+__all__ = ["TradeoffCurve", "curves_from_frame", "curves_from_results"]
 
 
 @dataclass
@@ -27,17 +33,23 @@ class TradeoffCurve:
     xs: List[float]
     ys: List[float]
     stds: List[float] = field(default_factory=list)
+    #: rows aggregated at each x (0 entries = unknown, e.g. external data)
+    ns: List[int] = field(default_factory=list)
 
     def __post_init__(self):
         if len(self.xs) != len(self.ys):
             raise ValueError("xs and ys must have equal length")
         if self.stds and len(self.stds) != len(self.xs):
             raise ValueError("stds must match xs length")
+        if self.ns and len(self.ns) != len(self.xs):
+            raise ValueError("ns must match xs length")
         order = np.argsort(self.xs)
         self.xs = [float(self.xs[i]) for i in order]
         self.ys = [float(self.ys[i]) for i in order]
         if self.stds:
             self.stds = [float(self.stds[i]) for i in order]
+        if self.ns:
+            self.ns = [int(self.ns[i]) for i in order]
 
     @classmethod
     def from_points(cls, label: str, points: Sequence[CurvePoint]) -> "TradeoffCurve":
@@ -46,6 +58,7 @@ class TradeoffCurve:
             xs=[p.x for p in points],
             ys=[p.mean for p in points],
             stds=[p.std for p in points],
+            ns=[p.n for p in points],
         )
 
     def y_at(self, x: float) -> Optional[float]:
@@ -59,20 +72,41 @@ class TradeoffCurve:
         return len(self.xs)
 
 
-def curves_from_results(
-    results: Sequence[PruningResult],
+def curves_from_frame(
+    frame: ResultFrame,
     group_attr: str = "strategy",
     x_attr: str = "compression",
     y_attr: str = "top1",
     labels: Optional[Dict[str, str]] = None,
 ) -> List[TradeoffCurve]:
-    """Group results and aggregate each group into a labeled curve."""
-    groups: Dict[str, List[PruningResult]] = {}
-    for r in results:
-        groups.setdefault(str(getattr(r, group_attr)), []).append(r)
+    """One labeled aggregated curve per group value, sorted by group."""
     curves = []
-    for key in sorted(groups):
-        points = aggregate_curve(groups[key], x_attr=x_attr, y_attr=y_attr)
+    for key, points in frame.tradeoff_curves(
+        group=group_attr, x=x_attr, y=y_attr
+    ).items():
+        key = str(key)
         label = labels.get(key, key) if labels else key
         curves.append(TradeoffCurve.from_points(label, points))
     return curves
+
+
+def curves_from_results(
+    results: Union[ResultFrame, Sequence[PruningResult]],
+    group_attr: str = "strategy",
+    x_attr: str = "compression",
+    y_attr: str = "top1",
+    labels: Optional[Dict[str, str]] = None,
+) -> List[TradeoffCurve]:
+    """Group results and aggregate each group into a labeled curve.
+
+    Accepts a :class:`ResultFrame` directly or any sequence/ResultSet of
+    rows (converted on the fly).
+    """
+    frame = (
+        results
+        if isinstance(results, ResultFrame)
+        else ResultFrame.from_results(results)
+    )
+    return curves_from_frame(
+        frame, group_attr=group_attr, x_attr=x_attr, y_attr=y_attr, labels=labels
+    )

@@ -1,0 +1,291 @@
+"""End-to-end: frame constructors agree across sweep artifacts, the report
+CLI emits the §6 bundle, and the queue maintenance subcommands work.
+
+A real (tiny) sweep runs once per module through the serial executor (with
+a dedicated result cache) and once through the queue executor (with its
+own queue directory), then the same curves must come out of the saved
+``results.json``, the cache directory, and the queue directory — the
+acceptance bar for ``python -m repro report``.
+"""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    ResultFrame,
+    build_report,
+    load_frame,
+    render_report,
+    report_csv_rows,
+)
+from repro.cli import main
+from repro.experiment import (
+    ExperimentSpec,
+    OptimizerConfig,
+    ResultCache,
+    SweepConfig,
+    TrainConfig,
+    WorkQueue,
+    run_config,
+)
+
+
+def _mini_config(**overrides):
+    kw = dict(
+        model="lenet-300-100",
+        dataset="cifar10",
+        strategies=("global_weight", "random"),
+        compressions=(1, 2),
+        seeds=(0, 1),
+        model_kwargs=dict(input_size=8, in_channels=3),
+        dataset_kwargs=dict(n_train=128, n_val=64, size=8, noise=0.5),
+        pretrain=TrainConfig(epochs=1, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 2e-3),
+                             early_stop_patience=None),
+        finetune=TrainConfig(epochs=1, batch_size=32,
+                             optimizer=OptimizerConfig("adam", 3e-4),
+                             early_stop_patience=None),
+    )
+    kw.update(overrides)
+    return SweepConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def sweep_artifacts(tmp_path_factory):
+    """One real mini sweep in all three artifact forms."""
+    root = tmp_path_factory.mktemp("report_sweep")
+    cache_dir = root / "cache"
+    results_path = root / "results.json"
+    queue_dir = root / "queue"
+
+    results = run_config(_mini_config(), cache=ResultCache(cache_dir))
+    results.save(results_path)
+
+    queue_results = run_config(
+        _mini_config(
+            executor="queue",
+            executor_options={"queue_dir": str(queue_dir)},
+        )
+    )
+    assert len(queue_results) == len(results)
+    return {"results": results_path, "cache": cache_dir, "queue": queue_dir}
+
+
+def _curve_data(frame):
+    return report_csv_rows(build_report(frame))
+
+
+class TestFrameSourcesAgree:
+    def test_json_cache_queue_identical_curves(self, sweep_artifacts):
+        """The acceptance criterion: point-for-point identical curve data
+        from results.json, the ResultCache directory, and the queue dir."""
+        from_json = _curve_data(ResultFrame.from_json(sweep_artifacts["results"]))
+        from_cache = _curve_data(ResultFrame.from_cache(sweep_artifacts["cache"]))
+        from_queue = _curve_data(ResultFrame.from_queue(sweep_artifacts["queue"]))
+        assert from_json == from_cache == from_queue
+        # both §6 axes are present, for every strategy, with seed counts
+        assert {row[1] for row in from_json[1:]} == {
+            "compression", "theoretical_speedup"
+        }
+        assert {row[0] for row in from_json[1:]} == {"global_weight", "random"}
+        assert all(row[5] == 2 for row in from_json[1:])  # 2 seeds per point
+
+    def test_load_frame_sniffs_all_three(self, sweep_artifacts):
+        for source in sweep_artifacts.values():
+            frame = load_frame(source)
+            assert len(frame) > 0
+
+    def test_from_queue_honors_cache_dir_override(self, sweep_artifacts):
+        # a queue run with an explicit --cache-dir stores rows elsewhere;
+        # from_queue/--cache-dir must read that store, not <queue>/cache
+        override = ResultFrame.from_queue(
+            sweep_artifacts["queue"], cache_dir=sweep_artifacts["cache"]
+        )
+        assert _curve_data(override) == _curve_data(
+            ResultFrame.from_cache(sweep_artifacts["cache"])
+        )
+
+    def test_report_cache_dir_flag(self, sweep_artifacts, tmp_path, capsys):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        assert main(["report", str(sweep_artifacts["queue"]),
+                     "--cache-dir", str(sweep_artifacts["cache"]),
+                     "--csv", str(a)]) == 0
+        assert main(["report", str(sweep_artifacts["queue"]),
+                     "--csv", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()  # same sweep either way
+        # the flag is queue-only: rejected for plain results.json sources
+        assert main(["report", str(sweep_artifacts["results"]),
+                     "--cache-dir", str(sweep_artifacts["cache"])]) == 2
+        capsys.readouterr()
+
+    def test_replication_matches_assembled_results(self, sweep_artifacts):
+        """from_cache holds one sentinel baseline per seed; replication must
+        rebuild exactly the assembled per-strategy baseline matrix."""
+        assembled = ResultFrame.from_json(sweep_artifacts["results"])
+        replicated = ResultFrame.from_cache(
+            sweep_artifacts["cache"]
+        ).replicate_baselines()
+        key = lambda rec: (rec["strategy"], rec["compression"], rec["seed"])
+        assert sorted(
+            (key(r), r["top1"]) for r in replicated.to_records()
+        ) == sorted((key(r), r["top1"]) for r in assembled.to_records())
+
+
+class TestReportCli:
+    def test_report_from_json_with_csv(self, sweep_artifacts, tmp_path, capsys):
+        csv_path = tmp_path / "curves.csv"
+        rc = main(["report", str(sweep_artifacts["results"]),
+                   "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "standard report" in out
+        assert "global_weight" in out and "random" in out
+        assert "Pareto-dominant" in out
+        assert "checklist audit" in out
+        # the CSV parses: header + float-parseable cells
+        table = list(csv.reader(open(csv_path)))
+        assert table[0] == ["strategy", "x_metric", "x",
+                            "top1_mean", "top1_std", "n"]
+        assert len(table) > 1
+        for row in table[1:]:
+            float(row[2]), float(row[3]), float(row[4]), int(row[5])
+
+    def test_report_identical_across_sources(self, sweep_artifacts, tmp_path, capsys):
+        outputs = {}
+        for name, source in sweep_artifacts.items():
+            path = tmp_path / f"{name}.csv"
+            assert main(["report", str(source), "--csv", str(path)]) == 0
+            outputs[name] = path.read_bytes()
+        capsys.readouterr()
+        assert outputs["results"] == outputs["cache"] == outputs["queue"]
+
+    def test_report_summary_table_parses(self, sweep_artifacts, capsys):
+        main(["report", str(sweep_artifacts["results"])])
+        out = capsys.readouterr().out
+        table = out.split("-- summary")[1].splitlines()
+        header = table[1]
+        assert "c=1" in header and "c=2" in header
+        body = [l for l in table[2:4]]
+        assert any(l.startswith("global_weight") for l in body)
+        # every cell is mean±std(n)
+        assert all("±" in l and "(2)" in l for l in body)
+
+    def test_report_missing_source(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert main(["report", str(tmp_path)]) == 2  # dir with no entries
+        capsys.readouterr()
+
+
+def _dummy_spec(tag="a"):
+    return ExperimentSpec(
+        model=f"missing-{tag}", dataset="missing", strategy="global_weight",
+        compression=2.0, seed=0,
+    )
+
+
+class TestQueueMaintenance:
+    @pytest.fixture
+    def quarantined_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout=30.0, max_retries=1)
+        h = queue.submit(_dummy_spec())
+        for _ in range(2):  # 1 initial run + 1 retry -> quarantine
+            claim = queue.claim("w0")
+            assert claim is not None
+            assert queue.fail(claim, "Traceback ...\nBoomError: nope") in (
+                "pending", "failed"
+            )
+        assert queue.state(h) == "failed"
+        return queue
+
+    def test_stats_reports_quarantine(self, quarantined_queue, capsys):
+        assert main(["queue", "stats", str(quarantined_queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "failed        : 1" in out
+        assert "BoomError: nope" in out
+        assert "attempts=2" in out
+
+    def test_stats_shows_live_leases(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "q")
+        queue.submit(_dummy_spec())
+        queue.claim("worker-9")
+        assert main(["queue", "stats", str(queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "worker=worker-9" in out
+
+    def test_retry_failed_resets_budget(self, quarantined_queue, capsys):
+        assert main(["queue", "retry-failed", str(quarantined_queue.root)]) == 0
+        out = capsys.readouterr().out
+        assert "re-enqueued 1" in out
+        assert quarantined_queue.counts()["pending"] == 1
+        assert quarantined_queue.counts()["failed"] == 0
+        # the failure history survives for the audit trail, budget is fresh
+        h = quarantined_queue.submit(_dummy_spec())
+        payload = quarantined_queue.payload(h)
+        assert payload["attempts"] == 0
+        assert len(payload["failures"]) == 2
+
+    def test_compact_gcs_done_markers(self, tmp_path, capsys):
+        queue = WorkQueue(tmp_path / "q")
+        for tag in ("a", "b"):
+            h = queue.submit(_dummy_spec(tag))
+            claim = queue.claim("w0")
+            queue.complete(claim)
+        assert queue.counts()["done"] == 2
+        assert main(["queue", "compact", str(queue.root)]) == 0
+        assert "removed 2 done marker(s)" in capsys.readouterr().out
+        assert queue.counts()["done"] == 0
+
+    def test_compact_respects_max_age(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        h = queue.submit(_dummy_spec())
+        queue.complete(queue.claim("w0"))
+        assert queue.compact(max_age=3600.0) == 0  # too fresh
+        assert queue.compact() == 1
+
+    def test_queue_cli_missing_dir(self, tmp_path, capsys):
+        assert main(["queue", "stats", str(tmp_path / "absent")]) == 2
+        capsys.readouterr()
+
+    def test_queue_cli_refuses_non_queue_dir(self, tmp_path, capsys):
+        # maintenance must not scaffold a queue layout into e.g. a cache dir
+        plain = tmp_path / "cache_root"
+        plain.mkdir()
+        assert main(["queue", "stats", str(plain)]) == 2
+        capsys.readouterr()
+        assert list(plain.iterdir()) == []  # untouched
+
+    def test_report_warns_on_in_progress_queue(self, tmp_path, capsys):
+        from repro.experiment import PruningResult
+        from repro.experiment.cache import ResultCache
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.submit(_dummy_spec("a"))  # still pending: sweep not finished
+        queue.submit(_dummy_spec("b"))
+        queue.complete(queue.claim("w0"))
+        # give the queue's cache one real row so the report is non-empty
+        ResultCache(queue.root / "cache").put(
+            _dummy_spec("b"),
+            PruningResult(model="m", dataset="d", strategy="s",
+                          compression=2.0, seed=0, top1=0.5,
+                          baseline_top1=0.6, dense_flops=1.0,
+                          actual_compression=2.0, theoretical_speedup=1.5),
+        )
+        rc = main(["report", str(queue.root)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "still pending/leased" in captured.err
+        assert "this report is partial" in captured.err
+
+    def test_from_queue_surfaces_quarantine(self, quarantined_queue):
+        frame = ResultFrame.from_queue(quarantined_queue.root)
+        assert len(frame) == 1
+        assert frame.failed_mask().all()
+        report = build_report(frame)
+        assert report.n_failed == 1
+        assert report.curves["compression"] == {}
+        rendered = render_report(report)
+        assert "quarantined: 1" in rendered
+        # a report over only-quarantined rows exits nonzero via the CLI
+        assert main(["report", str(quarantined_queue.root)]) == 1

@@ -142,6 +142,74 @@ class TestFigure3:
             for c in curves:
                 assert c.xs == sorted(c.xs)
 
+    def test_frame_query_byte_matches_seed_era_bucketing(self, corpus):
+        """The frame-based fig3 must reproduce the pre-refactor dict-
+        bucketing output exactly on the bundled corpus (labels, curve
+        order, point order, values)."""
+        from repro.meta import FIG3_COLUMNS, FIG3_METRIC_ROWS
+
+        old = {}
+        for col_label, pairs in FIG3_COLUMNS:
+            for x_metric, y_metric in FIG3_METRIC_ROWS:
+                if "top5" in y_metric and col_label == "ResNet-56 on CIFAR-10":
+                    continue
+                curves = []
+                for pair in pairs:
+                    for rc in corpus.curves_for_pair(*pair):
+                        xs, ys = [], []
+                        for pt in rc.points:
+                            x = getattr(pt, x_metric)
+                            y = getattr(pt, y_metric)
+                            if x is not None and y is not None:
+                                xs.append(float(x))
+                                ys.append(float(y))
+                        if xs:
+                            order = np.argsort(xs)
+                            paper = corpus.papers[rc.paper_key]
+                            curves.append((
+                                rc.method,
+                                [xs[i] for i in order],
+                                [ys[i] for i in order],
+                                rc.paper_key,
+                                paper.year,
+                            ))
+                if curves:
+                    old[(col_label, x_metric, y_metric)] = curves
+        new = fig3_panels(corpus)
+        assert set(old) == set(new)
+        for key in old:
+            got = [(c.label, c.xs, c.ys, c.paper_key, c.year) for c in new[key]]
+            assert got == old[key], key
+
+
+class TestFigure1SeedEraEquivalence:
+    def test_frame_query_byte_matches_seed_era_bucketing(self, corpus):
+        """Frame-based fig1 must reproduce the pre-refactor per-row
+        bucketing exactly on the bundled corpus, for every metric pair."""
+        from repro.meta import normalized_results
+
+        member_of = {
+            "VGG-16": "VGG", "ResNet-50": "ResNet", "ResNet-18": "ResNet",
+            "ResNet-34": "ResNet", "MobileNet-v2": "MobileNet-v2",
+        }
+        for x_metric, y_metric in (
+            ("params", "top1"), ("flops", "top1"),
+            ("params", "top5"), ("flops", "top5"),
+        ):
+            xkey = "params" if x_metric == "params" else "flops"
+            old = {}
+            for row in normalized_results(corpus, IMAGENET_BASELINES):
+                if row["dataset"] != "ImageNet":
+                    continue
+                fam = member_of.get(row["architecture"])
+                if fam is None or xkey not in row or y_metric not in row:
+                    continue
+                bucket = old.setdefault(fam, {"xs": [], "ys": []})
+                bucket["xs"].append(row[xkey])
+                bucket["ys"].append(row[y_metric])
+            _, new = fig1_series(corpus, x_metric=x_metric, y_metric=y_metric)
+            assert new == old, (x_metric, y_metric)
+
 
 class TestFigure5:
     def test_split_nonempty(self, corpus):
@@ -163,6 +231,42 @@ class TestFigure5:
         mag, others = fig5_split(corpus)
         for c in mag + others:
             assert all(40 < y < 80 for y in c.ys)  # absolute Top-1 band
+
+    def test_frame_query_byte_matches_seed_era_bucketing(self, corpus):
+        """Frame-based fig5 must reproduce the pre-refactor loop exactly on
+        the bundled corpus (labels, split, curve order, point values)."""
+        from repro.meta import standardized_initial_sizes
+        from repro.meta.corpus_data import _MAGNITUDE_VARIANT_METHODS
+
+        std_sizes = standardized_initial_sizes(corpus)
+        base_top1 = IMAGENET_BASELINES["ResNet-50"][0]
+        old_mag, old_others = [], []
+        for rc in corpus.curves_for_pair("ImageNet", "ResNet-50"):
+            xs, ys = [], []
+            for pt in rc.points:
+                if pt.compression is None or pt.delta_top1 is None:
+                    continue
+                std = std_sizes.get("ResNet-50")
+                if std is None:
+                    continue
+                xs.append(std / pt.compression)
+                ys.append(base_top1 + pt.delta_top1)
+            if not xs:
+                continue
+            order = np.argsort(xs)
+            paper = corpus.papers[rc.paper_key]
+            label = (f"{paper.label}, {rc.method}"
+                     if rc.method != paper.label else paper.label)
+            curve = (label, [xs[i] for i in order], [ys[i] for i in order],
+                     rc.paper_key, paper.year)
+            if (rc.paper_key, rc.method) in _MAGNITUDE_VARIANT_METHODS:
+                old_mag.append(curve)
+            else:
+                old_others.append(curve)
+        new_mag, new_others = fig5_split(corpus)
+        for old_list, new_list in ((old_mag, new_mag), (old_others, new_others)):
+            got = [(c.label, c.xs, c.ys, c.paper_key, c.year) for c in new_list]
+            assert got == old_list
 
 
 class TestChecklistAudit:

@@ -104,7 +104,9 @@ class TestCsvExport:
         curves = curves_from_results(make_results())
         path = export_curves_csv(curves, "unit_test_fig")
         rows = list(csv.reader(open(path)))
-        assert rows[0] == ["series", "x", "y", "std"]
+        assert rows[0] == ["series", "x", "y", "std", "n"]
         assert len(rows) == 1 + sum(len(c) for c in curves)
         series = {r[0] for r in rows[1:]}
         assert series == {"global_weight", "random"}
+        # §6: the seed count rides along with mean and std
+        assert all(int(r[4]) == 2 for r in rows[1:])
