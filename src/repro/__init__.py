@@ -18,8 +18,13 @@ Top-level packages:
 * :mod:`repro.experiment` — train → prune → fine-tune → evaluate harness.
 * :mod:`repro.analysis` — columnar ResultFrame queries + the §6 standard
   report (``python -m repro report``).
+* :mod:`repro.perf` — microbenchmark harness + curated hot-path suite
+  (``python -m repro bench``).
 * :mod:`repro.meta` — the 81-paper corpus meta-analysis (Figures 1-5, Table 1).
 * :mod:`repro.plotting` — tradeoff curves, ASCII plots, CSV export.
+
+See ``README.md`` for the CLI tour and ``docs/ARCHITECTURE.md`` for the
+layer-by-layer narrative.
 """
 
 from .utils.threads import configure_blas_threads_from_env as _configure_blas
@@ -27,6 +32,6 @@ from .utils.threads import configure_blas_threads_from_env as _configure_blas
 # Pin the BLAS pool before any heavy numpy work (see repro.utils.threads).
 _configure_blas()
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -9,20 +9,28 @@ paper's standard report; ``python -m repro report`` is the CLI wrapper.
 
 from .frame import ResultFrame, is_queue_dir, load_frame
 from .report import (
+    REPORT_SCHEMA_VERSION,
     StandardReport,
     build_report,
     render_report,
     report_csv_rows,
+    report_json_text,
+    report_to_json,
     write_report_csv,
+    write_report_json,
 )
 
 __all__ = [
     "ResultFrame",
     "is_queue_dir",
     "load_frame",
+    "REPORT_SCHEMA_VERSION",
     "StandardReport",
     "build_report",
     "render_report",
     "report_csv_rows",
+    "report_json_text",
+    "report_to_json",
     "write_report_csv",
+    "write_report_json",
 ]

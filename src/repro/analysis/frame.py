@@ -304,6 +304,8 @@ class ResultFrame:
         (membership), or a callable predicate.  Predicates are applied
         vectorized when they accept the whole column (e.g. ``np.isfinite``
         or ``lambda c: c > 2``) and fall back to per-element evaluation.
+        Membership tests on numeric columns run through :func:`np.isin`;
+        object columns keep the per-element hash-set semantics.
         """
         out = np.ones(len(self), dtype=bool)
         for name, cond in conditions.items():
@@ -321,9 +323,14 @@ class ResultFrame:
                 out &= result.astype(bool)
             elif isinstance(cond, (list, tuple, set, frozenset, np.ndarray)):
                 allowed = set(cond) if not isinstance(cond, (set, frozenset)) else cond
-                out &= np.fromiter(
-                    (v in allowed for v in col), dtype=bool, count=len(col)
-                )
+                if col.dtype.kind in "iuf" and all(
+                    isinstance(v, (int, float)) and v == v for v in allowed
+                ):
+                    out &= np.isin(col, list(allowed))
+                else:
+                    out &= np.fromiter(
+                        (v in allowed for v in col), dtype=bool, count=len(col)
+                    )
             else:
                 eq = col == cond
                 if not isinstance(eq, np.ndarray):  # incomparable types
@@ -360,6 +367,59 @@ class ResultFrame:
         return ResultFrame(cols)
 
     # -- grouping / aggregation ------------------------------------------
+    def _key_codes(self, names: Sequence[str]) -> np.ndarray:
+        """Dense int64 group codes for the key columns.
+
+        Codes are built so that sorting them sorts the key *tuples* in
+        Python order (per-column ``np.unique`` order combined
+        lexicographically).  Raises ``TypeError``/``ValueError`` when a
+        column cannot be factorized faithfully — mixed-type object columns
+        (where ``np.unique`` cannot sort), NaN keys (the row loop gives
+        every NaN its own group because ``NaN != NaN``), or a key space too
+        large to combine without overflow — and callers fall back to the
+        row-by-row path.
+        """
+        codes: Optional[np.ndarray] = None
+        span = 1
+        for name in names:
+            col = self.column(name)
+            if col.dtype.kind == "f" and np.isnan(col).any():
+                raise ValueError(f"NaN key values in column {name!r}")
+            uniq, inv = np.unique(col, return_inverse=True)
+            span *= max(len(uniq), 1)
+            if span > 2**62:
+                raise ValueError("key space too large to factorize")
+            inv = inv.astype(np.int64, copy=False)
+            codes = inv if codes is None else codes * np.int64(len(uniq)) + inv
+        return codes if codes is not None else np.zeros(len(self), np.int64)
+
+    def _grouped_indices(self, names: Sequence[str], sort: bool) -> List[np.ndarray]:
+        """Row-index arrays, one per group, each in original row order."""
+        codes = self._key_codes(names)
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+        groups = np.split(order, boundaries)
+        if not sort:
+            groups.sort(key=lambda idx: idx[0])  # first-appearance order
+        return groups
+
+    def _group_by_rows(
+        self, names: Sequence[str], single: bool, sort: bool
+    ) -> List[Tuple[Any, "ResultFrame"]]:
+        """Reference row-by-row grouping (kept for fallback + benchmarks).
+
+        This is the pre-vectorization implementation; :meth:`group_by` is
+        equivalence-tested against it and falls back to it for key columns
+        that cannot be factorized (mixed types, NaN keys).
+        """
+        cols = [self.column(n) for n in names]
+        buckets: Dict[Any, List[int]] = {}
+        for i in range(len(self)):
+            key = tuple(_json_safe(c[i]) for c in cols)
+            buckets.setdefault(key if not single else key[0], []).append(i)
+        items = sorted(buckets.items()) if sort else list(buckets.items())
+        return [(key, self.take(idx)) for key, idx in items]
+
     def group_by(
         self, keys: Union[str, Sequence[str]], sort: bool = True
     ) -> List[Tuple[Any, "ResultFrame"]]:
@@ -369,16 +429,26 @@ class ResultFrame:
         ``sort`` the groups come in sorted key order; without, in order of
         first appearance (which the meta-analysis figures rely on to keep
         the corpus' curve ordering).
+
+        Grouping is vectorized (factorized codes + one stable argsort);
+        columns the factorizer cannot handle fall back to the equivalent
+        row-by-row path, so arbitrary key types keep working.
         """
         single = isinstance(keys, str)
         names = (keys,) if single else tuple(keys)
+        if not len(self):
+            [self.column(n) for n in names]  # unknown keys still raise
+            return []
+        try:
+            groups = self._grouped_indices(names, sort=sort)
+        except (TypeError, ValueError):
+            return self._group_by_rows(names, single=single, sort=sort)
         cols = [self.column(n) for n in names]
-        buckets: Dict[Any, List[int]] = {}
-        for i in range(len(self)):
-            key = tuple(_json_safe(c[i]) for c in cols)
-            buckets.setdefault(key if not single else key[0], []).append(i)
-        items = sorted(buckets.items()) if sort else list(buckets.items())
-        return [(key, self.take(idx)) for key, idx in items]
+        out: List[Tuple[Any, "ResultFrame"]] = []
+        for idx in groups:
+            key = tuple(_json_safe(c[idx[0]]) for c in cols)
+            out.append((key[0] if single else key, self.take(idx)))
+        return out
 
     @staticmethod
     def _stat(values: np.ndarray, stat: str) -> float:
@@ -465,8 +535,41 @@ class ResultFrame:
         baseline row's measured accuracy (NaN where no control row exists).
         This is the one place the baseline join lives; callers that used to
         re-bucket rows per seed to find their controls use this instead.
+
+        The join is batched: one factorization of the key columns matches
+        every row against the first control row sharing its key, instead
+        of a per-row dict probe (equivalence-tested against
+        :meth:`_join_baseline_rows`, the fallback for unfactorizable keys).
         """
         on = tuple(on)
+        try:
+            return self._join_baseline_batched(on)
+        except (TypeError, ValueError):
+            return self._join_baseline_rows(on)
+
+    def _join_baseline_batched(self, on: Tuple[str, ...]) -> "ResultFrame":
+        codes = self._key_codes(on)
+        comp = np.asarray(self.column("compression"), dtype=np.float64)
+        base_idx = np.flatnonzero(comp <= 1.0)
+        c1 = np.full(len(self), np.nan)
+        c5 = np.full(len(self), np.nan)
+        if len(base_idx):
+            # np.unique keeps the *first* occurrence per key — the same row
+            # the dict-probe reference keeps via setdefault
+            uniq, first = np.unique(codes[base_idx], return_index=True)
+            src = base_idx[first]
+            pos = np.minimum(np.searchsorted(uniq, codes), len(uniq) - 1)
+            hit = uniq[pos] == codes
+            top1 = np.asarray(self.column("top1"), dtype=np.float64)
+            top5 = np.asarray(self.column("top5"), dtype=np.float64)
+            c1[hit] = top1[src[pos[hit]]]
+            c5[hit] = top5[src[pos[hit]]]
+        else:
+            self.column("top1"), self.column("top5")  # keep KeyError parity
+        return self.with_columns(control_top1=c1, control_top5=c5)
+
+    def _join_baseline_rows(self, on: Tuple[str, ...]) -> "ResultFrame":
+        """Reference per-row join (kept for fallback + benchmarks)."""
         controls: Dict[Tuple, Tuple[float, float]] = {}
         base = self.filter(compression=lambda c: c <= 1.0)
         key_cols = [base.column(n) for n in on]

@@ -26,6 +26,7 @@ Report contents
 from __future__ import annotations
 
 import csv
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Tuple
@@ -36,12 +37,20 @@ from ..experiment.results import CurvePoint
 from .frame import ResultFrame, load_frame
 
 __all__ = [
+    "REPORT_SCHEMA_VERSION",
     "StandardReport",
     "build_report",
     "render_report",
     "report_csv_rows",
+    "report_json_text",
+    "report_to_json",
     "write_report_csv",
+    "write_report_json",
 ]
+
+#: bump when the ``repro report --json`` document layout changes
+#: incompatibly (schema documented in docs/FORMATS.md)
+REPORT_SCHEMA_VERSION = 1
 
 #: the two x-axes §6 requires; labels keep the CSV self-describing
 X_METRICS: Sequence[Tuple[str, str]] = (
@@ -217,4 +226,55 @@ def write_report_csv(report: StandardReport, path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as f:
         csv.writer(f).writerows(report_csv_rows(report))
+    return path
+
+
+def report_to_json(report: StandardReport) -> Dict[str, Any]:
+    """The machine-readable ``repro report --json`` document.
+
+    Everything :func:`render_report` prints, as data: curves per x-axis and
+    strategy, the aggregated summary and Pareto rows (as record lists),
+    the checklist verdicts, and failure accounting.  The layout is
+    versioned by :data:`REPORT_SCHEMA_VERSION` and documented in
+    ``docs/FORMATS.md``.  Non-finite values stay as floats; the CLI
+    serializes them as bare ``Infinity``/``NaN`` tokens (Python's default
+    JSON dialect), which ``json.load`` parses back.
+    """
+    frame = report.frame
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "y": report.y,
+        "rows": len(frame),
+        "n_failed": report.n_failed,
+        "strategies": frame.unique("strategy") if "strategy" in frame else [],
+        "seeds": frame.unique("seed") if "seed" in frame else [],
+        "curves": {
+            x_metric: {
+                str(strategy): [
+                    {"x": p.x, "mean": p.mean, "std": p.std, "n": p.n}
+                    for p in points
+                ]
+                for strategy, points in by_strategy.items()
+            }
+            for x_metric, by_strategy in report.curves.items()
+        },
+        "summary": report.summary.to_records(),
+        "pareto": report.pareto.to_records(),
+        "checklist": [
+            {"item": item.item, "passed": item.passed, "detail": item.detail}
+            for item in report.checklist
+        ],
+    }
+
+
+def report_json_text(report: StandardReport) -> str:
+    """The serialized report document — the one dialect both the ``--json
+    PATH`` file and the ``--json -`` stdout stream emit."""
+    return json.dumps(report_to_json(report), indent=1, default=float)
+
+
+def write_report_json(report: StandardReport, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report_json_text(report))
     return path

@@ -6,9 +6,11 @@ Subcommands::
     python -m repro report SOURCE         # §6 standard report from a sweep
     python -m repro worker QUEUE_DIR      # pull + run cells from a work queue
     python -m repro queue stats|retry-failed|compact QUEUE_DIR
+    python -m repro bench [PATTERN]       # performance microbenchmark suite
     python -m repro expand sweep.json     # dry-run: list cells + spec hashes
     python -m repro ls [models|datasets|strategies|schedules|optimizers|executors]
     python -m repro cache stats|gc|clear  # result-cache maintenance
+    python -m repro --version
 
 ``report`` closes the loop on a finished sweep: point it at a saved
 ``results.json``, a result-cache directory, or a work-queue directory
@@ -90,6 +92,27 @@ REGISTRIES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _parse_shard(text: str):
     try:
         index, total = text.split("/")
@@ -100,16 +123,35 @@ def _parse_shard(text: str):
         ) from exc
 
 
+def _add_command(sub, name: str, help_line: str, example: str):
+    """One subparser per command, uniformly documented: a one-line help
+    (shown in ``python -m repro -h``) plus a worked example in its own
+    ``--help`` epilog."""
+    return sub.add_parser(
+        name,
+        help=help_line,
+        description=help_line[0].upper() + help_line[1:] + ".",
+        epilog="example:\n  " + example,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     p = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction toolkit for 'What is the State of Neural "
         "Network Pruning?' (Blalock et al., MLSys 2020).",
     )
+    p.add_argument("--version", action="version",
+                   version=f"repro {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser(
-        "run", help="execute a SweepConfig JSON file end-to-end"
+    run = _add_command(
+        sub, "run",
+        "execute a declarative SweepConfig JSON sweep end-to-end",
+        "python -m repro run sweep.json --workers 4 --out results.json",
     )
     run.add_argument("config", help="path to a sweep config JSON file")
     run.add_argument("--workers", type=int, default=None,
@@ -139,9 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="queue executor: give up if the sweep is still "
                           "unfinished after this many seconds")
 
-    worker = sub.add_parser(
-        "worker",
-        help="pull cells from a shared work-queue directory and execute them",
+    worker = _add_command(
+        sub, "worker",
+        "pull cells from a shared work-queue directory and execute them",
+        "python -m repro worker /shared/q --idle-timeout 60",
     )
     worker.add_argument("queue_dir", help="queue directory created by "
                         "`python -m repro run --executor queue --queue-dir`")
@@ -165,10 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--quiet", action="store_true",
                         help="suppress progress lines")
 
-    report = sub.add_parser(
-        "report",
-        help="print the §6 standard report for a finished sweep "
-             "(results.json, result-cache dir, or queue dir)",
+    report = _add_command(
+        sub, "report",
+        "print the §6 standard report for a finished sweep "
+        "(results.json, result-cache dir, or queue dir)",
+        "python -m repro report results.json --csv curves.csv --json report.json",
     )
     report.add_argument("source", help="results JSON file, result-cache "
                         "directory, or work-queue directory")
@@ -182,10 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "shared result cache instead of "
                              "<queue-dir>/cache (mirrors run/worker "
                              "--cache-dir)")
+    report.add_argument("--json", default=None, metavar="PATH",
+                        dest="json_out",
+                        help="write the machine-readable report JSON "
+                             "(schema in docs/FORMATS.md) here; '-' for stdout")
     report.add_argument("--width", type=int, default=64,
                         help="ASCII plot width in columns")
 
-    queue = sub.add_parser("queue", help="work-queue maintenance")
+    queue = _add_command(
+        sub, "queue",
+        "work-queue maintenance (stats, retry quarantined cells, GC markers)",
+        "python -m repro queue stats /shared/q",
+    )
     queue_sub = queue.add_subparsers(dest="queue_command", required=True)
     qstats = queue_sub.add_parser(
         "stats", help="pending/leased/done/failed counts, lease ages, "
@@ -204,19 +256,62 @@ def build_parser() -> argparse.ArgumentParser:
     for sp in (qstats, qretry, qcompact):
         sp.add_argument("queue_dir", help="work-queue directory")
 
-    expand = sub.add_parser(
-        "expand", help="list a config's cells and spec hashes without running"
+    bench = _add_command(
+        sub, "bench",
+        "run the performance microbenchmark suite over the repo's hot paths",
+        "python -m repro bench frame --json BENCH_dev.json --compare BENCH_main.json",
+    )
+    bench.add_argument("pattern", nargs="?", default=None,
+                       help="only run benchmarks whose name matches this "
+                            "glob or substring (default: the full suite)")
+    bench.add_argument("--list", action="store_true", dest="list_only",
+                       help="list matching benchmarks without running them")
+    bench.add_argument("--json", default=None, metavar="PATH", dest="json_out",
+                       help="write the machine-readable report "
+                            "(schema in docs/FORMATS.md) here")
+    bench.add_argument("--tag", default=None,
+                       help="free-form label recorded in the JSON report")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="compare medians against a previous --json "
+                            "report; exit 1 on any regression")
+    bench.add_argument("--threshold", type=_nonneg_float, default=20.0,
+                       metavar="PCT",
+                       help="median slowdown vs baseline that counts as a "
+                            "regression (default: 20%%)")
+    bench.add_argument("--repeats", type=_positive_int, default=5,
+                       help="timed reps per benchmark (default: 5)")
+    bench.add_argument("--warmup", type=_nonneg_int, default=1,
+                       help="untimed warmup calls per benchmark (default: 1)")
+    bench.add_argument("--min-time", type=_nonneg_float, default=0.05,
+                       metavar="S",
+                       help="minimum seconds per rep; fast functions are "
+                            "looped to reach it (default: 0.05)")
+    bench.add_argument("--no-mem", action="store_true",
+                       help="skip RSS/allocation tracking")
+
+    expand = _add_command(
+        sub, "expand",
+        "list a config's cells and spec hashes without running anything",
+        "python -m repro expand sweep.json --json",
     )
     expand.add_argument("config", help="path to a sweep config JSON file")
     expand.add_argument("--json", action="store_true", dest="as_json",
                         help="emit machine-readable JSON (one spec per entry)")
 
-    ls = sub.add_parser("ls", help="list registered components")
+    ls = _add_command(
+        sub, "ls",
+        "list registered components (models, strategies, executors, ...)",
+        "python -m repro ls strategies",
+    )
     ls.add_argument("registry", nargs="?", default=None,
                     choices=sorted(REGISTRIES), metavar="REGISTRY",
                     help=f"one of {sorted(REGISTRIES)} (default: all)")
 
-    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache = _add_command(
+        sub, "cache",
+        "result-cache maintenance (stats, GC stale/aged entries, clear)",
+        "python -m repro cache gc --max-age-days 30",
+    )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     stats = cache_sub.add_parser("stats", help="entry counts, size, schemas")
     gc = cache_sub.add_parser(
@@ -394,10 +489,22 @@ def _cmd_report(args) -> int:
             if (source / sub).is_dir():
                 outstanding += sum(1 for _ in (source / sub).glob("*.json"))
     report = build_report(frame, y=args.y)
-    print(render_report(report, width=args.width))
+    if args.json_out == "-":
+        from .analysis import report_json_text
+
+        print(report_json_text(report))
+    else:
+        print(render_report(report, width=args.width))
     if args.csv:
         path = write_report_csv(report, args.csv)
-        print(f"\ncurve data -> {path}")
+        # with the JSON document on stdout, notices must not corrupt it
+        notice = sys.stderr if args.json_out == "-" else sys.stdout
+        print(f"\ncurve data -> {path}", file=notice)
+    if args.json_out and args.json_out != "-":
+        from .analysis import write_report_json
+
+        path = write_report_json(report, args.json_out)
+        print(f"report JSON -> {path}")
     if outstanding:
         print(f"WARNING: {outstanding} cell(s) still pending/leased in "
               f"{source} — this report is partial", file=sys.stderr)
@@ -467,6 +574,77 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _fmt_seconds(seconds: float) -> str:
+    """Human scale: µs below 1 ms, ms below 1 s, else seconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.2f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def _cmd_bench(args) -> int:
+    from .perf import (
+        Timer,
+        compare_results,
+        load_bench_report,
+        report_to_dict,
+        run_benchmark,
+        select_benchmarks,
+    )
+
+    benches = select_benchmarks(args.pattern)
+    if not benches:
+        print(f"no benchmarks match {args.pattern!r} "
+              f"(see `python -m repro bench --list`)", file=sys.stderr)
+        return 2
+    if args.list_only:
+        for bench in benches:
+            print(f"{bench.name:34s} {bench.description}")
+        return 0
+
+    timer = Timer(warmup=args.warmup, repeats=args.repeats,
+                  min_time=args.min_time)
+    results = []
+    print(f"{len(benches)} benchmark(s), {args.repeats} rep(s), "
+          f"min {args.min_time:g}s/rep", flush=True)
+    for bench in benches:
+        result = run_benchmark(bench, timer, track_mem=not args.no_mem)
+        results.append(result)
+        alloc = (f"  alloc {result.alloc_peak_kb / 1024:.1f}MiB"
+                 if result.alloc_peak_kb is not None else "")
+        print(f"  {result.name:34s} median {_fmt_seconds(result.median)}  "
+              f"mean {_fmt_seconds(result.mean)} ±{result.std * 1e3:.2f}ms  "
+              f"({result.reps}×{result.inner}){alloc}", flush=True)
+
+    if args.json_out:
+        payload = report_to_dict(results, tag=args.tag)
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1))
+        print(f"report -> {path}")
+
+    if args.compare:
+        try:
+            baseline = load_bench_report(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparisons = compare_results(results, baseline["results"],
+                                      threshold_pct=args.threshold)
+        print(f"\nvs baseline {args.compare} "
+              f"(threshold {args.threshold:g}%):")
+        for comp in comparisons:
+            print(f"  {comp.describe()}")
+        regressions = [c for c in comparisons if c.status == "regression"]
+        if regressions:
+            print(f"FAIL: {len(regressions)} benchmark(s) regressed by more "
+                  f"than {args.threshold:g}%", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
@@ -502,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "queue":
         return _cmd_queue(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "expand":
         return _cmd_expand(args)
     if args.command == "ls":

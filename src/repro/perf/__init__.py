@@ -1,0 +1,45 @@
+"""Performance subsystem: microbenchmarks over the repo's own hot paths.
+
+``python -m repro bench`` is the entry point; :mod:`repro.perf.harness`
+documents the timing model and JSON report schema (see also
+``docs/FORMATS.md``), and :mod:`repro.perf.suite` holds the curated
+benchmarks — one per real hot path, with byte-equivalent reference twins
+for every landed optimization so speedups stay measured, not remembered.
+
+Importing this package registers the curated suite in :data:`BENCHMARKS`.
+"""
+
+from .harness import (
+    BENCH_SCHEMA_VERSION,
+    BENCHMARKS,
+    Benchmark,
+    BenchResult,
+    Comparison,
+    Timer,
+    benchmark,
+    compare_results,
+    environment_info,
+    load_bench_report,
+    report_to_dict,
+    run_benchmark,
+    select_benchmarks,
+)
+from . import suite  # noqa: F401  (registers the curated benchmarks)
+from .suite import make_result_frame
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCHMARKS",
+    "Benchmark",
+    "BenchResult",
+    "Comparison",
+    "Timer",
+    "benchmark",
+    "compare_results",
+    "environment_info",
+    "load_bench_report",
+    "make_result_frame",
+    "report_to_dict",
+    "run_benchmark",
+    "select_benchmarks",
+]

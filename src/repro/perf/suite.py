@@ -1,0 +1,330 @@
+"""The curated microbenchmark suite: one bench per real hot path.
+
+Importing this module registers every benchmark in
+:data:`~repro.perf.harness.BENCHMARKS`; ``python -m repro bench`` does so
+and runs them.  Workloads are sized to finish the full suite in well under
+a minute on one laptop core while still being large enough that the
+measured path — not the harness — dominates.
+
+Coverage map (layer → benches):
+
+* **autograd/nn** — ``autograd_conv2d_forward`` / ``_backward`` (the
+  im2col GEMM path), ``autograd_maxpool_backward`` vs
+  ``autograd_maxpool_backward_addat`` (the non-overlap scatter fast path
+  against its ``np.add.at`` reference), and ``nn_train_step`` (a full
+  forward/backward/SGD step on a small conv net — the inner loop of every
+  pretrain and fine-tune).
+* **pruning** — ``pruning_mask_apply`` (the post-optimizer-step mask
+  enforcement that runs once per training step) and
+  ``pruning_magnitude_scores`` (the §7.2 scoring family shared by the
+  magnitude baselines).
+* **experiment** — ``experiment_cache_hit`` / ``_miss``
+  (:class:`ResultCache` lookups, paid once per cell per sweep) and
+  ``experiment_queue_claim`` (the rename-arbitrated claim that bounds
+  multi-machine queue throughput).
+* **analysis** — ``frame_filter`` / ``frame_group_by`` /
+  ``frame_join_baseline``, each in a ``_vectorized`` and a ``_rowloop``
+  variant over the same 100k-row frame, so the vectorization win is
+  re-measured (not just asserted) on every run.
+
+The paired ``*_rowloop`` / ``*_addat`` variants are intentionally the
+byte-equivalent reference implementations the fast paths are tested
+against (see ``tests/test_perf_bench.py`` and
+``tests/test_autograd_conv.py``); a report therefore documents the current
+speedup of every landed optimization.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from ..autograd import Tensor, conv2d, cross_entropy
+from ..autograd.conv import (
+    _max_pool2d_backward_add_at,
+    _max_pool2d_backward_scatter,
+)
+from ..experiment.cache import ResultCache
+from ..experiment.prune import ExperimentSpec
+from ..experiment.queue import WorkQueue
+from ..experiment.results import PruningResult
+from ..analysis.frame import ResultFrame
+from .. import nn
+from ..optim import OPTIMIZERS
+from ..pruning import MaskRegistry, magnitude_scores, prunable_parameters
+from .harness import benchmark
+
+__all__ = ["make_result_frame"]
+
+
+# --------------------------------------------------------------------------
+# autograd / nn
+# --------------------------------------------------------------------------
+
+def _conv_inputs(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((16, 8, 16, 16)), requires_grad=True)
+    w = Tensor(rng.standard_normal((16, 8, 3, 3)) * 0.1, requires_grad=True)
+    b = Tensor(np.zeros(16), requires_grad=True)
+    return x, w, b
+
+
+@benchmark("autograd_conv2d_forward",
+           "im2col + GEMM conv forward, 16x8x16x16 input, 3x3 kernel")
+def _bench_conv2d_forward():
+    x, w, b = _conv_inputs()
+    return lambda: conv2d(x, w, b, padding=1)
+
+
+@benchmark("autograd_conv2d_backward",
+           "conv backward (two GEMMs + col2im scatter) through the tape")
+def _bench_conv2d_backward():
+    x, w, b = _conv_inputs()
+    out = conv2d(x, w, b, padding=1)
+    g = np.ones_like(out.data)
+
+    def run():
+        x.grad = w.grad = b.grad = None
+        out.backward(g)
+
+    return run
+
+
+def _maxpool_backward_args(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    n, c, h, w, k = 32, 16, 32, 32, 2
+    oh = ow = (h - k) // k + 1
+    arg = rng.integers(0, k * k, (n, c, oh, ow))
+    g = rng.standard_normal((n, c, oh, ow))
+    return (n, c, h, w), arg, g, k, k, np.float64
+
+
+@benchmark("autograd_maxpool_backward",
+           "max-pool input grad, non-overlap scatter fast path")
+def _bench_maxpool_backward():
+    args = _maxpool_backward_args()
+    return lambda: _max_pool2d_backward_scatter(*args)
+
+
+@benchmark("autograd_maxpool_backward_addat",
+           "reference np.add.at max-pool input grad (equivalence twin)")
+def _bench_maxpool_backward_addat():
+    args = _maxpool_backward_args()
+    return lambda: _max_pool2d_backward_add_at(*args)
+
+
+def _small_convnet(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(8, 16, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(16, 10, rng=rng),
+    )
+
+
+@benchmark("nn_train_step",
+           "full train step (forward, cross-entropy, backward, SGD) on a "
+           "small conv net, batch 32 of 3x16x16")
+def _bench_train_step():
+    rng = np.random.default_rng(0)
+    model = _small_convnet()
+    opt = OPTIMIZERS.create("sgd", list(model.parameters()), lr=0.01,
+                            momentum=0.9)
+    xb = rng.standard_normal((32, 3, 16, 16))
+    yb = rng.integers(0, 10, 32)
+    model.train()
+
+    def step():
+        loss = cross_entropy(model(Tensor(xb)), yb)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+
+    return step
+
+
+# --------------------------------------------------------------------------
+# pruning
+# --------------------------------------------------------------------------
+
+def _masked_model(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    model = _small_convnet(seed)
+    masks = MaskRegistry(model)
+    for name, p in prunable_parameters(model):
+        masks.set_mask(name, (rng.random(p.shape) > 0.5).astype(np.float32))
+    return model, masks
+
+
+@benchmark("pruning_mask_apply",
+           "MaskRegistry.apply (runs after every fine-tune optimizer step)")
+def _bench_mask_apply():
+    _, masks = _masked_model()
+    return masks.apply
+
+
+@benchmark("pruning_magnitude_scores",
+           "|w| scoring over all prunable tensors (Han et al. baseline)")
+def _bench_magnitude_scores():
+    model, _ = _masked_model()
+    params = prunable_parameters(model)
+    return lambda: magnitude_scores(params)
+
+
+# --------------------------------------------------------------------------
+# experiment (cache / queue)
+# --------------------------------------------------------------------------
+
+def _tiny_spec(seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec(
+        model="lenet-300-100", dataset="cifar10", strategy="global_weight",
+        compression=4.0, seed=seed,
+    )
+
+
+def _tiny_row(spec: ExperimentSpec) -> PruningResult:
+    return PruningResult(
+        model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+        compression=spec.compression, seed=spec.seed,
+        actual_compression=4.1, theoretical_speedup=2.2,
+        total_params=266_610, nonzero_params=65_027,
+        dense_flops=5.3e5, effective_flops=2.4e5,
+        baseline_top1=0.61, baseline_top5=0.95,
+        pre_finetune_top1=0.31, pre_finetune_top5=0.71,
+        top1=0.58, top5=0.93, pretrained_key="bench", finetune_epochs_ran=5,
+    )
+
+
+@benchmark("experiment_cache_hit",
+           "ResultCache.get on a stored spec (hash + read + parse)")
+def _bench_cache_hit():
+    tmp = tempfile.TemporaryDirectory()
+    cache = ResultCache(tmp.name)
+    spec = _tiny_spec()
+    cache.put(spec, _tiny_row(spec))
+    assert cache.get(spec) is not None
+    return (lambda: cache.get(spec)), tmp.cleanup
+
+
+@benchmark("experiment_cache_miss",
+           "ResultCache.get on an absent spec (hash + failed read)")
+def _bench_cache_miss():
+    tmp = tempfile.TemporaryDirectory()
+    cache = ResultCache(tmp.name)
+    spec = _tiny_spec(seed=12345)
+    assert cache.get(spec) is None
+    return (lambda: cache.get(spec)), tmp.cleanup
+
+
+@benchmark("experiment_queue_claim",
+           "WorkQueue.claim + release over a 32-cell pending set "
+           "(rename-arbitrated lease throughput)")
+def _bench_queue_claim():
+    tmp = tempfile.TemporaryDirectory()
+    queue = WorkQueue(os.path.join(tmp.name, "q"))
+    for seed in range(32):
+        queue.submit(_tiny_spec(seed=seed))
+
+    def claim_release():
+        claim = queue.claim("bench")
+        assert claim is not None
+        # put the cell straight back so the workload is steady-state
+        os.rename(queue.leased_dir / f"{claim.hash}.json",
+                  queue.pending_dir / f"{claim.hash}.json")
+        (queue.leased_dir / f"{claim.hash}.lease").unlink(missing_ok=True)
+
+    return claim_release, tmp.cleanup
+
+
+# --------------------------------------------------------------------------
+# analysis (ResultFrame at 100k rows)
+# --------------------------------------------------------------------------
+
+#: row count for the frame benches — the ROADMAP's "100k+ rows" target
+FRAME_ROWS = 100_000
+
+
+def make_result_frame(rows: int = FRAME_ROWS, seed: int = 0) -> ResultFrame:
+    """A synthetic sweep-shaped frame (also used by the equivalence tests)."""
+    rng = np.random.default_rng(seed)
+    strategies = np.array(
+        ["global_weight", "layer_weight", "global_gradient", "random"],
+        dtype=object,
+    )
+    models = np.array(["resnet-20", "vgg-11", "lenet-300-100"], dtype=object)
+    compression = rng.choice([1.0, 2.0, 4.0, 8.0, 16.0, 32.0], rows)
+    return ResultFrame({
+        "model": models[rng.integers(0, len(models), rows)],
+        "dataset": np.array(["cifar10"] * rows, dtype=object),
+        "strategy": strategies[rng.integers(0, len(strategies), rows)],
+        "compression": compression,
+        "seed": rng.integers(0, 10, rows).astype(np.int64),
+        "top1": rng.random(rows),
+        "top5": rng.random(rows),
+    })
+
+
+def _rowloop_filter(frame: ResultFrame, **conditions) -> ResultFrame:
+    """Naive per-row filter: the pre-columnar baseline the frame replaced."""
+    def matches(i):
+        for name, cond in conditions.items():
+            v = frame.column(name)[i]
+            if isinstance(cond, (list, tuple, set)):
+                if v not in cond:
+                    return False
+            elif v != cond:
+                return False
+        return True
+
+    return frame.take([i for i in range(len(frame)) if matches(i)])
+
+
+@benchmark("frame_filter_vectorized",
+           f"ResultFrame.filter (strategy + compression set) at {FRAME_ROWS} rows")
+def _bench_frame_filter():
+    frame = make_result_frame()
+    return lambda: frame.filter(strategy="global_weight",
+                                compression=[2.0, 4.0, 8.0])
+
+
+@benchmark("frame_filter_rowloop",
+           "same filter as a per-row Python loop (pre-frame baseline)")
+def _bench_frame_filter_rowloop():
+    frame = make_result_frame()
+    return lambda: _rowloop_filter(frame, strategy="global_weight",
+                                   compression=[2.0, 4.0, 8.0])
+
+
+@benchmark("frame_group_by_vectorized",
+           f"ResultFrame.group_by (strategy, compression) at {FRAME_ROWS} rows")
+def _bench_frame_group_by():
+    frame = make_result_frame()
+    return lambda: frame.group_by(("strategy", "compression"))
+
+
+@benchmark("frame_group_by_rowloop",
+           "reference row-by-row group_by (equivalence twin)")
+def _bench_frame_group_by_rowloop():
+    frame = make_result_frame()
+    return lambda: frame._group_by_rows(("strategy", "compression"),
+                                        single=False, sort=True)
+
+
+@benchmark("frame_join_baseline_vectorized",
+           f"batched baseline join at {FRAME_ROWS} rows")
+def _bench_frame_join_baseline():
+    frame = make_result_frame()
+    return lambda: frame._join_baseline_batched(("model", "dataset", "seed"))
+
+
+@benchmark("frame_join_baseline_rowloop",
+           "reference per-row dict-probe baseline join (equivalence twin)")
+def _bench_frame_join_baseline_rowloop():
+    frame = make_result_frame()
+    return lambda: frame._join_baseline_rows(("model", "dataset", "seed"))

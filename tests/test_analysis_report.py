@@ -9,6 +9,7 @@ acceptance bar for ``python -m repro report``.
 """
 
 import csv
+import json
 
 import pytest
 
@@ -151,6 +152,49 @@ class TestReportCli:
         assert len(table) > 1
         for row in table[1:]:
             float(row[2]), float(row[3]), float(row[4]), int(row[5])
+
+    def test_report_json_emitter(self, sweep_artifacts, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        rc = main(["report", str(sweep_artifacts["results"]),
+                   "--json", str(json_path)])
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["n_failed"] == 0
+        assert set(payload["curves"]) == {"compression", "theoretical_speedup"}
+        assert set(payload["strategies"]) == {"global_weight", "random"}
+        for strategy, points in payload["curves"]["compression"].items():
+            assert strategy in payload["strategies"]
+            for point in points:
+                assert {"x", "mean", "std", "n"} == set(point)
+        assert payload["summary"] and payload["checklist"]
+        assert all({"item", "passed", "detail"} == set(c)
+                   for c in payload["checklist"])
+        # the curve points match the CSV emitter's numbers
+        csv_path = tmp_path / "curves.csv"
+        main(["report", str(sweep_artifacts["results"]), "--csv", str(csv_path)])
+        csv_points = {
+            (r[0], r[1], float(r[2])): (float(r[3]), float(r[4]), int(r[5]))
+            for r in list(csv.reader(open(csv_path)))[1:]
+        }
+        for x_metric, by_strategy in payload["curves"].items():
+            for strategy, points in by_strategy.items():
+                for p in points:
+                    mean, std, n = csv_points[(strategy, x_metric, p["x"])]
+                    assert (p["mean"], p["std"], p["n"]) == (mean, std, n)
+
+    def test_report_json_stdout(self, sweep_artifacts, tmp_path, capsys):
+        rc = main(["report", str(sweep_artifacts["results"]), "--json", "-"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1 and payload["curves"]
+        # --csv alongside --json -: the notice must not corrupt stdout
+        rc = main(["report", str(sweep_artifacts["results"]), "--json", "-",
+                   "--csv", str(tmp_path / "c.csv")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["schema"] == 1
+        assert "curve data ->" in captured.err
 
     def test_report_identical_across_sources(self, sweep_artifacts, tmp_path, capsys):
         outputs = {}

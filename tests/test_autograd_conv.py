@@ -142,3 +142,44 @@ class TestPooling:
         x = rng.normal(size=(2, 3, 4, 4))
         out = global_avg_pool2d(Tensor(x)).data
         np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+
+
+class TestMaxPoolBackwardEquivalence:
+    """The non-overlap scatter fast path is byte-identical to np.add.at."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (2, 3), (3, 3)])
+    def test_scatter_matches_add_at(self, rng, dtype, kernel, stride):
+        from repro.autograd.conv import (
+            _max_pool2d_backward_add_at,
+            _max_pool2d_backward_scatter,
+        )
+
+        n, c, h, w = 3, 4, 12, 12
+        oh = ow = (h - kernel) // stride + 1
+        arg = np.random.default_rng(0).integers(0, kernel * kernel, (n, c, oh, ow))
+        g = rng.normal(size=(n, c, oh, ow)).astype(dtype)
+        g[0, 0, 0, 0] = -0.0  # the one value where += and = could differ
+        fast = _max_pool2d_backward_scatter((n, c, h, w), arg, g, kernel, stride, dtype)
+        ref = _max_pool2d_backward_add_at((n, c, h, w), arg, g, kernel, stride, dtype)
+        assert fast.dtype == ref.dtype
+        assert fast.tobytes() == ref.tobytes()
+
+    def test_backward_through_tensor_uses_fast_path(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        t = Tensor(x, requires_grad=True)
+        out = max_pool2d(t, 2, 2)
+        out.backward(np.ones_like(out.data))
+        # every window routes exactly one unit of gradient
+        assert t.grad.sum() == out.data.size
+        assert set(np.unique(t.grad)) <= {0.0, 1.0}
+
+    def test_overlapping_windows_accumulate(self, rng):
+        # stride < kernel exercises the np.add.at reference path
+        x = np.zeros((1, 1, 4, 4))
+        x[0, 0, 1, 1] = 10.0  # argmax of all four overlapping 3x3 windows
+        t = Tensor(x, requires_grad=True)
+        out = max_pool2d(t, 3, 1)
+        out.backward(np.ones_like(out.data))
+        assert t.grad[0, 0, 1, 1] == 4.0  # four windows all point at (1,1)
+        assert t.grad.sum() == out.data.size

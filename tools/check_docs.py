@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Documentation checks: relative-link integrity + quickstart extraction.
+
+Two modes, both used by CI (and runnable locally):
+
+``python tools/check_docs.py --links [FILES...]``
+    Verify that every relative markdown link target in the given files
+    (default: all tracked ``*.md``) exists on disk.  External links
+    (http/https/mailto) and pure anchors are skipped.  Exit 1 listing the
+    broken links otherwise.
+
+``python tools/check_docs.py --extract-quickstart README.md``
+    Print the first fenced ``bash`` block to stdout, so CI can execute
+    the README quickstart *verbatim*::
+
+        python tools/check_docs.py --extract-quickstart README.md | bash -e
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — excluding images; target captured up to ) or #anchor
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_FENCE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def iter_md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = path.relative_to(root).parts
+        # skip hidden dirs (virtualenvs, .git, tool caches) and vendored /
+        # generated trees — only repo-owned docs are link-checked
+        if any(part.startswith(".") or part in
+               {"__pycache__", "artifacts", "node_modules"}
+               for part in parts[:-1]):
+            continue
+        yield path
+
+
+def check_links(root: Path, files) -> int:
+    broken = []
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                try:
+                    shown = md.relative_to(root)
+                except ValueError:  # explicit file outside the repo root
+                    shown = md
+                broken.append(f"{shown}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    if not broken:
+        print(f"doc links OK ({len(list(files)) or 'no'} file(s))")
+    return 1 if broken else 0
+
+
+def extract_quickstart(path: Path) -> int:
+    match = _FENCE.search(path.read_text(encoding="utf-8"))
+    if not match:
+        print(f"{path}: no ```bash block found", file=sys.stderr)
+        return 1
+    sys.stdout.write(match.group(1).lstrip("\n"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--links", action="store_true",
+                      help="check relative markdown links resolve")
+    mode.add_argument("--extract-quickstart", metavar="MD",
+                      help="print the file's first ```bash block")
+    parser.add_argument("files", nargs="*",
+                        help="markdown files for --links (default: all)")
+    args = parser.parse_args(argv)
+    root = Path(__file__).resolve().parent.parent
+    if args.extract_quickstart:
+        return extract_quickstart(Path(args.extract_quickstart))
+    files = ([Path(f).resolve() for f in args.files] if args.files
+             else list(iter_md_files(root)))
+    return check_links(root, files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
