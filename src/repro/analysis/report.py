@@ -74,6 +74,9 @@ class StandardReport:
     #: Appendix B audit verdicts (:class:`~repro.meta.checklist.ChecklistItem`)
     checklist: List[Any] = field(default_factory=list)
     n_failed: int = 0
+    #: distinct compute backends recorded in row metadata (sorted); rows from
+    #: before backends existed carry none and contribute nothing
+    kernel_backends: List[str] = field(default_factory=list)
 
 
 def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
@@ -102,6 +105,10 @@ def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
     pruned = summary.filter(compression=lambda c: c > 1.0)
     pareto = pruned.pareto_frontier(x="compression", y=f"{y}_mean")
     checklist = audit_results(ok) if len(ok) else []
+    backends = sorted(
+        {e["kernel_backend"] for e in ok.column("extra")
+         if isinstance(e, dict) and e.get("kernel_backend")}
+    ) if "extra" in ok and len(ok) else []
     return StandardReport(
         frame=prepared,
         y=y,
@@ -110,6 +117,7 @@ def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
         pareto=pareto,
         checklist=checklist,
         n_failed=n_failed,
+        kernel_backends=backends,
     )
 
 
@@ -157,6 +165,11 @@ def render_report(report: StandardReport, width: int = 64) -> str:
         f"rows: {len(frame)}   strategies: {len(strategies)}   "
         f"seeds: {seeds}   quarantined: {report.n_failed}"
     )
+    if report.kernel_backends:
+        line = f"kernel backends: {', '.join(report.kernel_backends)}"
+        if len(report.kernel_backends) > 1:
+            line += "   (mixed — rows are not bit-for-bit comparable)"
+        out.append(line)
     for x_metric, x_label in X_METRICS:
         by_strategy = report.curves.get(x_metric, {})
         curves = [
@@ -248,6 +261,7 @@ def report_to_json(report: StandardReport) -> Dict[str, Any]:
         "n_failed": report.n_failed,
         "strategies": frame.unique("strategy") if "strategy" in frame else [],
         "seeds": frame.unique("seed") if "seed" in frame else [],
+        "kernel_backends": report.kernel_backends,
         "curves": {
             x_metric: {
                 str(strategy): [

@@ -13,6 +13,7 @@ from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack, unb
 from .conv import (
     avg_pool2d,
     conv2d,
+    conv2d_bias_relu,
     conv_output_shape,
     depthwise_conv2d,
     global_avg_pool2d,
@@ -39,6 +40,7 @@ __all__ = [
     "is_grad_enabled",
     "unbroadcast",
     "conv2d",
+    "conv2d_bias_relu",
     "depthwise_conv2d",
     "max_pool2d",
     "avg_pool2d",

@@ -4,11 +4,16 @@ Implements im2col-based 2-D convolution (with stride/padding/groups), a fast
 dedicated depthwise convolution, and max/avg pooling — all as differentiable
 ops on :class:`repro.autograd.tensor.Tensor`.
 
-The forward pass uses ``numpy.lib.stride_tricks.sliding_window_view`` plus a
-single large matmul per layer, which keeps the hot path inside BLAS.  The
-backward pass for the input gradient uses a small K×K Python loop (at most 49
-iterations for a 7×7 kernel) over fully-vectorised slice additions — the
-standard fast col2im formulation.
+The heavy array math for the dense conv, the fused conv+bias+ReLU, and max
+pooling is *not* implemented here: those ops dispatch through the active
+kernel backend (:func:`repro.kernels.active_backend`), so the reference and
+optimized implementations stay interchangeable and equivalence-tested.  The
+backend's forward returns an opaque context that the backward closure hands
+back — the tape never sees backend internals.
+
+The historical private helpers (``_im2col``, ``_col2im``, the max-pool
+scatter variants) now live in :mod:`repro.kernels.reference` and are
+re-exported here under their old names for backward compatibility.
 """
 
 from __future__ import annotations
@@ -18,10 +23,19 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor, as_tensor
+from ..kernels import active_backend
+from ..kernels.reference import (
+    col2im as _col2im,
+    conv_output_shape,
+    im2col as _im2col,
+    max_pool2d_backward_add_at as _max_pool2d_backward_add_at,
+    max_pool2d_backward_scatter as _max_pool2d_backward_scatter,
+)
+from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "conv2d",
+    "conv2d_bias_relu",
     "depthwise_conv2d",
     "max_pool2d",
     "avg_pool2d",
@@ -30,72 +44,11 @@ __all__ = [
 ]
 
 
-def conv_output_shape(
-    in_hw: Tuple[int, int], kernel: Tuple[int, int], stride: int, padding: int
-) -> Tuple[int, int]:
-    """Spatial output shape of a conv/pool with the given geometry."""
-    h = (in_hw[0] + 2 * padding - kernel[0]) // stride + 1
-    w = (in_hw[1] + 2 * padding - kernel[1]) // stride + 1
-    if h <= 0 or w <= 0:
-        raise ValueError(
-            f"Non-positive conv output {h}x{w} for input {in_hw}, "
-            f"kernel {kernel}, stride {stride}, padding {padding}"
-        )
-    return h, w
-
-
-def _im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Extract sliding patches as a GEMM-ready matrix.
-
-    Returns ``cols`` of shape ``(N*OH*OW, C*kh*kw)`` (C-contiguous) so that
-    both the forward pass and the two backward passes are single large BLAS
-    GEMMs rather than batched small ones.
-    """
-    if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    n, c, h, w = x.shape
-    oh, ow = (h - kh) // stride + 1, (w - kw) // stride + 1
-    # windows: strided view (N, C, OH, OW, kh, kw)
-    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[
-        :, :, ::stride, ::stride, :, :
-    ]
-    # -> (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw); one materializing copy.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return cols, (oh, ow)
-
-
-def _col2im(
-    dcols: np.ndarray,
-    x_shape: Tuple[int, int, int, int],
-    kh: int,
-    kw: int,
-    stride: int,
-    padding: int,
-) -> np.ndarray:
-    """Adjoint of :func:`_im2col`: scatter patch grads back to the image.
-
-    ``dcols`` has shape ``(N*OH*OW, C*kh*kw)``.  The scatter uses a kh×kw
-    loop of fully-vectorised strided adds (the standard fast col2im).
-    """
-    n, c, h, w = x_shape
-    oh, ow = conv_output_shape((h, w), (kh, kw), stride, padding)
-    hp, wp = h + 2 * padding, w + 2 * padding
-    dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
-    # One sequential materializing copy into (kh, kw, N, C, OH, OW) so each
-    # scatter-add below reads a contiguous source block.
-    d6 = np.ascontiguousarray(
-        dcols.reshape(n, oh, ow, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
+def _wants_grad(*tensors: Optional[Tensor]) -> bool:
+    """Whether a backward pass can reach any of the given (optional) tensors."""
+    return is_grad_enabled() and any(
+        t is not None and t.requires_grad for t in tensors
     )
-    for i in range(kh):
-        hi = i + stride * oh
-        for j in range(kw):
-            wj = j + stride * ow
-            dx[:, :, i:hi:stride, j:wj:stride] += d6[i, j]
-    if padding:
-        dx = dx[:, :, padding:-padding, padding:-padding]
-    return dx
 
 
 def conv2d(
@@ -149,30 +102,57 @@ def _conv2d_dense(
     stride: int,
     padding: int,
 ) -> Tensor:
-    n, c_in, h, w = x.shape
-    c_out, _, kh, kw = weight.shape
-    cols, (oh, ow) = _im2col(x.data, kh, kw, stride, padding)  # (N*P, K)
-    w_mat = weight.data.reshape(c_out, -1)  # (F, K)
-    out2d = cols @ w_mat.T  # single GEMM -> (N*P, F)
-    out = np.moveaxis(out2d.reshape(n, oh, ow, c_out), 3, 1)
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
-    else:
-        out = np.ascontiguousarray(out)
+    kb = active_backend()
+    want_ctx = _wants_grad(x, weight, bias)
+    out, ctx = kb.conv2d_forward(
+        x.data,
+        weight.data,
+        None if bias is None else bias.data,
+        stride,
+        padding,
+        want_ctx,
+    )
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray):
-        # (N,F,OH,OW) -> (N*P, F); one materializing copy.
-        g2d = np.moveaxis(g, 1, 3).reshape(n * oh * ow, c_out)
-        gw = (g2d.T @ cols).reshape(weight.shape)  # single GEMM
-        dcols = g2d @ w_mat  # single GEMM -> (N*P, K)
-        gx = _col2im(dcols, x.shape, kh, kw, stride, padding)
-        if bias is None:
-            return gx, gw
-        gb = g.sum(axis=(0, 2, 3))
-        return gx, gw, gb
+        return kb.conv2d_backward(g, ctx)
 
     return Tensor._make(out, parents, backward)
+
+
+def conv2d_bias_relu(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Fused dense conv2d + bias + ReLU (byte-equal to the composed ops).
+
+    One backend kernel instead of three tape nodes: the ReLU mask is saved
+    at forward time and applied to the incoming gradient before the conv
+    backward, so the intermediate pre-activation never hits the tape.
+    Requires ``bias`` and ``groups == 1`` (that is the shape of every
+    conv+ReLU block in the model zoo's hot paths).
+    """
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ValueError("conv2d_bias_relu expects NCHW input and OIHW weights")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"conv2d_bias_relu is dense-only (groups=1); input has "
+            f"{x.shape[1]} channels, weight expects {weight.shape[1]}"
+        )
+    kb = active_backend()
+    want_ctx = _wants_grad(x, weight, bias)
+    out, ctx = kb.fused_conv_bias_relu_forward(
+        x.data, weight.data, bias.data, stride, padding, want_ctx
+    )
+
+    def backward(g: np.ndarray):
+        return kb.fused_conv_bias_relu_backward(g, ctx)
+
+    return Tensor._make(out, (x, weight, bias), backward)
 
 
 def depthwise_conv2d(
@@ -227,78 +207,17 @@ def depthwise_conv2d(
     return Tensor._make(out, parents, backward)
 
 
-def _max_pool2d_backward_scatter(
-    x_shape: Tuple[int, int, int, int],
-    arg: np.ndarray,
-    g: np.ndarray,
-    kernel: int,
-    stride: int,
-    dtype,
-) -> np.ndarray:
-    """Max-pool input gradient for *non-overlapping* windows (stride ≥ kernel).
-
-    Each input cell then receives at most one window's gradient, so the
-    scatter-add degenerates to a pure scatter: a fancy-index *assignment*,
-    which is several times faster than :func:`np.add.at`'s unbuffered
-    accumulation.  ``g + 0.0`` normalizes ``-0.0`` gradients to ``+0.0`` so
-    the result stays byte-identical to adding into a zeroed buffer.
-    """
-    n, c, _, _ = x_shape
-    oh, ow = arg.shape[2], arg.shape[3]
-    dx = np.zeros(x_shape, dtype=dtype)
-    ki, kj = np.divmod(arg, kernel)
-    oi, oj = np.ogrid[0:oh, 0:ow]
-    ni = np.arange(n)[:, None, None, None]
-    ci = np.arange(c)[None, :, None, None]
-    dx[ni, ci, oi * stride + ki, oj * stride + kj] = g + 0.0
-    return dx
-
-
-def _max_pool2d_backward_add_at(
-    x_shape: Tuple[int, int, int, int],
-    arg: np.ndarray,
-    g: np.ndarray,
-    kernel: int,
-    stride: int,
-    dtype,
-) -> np.ndarray:
-    """Reference max-pool input gradient via ``np.add.at``.
-
-    Correct for any stride/kernel combination (overlapping windows
-    accumulate); :func:`_max_pool2d_backward_scatter` is equivalence-tested
-    against this and used on the non-overlapping hot path.
-    """
-    dx = np.zeros(x_shape, dtype=dtype)
-    ki, kj = np.divmod(arg, kernel)
-    ni, ci, oi, oj = np.indices(arg.shape, sparse=False)
-    rows = oi * stride + ki
-    cols_ = oj * stride + kj
-    np.add.at(dx, (ni, ci, rows, cols_), g)
-    return dx
-
-
 def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
     """Max pooling over non-overlapping or strided windows (NCHW)."""
     x = as_tensor(x)
     stride = stride or kernel
-    n, c, h, w = x.shape
-    oh, ow = conv_output_shape((h, w), (kernel, kernel), stride, 0)
-    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))[
-        :, :, ::stride, ::stride
-    ]  # (N,C,OH,OW,k,k)
-    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
-    arg = flat.argmax(axis=-1)
-    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    kb = active_backend()
+    out, arg = kb.maxpool_forward(x.data, kernel, stride)
 
     def backward(g: np.ndarray):
-        scatter = (
-            _max_pool2d_backward_scatter
-            if stride >= kernel
-            else _max_pool2d_backward_add_at
-        )
-        return (scatter(x.shape, arg, g, kernel, stride, x.data.dtype),)
+        return (kb.maxpool_backward(x.shape, arg, g, kernel, stride, x.data.dtype),)
 
-    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+    return Tensor._make(out, (x,), backward)
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:

@@ -11,7 +11,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from ..kernels import active_backend
+from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "softmax",
@@ -102,11 +103,35 @@ def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
-    out = x @ weight.T
-    if bias is not None:
-        out = out + bias
-    return out
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout).
+
+    The common 2-D case runs as a single fused kernel on the active backend
+    (one tape node instead of three, and the bias gradient is a plain
+    ``sum(axis=0)`` rather than a generic unbroadcast); other ranks fall
+    back to the composed primitive ops.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if x.ndim != 2 or weight.ndim != 2:
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+    bias = as_tensor(bias) if bias is not None else None
+    kb = active_backend()
+    want_ctx = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    out, ctx = kb.linear_forward(
+        x.data, weight.data, None if bias is None else bias.data, want_ctx
+    )
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        return kb.linear_backward(g, ctx)
+
+    return Tensor._make(out, parents, backward)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:

@@ -436,11 +436,14 @@ class Tensor:
         return Tensor._make(out_data, (a,), backward)
 
     def relu(self) -> "Tensor":
+        from ..kernels import active_backend
+
         a = self
-        out_data = np.maximum(a.data, 0)
+        kb = active_backend()
+        out_data = kb.relu_forward(a.data)
 
         def backward(g: np.ndarray):
-            return (g * (a.data > 0),)
+            return (kb.relu_backward(g, a.data),)
 
         return Tensor._make(out_data, (a,), backward)
 

@@ -8,7 +8,7 @@ Subcommands::
     python -m repro queue stats|retry-failed|compact QUEUE_DIR
     python -m repro bench [PATTERN]       # performance microbenchmark suite
     python -m repro expand sweep.json     # dry-run: list cells + spec hashes
-    python -m repro ls [models|datasets|strategies|schedules|optimizers|executors]
+    python -m repro ls [models|datasets|strategies|schedules|optimizers|executors|kernels]
     python -m repro cache stats|gc|clear  # result-cache maintenance
     python -m repro --version
 
@@ -75,6 +75,7 @@ from .experiment.executor import (
 )
 from .experiment.queue import QueueWorker, WorkQueue
 from .experiment.runner import assemble_results
+from .kernels import KERNELS, set_backend
 from .models import MODELS
 from .optim import OPTIMIZERS
 from .pruning import SCHEDULES, STRATEGIES
@@ -89,6 +90,7 @@ REGISTRIES = {
     "schedules": SCHEDULES,
     "optimizers": OPTIMIZERS,
     "executors": EXECUTORS,
+    "kernels": KERNELS,
 }
 
 
@@ -180,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--wait-timeout", type=float, default=None, metavar="S",
                      help="queue executor: give up if the sweep is still "
                           "unfinished after this many seconds")
+    run.add_argument("--kernel-backend", default=None, metavar="NAME",
+                     help=f"compute-kernel backend for every cell (one of "
+                          f"{KERNELS.available()}); overrides the config's "
+                          "executor_options and REPRO_KERNEL_BACKEND")
 
     worker = _add_command(
         sub, "worker",
@@ -207,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: wait for work forever)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress progress lines")
+    worker.add_argument("--kernel-backend", default=None, metavar="NAME",
+                        help="compute-kernel backend for claimed cells "
+                             "(default: the submitter's choice stored in "
+                             "queue.json, else REPRO_KERNEL_BACKEND)")
 
     report = _add_command(
         sub, "report",
@@ -288,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "looped to reach it (default: 0.05)")
     bench.add_argument("--no-mem", action="store_true",
                        help="skip RSS/allocation tracking")
+    bench.add_argument("--kernel-backend", default=None, metavar="NAME",
+                       help="run backend-dispatching benches under this "
+                            "kernel backend (per-backend twin benches pin "
+                            "their own backend regardless)")
 
     expand = _add_command(
         sub, "expand",
@@ -402,6 +416,9 @@ def _cmd_run(args) -> int:
             f"--executor queue (current executor: {executor_name!r})"
         )
     options.update(queue_flags)
+    if args.kernel_backend is not None:
+        # precedence: REPRO_KERNEL_BACKEND env < executor_options < CLI flag
+        options["kernel_backend"] = args.kernel_backend
     if args.no_cache and executor_name == "queue":
         raise ValueError(
             "--no-cache cannot be combined with the queue executor: the "
@@ -421,19 +438,26 @@ def _cmd_run(args) -> int:
     on_event = None if args.quiet else _progress_printer()
     workers = args.workers if args.workers is not None else config.workers
     if (args.executor is None and args.workers is not None
-            and config.executor in ("serial", "parallel") and not options):
+            and config.executor in ("serial", "parallel")
+            and not (options.keys() - {"kernel_backend"})):
         # a bare --workers override on a builtin executor picks
         # serial/parallel from the count, like the old CLI; a custom
         # registered executor keeps its name and just gets the new count
-        executor = executor_for(workers, cache=cache, on_event=on_event)
+        executor = executor_for(
+            workers, cache=cache, on_event=on_event,
+            kernel_backend=options.get("kernel_backend"),
+        )
     else:
         executor = EXECUTORS.create(
             executor_name, workers=workers or None, cache=cache,
             on_event=on_event, **options,
         )
 
+    backend = getattr(executor, "kernel_backend", None)
     print(f"{len(specs)} spec(s) to execute via "
-          f"{type(executor).__name__}(workers={executor.workers})", flush=True)
+          f"{type(executor).__name__}(workers={executor.workers})"
+          + (f" [kernel backend: {backend}]" if backend else ""),
+          flush=True)
     rows = executor.run(specs)
     results = assemble_results(
         specs, rows, config.strategies,
@@ -558,11 +582,14 @@ def _cmd_worker(args) -> int:
     queue = WorkQueue(args.queue_dir)
     cache = ResultCache(args.cache_dir or Path(args.queue_dir) / "cache")
     progress = None if args.quiet else lambda msg: print(msg, flush=True)
-    worker = QueueWorker(queue, cache, worker_id=args.worker_id, progress=progress)
+    worker = QueueWorker(queue, cache, worker_id=args.worker_id, progress=progress,
+                         kernel_backend=args.kernel_backend)
     if not args.quiet:
         counts = queue.counts()
+        backend = f"; kernel backend: {worker.kernel_backend}" \
+            if worker.kernel_backend else ""
         print(f"worker {worker.worker_id} on {queue.root} "
-              f"(cache {cache.root}; queue: {counts})", flush=True)
+              f"(cache {cache.root}{backend}; queue: {counts})", flush=True)
     max_cells = 1 if args.once else args.max_cells
     idle_timeout = args.idle_timeout
     if args.once and idle_timeout is None:
@@ -593,6 +620,8 @@ def _cmd_bench(args) -> int:
         select_benchmarks,
     )
 
+    if args.kernel_backend is not None:
+        set_backend(args.kernel_backend)
     benches = select_benchmarks(args.pattern)
     if not benches:
         print(f"no benchmarks match {args.pattern!r} "

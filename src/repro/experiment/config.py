@@ -39,7 +39,15 @@ to a file, diffed, shipped to a remote worker, and replayed bit-for-bit::
       "workers": 1,                    // 0 = all cores; serial ignores it
       "executor_options": {}           // extra executor kwargs, e.g. the
                                        // queue executor's {"queue_dir": ...,
-                                       // "lease_timeout": 30, "max_retries": 2}
+                                       // "lease_timeout": 30, "max_retries": 2}.
+                                       // Every executor accepts
+                                       // {"kernel_backend": "fast"} (a KERNELS
+                                       // registry name) to pin the compute
+                                       // backend for all cells — including
+                                       // queue workers, which inherit it via
+                                       // queue.json.  Precedence:
+                                       // REPRO_KERNEL_BACKEND env < this
+                                       // option < --kernel-backend flag.
     }
 
 Schema versioning: ``schema_version`` is bumped whenever a field is

@@ -51,6 +51,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..kernels import resolve_backend, use_backend
 from ..models.pretrained import load_checkpoint, pretrained_key
 from ..registry import Registry
 from .cache import ResultCache, spec_hash
@@ -139,6 +140,7 @@ def executor_for(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     on_event: Optional[EventFn] = None,
+    kernel_backend: Optional[str] = None,
 ) -> "_ExecutorBase":
     """Executor matching a worker count: 1 → serial, 0/None → all cores,
     N → N-process fan-out.  The one place flag/env worker counts map to an
@@ -148,7 +150,7 @@ def executor_for(
     name = "serial" if workers == 1 else "parallel"
     return EXECUTORS.create(
         name, workers=workers or None, cache=cache, progress=progress,
-        on_event=on_event,
+        on_event=on_event, kernel_backend=kernel_backend,
     )
 
 
@@ -161,10 +163,14 @@ def _run_spec(spec: ExperimentSpec) -> Tuple[PruningResult, Optional[PruningResu
 
 def _run_spec_tagged(
     spec: ExperimentSpec,
+    kernel_backend: Optional[str] = None,
 ) -> Tuple[int, PruningResult, Optional[PruningResult]]:
     """Worker entry point: (worker pid, row, baseline) — module-level for
-    pickling; the pid lets the parent attribute progress per worker."""
-    row, baseline = _run_spec(spec)
+    pickling; the pid lets the parent attribute progress per worker.  The
+    kernel backend travels by name so pool children compute with the same
+    kernels the parent was configured with."""
+    with use_backend(kernel_backend):
+        row, baseline = _run_spec(spec)
     return os.getpid(), row, baseline
 
 
@@ -173,7 +179,12 @@ def _copy_row(row: PruningResult) -> PruningResult:
 
 
 class _ExecutorBase:
-    """Shared cache/dedupe/progress plumbing for all executors."""
+    """Shared cache/dedupe/progress plumbing for all executors.
+
+    ``kernel_backend`` selects the compute-kernel backend cells run under
+    (``None`` defers to ``REPRO_KERNEL_BACKEND`` / the process default —
+    the env < config < CLI precedence documented in :mod:`repro.kernels`).
+    """
 
     def __init__(
         self,
@@ -181,11 +192,15 @@ class _ExecutorBase:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
         on_event: Optional[EventFn] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.workers = workers or 1
         self.cache = cache
         self.progress = progress
         self.on_event = on_event
+        if kernel_backend is not None:
+            resolve_backend(kernel_backend)  # fail fast on unknown names
+        self.kernel_backend = kernel_backend
 
     def _emit(
         self,
@@ -261,6 +276,10 @@ class SerialExecutor(_ExecutorBase):
     """Run specs one after another in the current process."""
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        with use_backend(self.kernel_backend):
+            return self._run(specs)
+
+    def _run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
         started = time.monotonic()
         rows: List[Optional[PruningResult]] = [None] * len(specs)
         done = 0
@@ -328,12 +347,14 @@ class ParallelExecutor(_ExecutorBase):
         progress: Optional[ProgressFn] = None,
         on_event: Optional[EventFn] = None,
         warm_pretrained: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             workers=workers if workers else (os.cpu_count() or 1),
             cache=cache,
             progress=progress,
             on_event=on_event,
+            kernel_backend=kernel_backend,
         )
         self.warm_pretrained = warm_pretrained
 
@@ -367,6 +388,12 @@ class ParallelExecutor(_ExecutorBase):
                 PruningExperiment(spec).load_pretrained()
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
+        # Parent-side work (checkpoint warming, cache fills) honors the
+        # backend too; pool children receive it by name via _run_spec_tagged.
+        with use_backend(self.kernel_backend):
+            return self._run_parallel(specs)
+
+    def _run_parallel(self, specs: Sequence[ExperimentSpec]) -> List[PruningResult]:
         started = time.monotonic()
         total = len(specs)
         rows: List[Optional[PruningResult]] = [None] * total
@@ -394,7 +421,8 @@ class ParallelExecutor(_ExecutorBase):
         n_workers = min(self.workers, len(miss_specs))
         if n_workers <= 1:  # no point forking for a single pending spec
             serial = SerialExecutor(
-                cache=self.cache, progress=self.progress, on_event=self.on_event
+                cache=self.cache, progress=self.progress,
+                on_event=self.on_event, kernel_backend=self.kernel_backend,
             )
             miss_rows = serial.run(miss_specs)
             for idxs, row in zip(pending.values(), miss_rows):
@@ -406,7 +434,7 @@ class ParallelExecutor(_ExecutorBase):
         first_error: Optional[BaseException] = None
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             future_to_idxs = {
-                pool.submit(_run_spec_tagged, spec): idxs
+                pool.submit(_run_spec_tagged, spec, self.kernel_backend): idxs
                 for spec, idxs in zip(miss_specs, pending.values())
             }
             not_done = set(future_to_idxs)

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..data import DataLoader
+from ..kernels import active_backend_name
 from ..metrics import (
     dense_flops,
     effective_flops,
@@ -187,6 +188,10 @@ class PruningExperiment:
             pretrained_key=self.pretrained_key,
             dense_flops=dense_flops(model, input_shape),
         )
+        # Provenance: which compute backend produced this row.  Reference and
+        # fast are byte-equal, but f32 rows are not comparable bit-for-bit
+        # with f64 rows, so reports surface mixed-backend tables.
+        result.extra["kernel_backend"] = active_backend_name()
 
         if spec.compression > 1.0:
             # Snapshot the unpruned-control row before any mask lands: it is
@@ -205,8 +210,8 @@ class PruningExperiment:
                 nonzero_params=nonzero_params(model),
                 effective_flops=effective_flops(model, input_shape),
                 theoretical_speedup=theoretical_speedup(model, input_shape),
-                extra={},  # replace() would otherwise share result's dict
-            )
+                extra={"kernel_backend": active_backend_name()},
+            )  # fresh dict — replace() would otherwise share result's extra
 
             strategy = STRATEGIES.create(
                 spec.strategy, prune_classifier=spec.prune_classifier

@@ -75,6 +75,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..kernels import use_backend
 from ..utils import atomic_write_text
 from .cache import ResultCache, spec_hash
 from .executor import (
@@ -127,6 +128,7 @@ class WorkQueue:
         root,
         lease_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.root = Path(root)
         self.pending_dir = self.root / "pending"
@@ -142,6 +144,13 @@ class WorkQueue:
             max_retries if max_retries is not None
             else stored.get("max_retries", DEFAULT_MAX_RETRIES)
         )
+        # The submitter's kernel backend rides in queue.json so that remote
+        # ``python -m repro worker <dir>`` processes compute cells with the
+        # same kernels; explicit arguments (e.g. the worker CLI flag) win.
+        self.kernel_backend = (
+            kernel_backend if kernel_backend is not None
+            else stored.get("kernel_backend")
+        )
         if self.lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {self.lease_timeout}")
         if self.max_retries < 0:
@@ -156,6 +165,7 @@ class WorkQueue:
                         "schema": QUEUE_SCHEMA_VERSION,
                         "lease_timeout": self.lease_timeout,
                         "max_retries": self.max_retries,
+                        "kernel_backend": self.kernel_backend,
                     },
                     indent=1,
                 ),
@@ -542,6 +552,7 @@ class QueueWorker:
         worker_id: Optional[str] = None,
         heartbeat_interval: Optional[float] = -1.0,
         progress: Optional[ProgressFn] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.queue = queue
         self.cache = cache
@@ -550,6 +561,10 @@ class QueueWorker:
             heartbeat_interval = queue.lease_timeout / 4.0
         self.heartbeat_interval = heartbeat_interval  # None disables beats
         self.progress = progress
+        # default to the submitter's backend persisted in queue.json
+        self.kernel_backend = (
+            kernel_backend if kernel_backend is not None else queue.kernel_backend
+        )
 
     def _say(self, message: str) -> None:
         if self.progress:
@@ -579,7 +594,8 @@ class QueueWorker:
         try:
             spec = ExperimentSpec.from_dict(claim.spec)
             self._say(f"[{self.worker_id}] {spec_label(spec)} (attempt {claim.attempt})")
-            row, baseline = _run_spec(spec)
+            with use_backend(self.kernel_backend):
+                row, baseline = _run_spec(spec)
             self.cache.put(spec, row)
             if baseline is not None:
                 bspec = baseline_spec_for(spec)
@@ -658,6 +674,7 @@ class QueueExecutor(_ExecutorBase):
         local_workers: Optional[int] = None,
         poll_interval: float = 0.05,
         wait_timeout: Optional[float] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if queue_dir is None:
             raise ValueError(
@@ -670,11 +687,15 @@ class QueueExecutor(_ExecutorBase):
         if local_workers < 0:
             raise ValueError(f"local_workers must be >= 0, got {local_workers}")
         super().__init__(
-            workers=local_workers, cache=cache, progress=progress, on_event=on_event
+            workers=local_workers, cache=cache, progress=progress,
+            on_event=on_event, kernel_backend=kernel_backend,
         )
         self.workers = local_workers  # _ExecutorBase maps 0 -> 1; keep 0
+        # Persisting the backend in the queue settings is what lets remote
+        # workers inherit it (env < config < CLI precedence ends here).
         self.queue = WorkQueue(
-            queue_dir, lease_timeout=lease_timeout, max_retries=max_retries
+            queue_dir, lease_timeout=lease_timeout, max_retries=max_retries,
+            kernel_backend=kernel_backend,
         )
         if self.cache is None:
             # the cache is the result transport: default it into the queue

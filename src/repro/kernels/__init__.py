@@ -1,0 +1,154 @@
+"""Pluggable compute-kernel backends for the autograd engine.
+
+The paper's core argument (Blalock et al., MLSys 2020) is that performance
+claims are only meaningful inside a shared, controlled harness.  This
+package applies that logic to our own hot-path optimizations: all heavy
+array math (im2col convolution, pooling, the 2-D affine map, the
+elementwise train-step ops) is routed through *one* seam — the active
+kernel backend — so reference and optimized implementations are
+interchangeable and equivalence-tested, and a Numba/C backend can drop in
+later without touching autograd.
+
+Registered backends (``python -m repro ls kernels``):
+
+* ``reference`` — the original NumPy code, verbatim; the default.
+* ``fast`` — buffer-pooled scratch + ``out=`` GEMMs; byte-equal results.
+* ``reference-f32`` / ``fast-f32`` — the same pair in float32-throughout
+  compute mode (documented-tolerance vs the float64 backends).
+
+Selection (first hit wins):
+
+1. a ``with use_backend(name):`` block (thread-local — executors use this
+   so worker threads don't fight over a global);
+2. :func:`set_backend` (process-wide, e.g. from the ``--kernel-backend``
+   CLI flag);
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. the default, ``reference``.
+
+Config precedence across the experiment stack is *env < config < CLI*:
+``SweepConfig.executor_options["kernel_backend"]`` overrides the
+environment (the executor wraps each cell in :func:`use_backend`), and the
+``--kernel-backend`` flag overrides the config.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..registry import Registry
+from .base import BufferPool, KernelBackend
+from .fast import FastKernels
+from .reference import ReferenceKernels
+
+__all__ = [
+    "KERNELS",
+    "KernelBackend",
+    "BufferPool",
+    "ReferenceKernels",
+    "FastKernels",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "resolve_backend",
+    "active_backend",
+    "active_backend_name",
+    "set_backend",
+    "use_backend",
+]
+
+#: registry of backend factories; ``KERNELS.create(name)`` builds a fresh
+#: instance, :func:`resolve_backend` returns the shared singleton.
+KERNELS = Registry("kernel backend")
+
+DEFAULT_BACKEND = "reference"
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+@KERNELS.register("reference")
+def _reference() -> ReferenceKernels:
+    return ReferenceKernels("reference")
+
+
+@KERNELS.register("reference-f32")
+def _reference_f32() -> ReferenceKernels:
+    return ReferenceKernels("reference-f32", compute_dtype=np.float32)
+
+
+@KERNELS.register("fast")
+def _fast() -> FastKernels:
+    return FastKernels("fast")
+
+
+@KERNELS.register("fast-f32")
+def _fast_f32() -> FastKernels:
+    return FastKernels("fast-f32", compute_dtype=np.float32)
+
+
+#: per-process singleton instances (the fast backends own a buffer pool, so
+#: every dispatch site must see the same instance)
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+#: process-wide default set by :func:`set_backend` (beats the env var)
+_PROCESS_DEFAULT: Optional[str] = None
+
+_THREAD = threading.local()
+
+
+def resolve_backend(name: Union[str, KernelBackend]) -> KernelBackend:
+    """The shared singleton instance for ``name`` (KeyError with suggestions)."""
+    if isinstance(name, KernelBackend):
+        return name
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = KERNELS.create(name)
+    return inst
+
+
+def active_backend() -> KernelBackend:
+    """The backend every autograd op dispatches through right now."""
+    stack = getattr(_THREAD, "stack", None)
+    if stack:
+        return stack[-1]
+    name = _PROCESS_DEFAULT or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    return resolve_backend(name)
+
+
+def active_backend_name() -> str:
+    """Name of the active backend (recorded in per-cell result metadata)."""
+    return active_backend().name
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Set (or with ``None``, clear) the process-wide default backend."""
+    global _PROCESS_DEFAULT
+    if name is not None:
+        resolve_backend(name)  # validate eagerly, not at the first conv
+    _PROCESS_DEFAULT = name
+
+
+class use_backend:
+    """Thread-local backend override: ``with use_backend("fast"): ...``.
+
+    ``use_backend(None)`` is a no-op passthrough, which lets call sites
+    forward an optional setting without branching.  Enter returns the
+    backend that is active inside the block.
+    """
+
+    def __init__(self, name: Optional[Union[str, KernelBackend]]) -> None:
+        self._name = name
+
+    def __enter__(self) -> KernelBackend:
+        self._pushed = self._name is not None
+        if self._pushed:
+            stack = getattr(_THREAD, "stack", None)
+            if stack is None:
+                stack = _THREAD.stack = []
+            stack.append(resolve_backend(self._name))
+        return active_backend()
+
+    def __exit__(self, *exc) -> None:
+        if self._pushed:
+            _THREAD.stack.pop()

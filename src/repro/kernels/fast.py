@@ -1,0 +1,156 @@
+"""The fast kernel backend: pooled scratch buffers and ``out=`` GEMMs.
+
+Same arithmetic as :class:`~repro.kernels.reference.ReferenceKernels` — the
+equivalence tests assert byte-identical outputs — but the multi-megabyte
+im2col/col2im scratch arrays are recycled through a :class:`BufferPool`
+instead of being re-allocated (and page-faulted in) on every call, and the
+forward/backward GEMMs write into pooled buffers via ``np.matmul(..., out=)``.
+Buffer shapes repeat across the thousands of train steps in a sweep cell, so
+steady-state training allocates almost no conv scratch at all.
+
+Ownership protocol:
+
+* scratch that dies within one kernel call (padded input, col2im's 6-D
+  staging array, backward's ``g2d``/``dcols``) is released explicitly;
+* the ``cols`` matrix must survive until the backward pass, so it rides in a
+  :class:`PooledConvCtx` and returns to the pool when the autograd tape node
+  is garbage-collected.
+
+Registered names:
+
+* ``fast`` — dtype-preserving; byte-equal to ``reference``.
+* ``fast-f32`` — float32-throughout compute; byte-equal to
+  ``reference-f32``, documented-tolerance vs the float64 ``reference``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .base import BufferPool, PooledConvCtx
+from .reference import ReferenceKernels, conv_output_shape
+
+__all__ = ["FastKernels"]
+
+
+class FastKernels(ReferenceKernels):
+    """Buffer-pooled twin of the reference backend (byte-equal results)."""
+
+    def __init__(self, name: str = "fast", compute_dtype=None) -> None:
+        super().__init__(name, compute_dtype)
+        self.pool = BufferPool()
+
+    def clear_pool(self) -> None:
+        """Drop all retained scratch (tests and memory-pressure escape hatch)."""
+        self.pool.clear()
+
+    # -- dense conv2d ---------------------------------------------------
+    def conv2d_forward(self, x, w, b, stride, padding, want_ctx):
+        x, w, b = self.cast(x), self.cast(w), self.cast(b)
+        pool = self.pool
+        n, c, h, w_in = x.shape
+        c_out = w.shape[0]
+        kh, kw_ = w.shape[2], w.shape[3]
+        hp, wp = h + 2 * padding, w_in + 2 * padding
+        # Stage the (padded) input in NHWC: sliding windows over an NHWC
+        # array come out directly in cols order (n, oh, ow, c, kh, kw), so
+        # the big gather below runs over longer contiguous runs than the
+        # 6-D transpose the NCHW layout forces.  The values landing in
+        # ``cols`` are identical either way, and the GEMM only sees
+        # ``cols``, so byte-equality with the reference is preserved.
+        xt = pool.acquire((n, hp, wp, c), x.dtype)
+        if padding:
+            xt[:, :padding, :, :] = 0.0
+            xt[:, hp - padding :, :, :] = 0.0
+            xt[:, :, :padding, :] = 0.0
+            xt[:, :, wp - padding :, :] = 0.0
+        xt[:, padding : padding + h, padding : padding + w_in, :] = (
+            x.transpose(0, 2, 3, 1)
+        )
+        oh, ow = conv_output_shape((h, w_in), (kh, kw_), stride, padding)
+        windows = sliding_window_view(xt, (kh, kw_), axis=(1, 2))[
+            :, ::stride, ::stride
+        ]
+        cols = pool.acquire((n * oh * ow, c * kh * kw_), x.dtype)
+        cols.reshape(n, oh, ow, c, kh, kw_)[...] = windows
+        pool.release(xt)
+        w_mat = w.reshape(c_out, -1)
+        # The GEMM must stay the reference's exact (p, k) @ (k, c_out) call:
+        # reshaping it (e.g. a batched n x (c_out, k) @ (k, oh*ow) matmul
+        # straight into NCHW) changes which BLAS kernel runs and with it the
+        # last-ulp rounding, breaking byte-equality on odd shapes.
+        out2d = pool.acquire((n * oh * ow, c_out), x.dtype)
+        np.matmul(cols, w_mat.T, out=out2d)
+        out4 = np.moveaxis(out2d.reshape(n, oh, ow, c_out), 3, 1)
+        # The bias add (or the contiguity copy) materializes the fresh output
+        # array, after which out2d is recyclable scratch.
+        if b is not None:
+            out = out4 + b.reshape(1, c_out, 1, 1)
+        else:
+            out = np.ascontiguousarray(out4)
+        pool.release(out2d)
+        if not want_ctx:
+            pool.release(cols)
+            return out, None
+        ctx = PooledConvCtx(
+            pool=pool,
+            cols=cols,
+            w_mat=w_mat,
+            x_shape=x.shape,
+            w_shape=w.shape,
+            stride=stride,
+            padding=padding,
+            has_bias=b is not None,
+        )
+        return out, ctx
+
+    def conv2d_backward(self, g, ctx):
+        g = self.cast(g)
+        pool = self.pool
+        n = ctx.x_shape[0]
+        c_out, _, kh, kw_ = ctx.w_shape
+        oh, ow = g.shape[2], g.shape[3]
+        p = n * oh * ow
+        g2d = pool.acquire((p, c_out), g.dtype)
+        g2d.reshape(n, oh, ow, c_out)[...] = np.moveaxis(g, 1, 3)
+        gw = (g2d.T @ ctx.cols).reshape(ctx.w_shape)  # single GEMM
+        dcols = pool.acquire((p, ctx.cols.shape[1]), g.dtype)
+        np.matmul(g2d, ctx.w_mat, out=dcols)
+        gx = self.col2im(dcols, ctx.x_shape, kh, kw_, ctx.stride, ctx.padding)
+        pool.release(dcols)
+        pool.release(g2d)
+        if not ctx.has_bias:
+            return gx, gw
+        gb = g.sum(axis=(0, 2, 3))
+        return gx, gw, gb
+
+    def col2im(self, dcols, x_shape, kh, kw, stride, padding):
+        n, c, h, w = x_shape
+        oh, ow = conv_output_shape((h, w), (kh, kw), stride, padding)
+        hp, wp = h + 2 * padding, w + 2 * padding
+        # dx is (a view of) the returned gradient, so it cannot be pooled;
+        # only the 6-D staging copy is recycled.
+        dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+        d6 = self.pool.acquire((kh, kw, n, c, oh, ow), dcols.dtype)
+        d6[...] = dcols.reshape(n, oh, ow, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
+        for i in range(kh):
+            hi = i + stride * oh
+            for j in range(kw):
+                wj = j + stride * ow
+                dx[:, :, i:hi:stride, j:wj:stride] += d6[i, j]
+        self.pool.release(d6)
+        if padding:
+            dx = dx[:, :, padding:-padding, padding:-padding]
+        return dx
+
+    # -- fused conv + bias + relu ---------------------------------------
+    def fused_conv_bias_relu_forward(self, x, w, b, stride, padding, want_ctx):
+        out, ctx = self.conv2d_forward(x, w, b, stride, padding, want_ctx)
+        if ctx is not None:
+            ctx.mask = out > 0
+        # out is freshly materialized by the bias add, so ReLU can run in place.
+        np.maximum(out, 0, out=out)
+        return out, ctx

@@ -1,0 +1,321 @@
+"""The reference kernel backend: the original NumPy hot-path code, verbatim.
+
+The module-level functions here (:func:`im2col`, :func:`col2im`, the two
+max-pool scatter variants, :func:`conv_output_shape`) are the exact
+implementations that previously lived in :mod:`repro.autograd.conv`; that
+module now re-exports them for backward compatibility.
+:class:`ReferenceKernels` wraps them in the backend protocol so every other
+backend can be equivalence-tested against it.
+
+Registered names:
+
+* ``reference`` — dtype-preserving, the process default.
+* ``reference-f32`` — same math with all float inputs cast to float32
+  (the float32-throughout mode's own reference, so the ``fast-f32`` backend
+  has a byte-equivalence twin).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .base import ConvCtx, KernelBackend, LinearCtx
+
+__all__ = [
+    "ReferenceKernels",
+    "conv_output_shape",
+    "im2col",
+    "col2im",
+    "max_pool2d_backward_scatter",
+    "max_pool2d_backward_add_at",
+]
+
+
+def conv_output_shape(
+    in_hw: Tuple[int, int], kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output shape of a conv/pool with the given geometry."""
+    h = (in_hw[0] + 2 * padding - kernel[0]) // stride + 1
+    w = (in_hw[1] + 2 * padding - kernel[1]) // stride + 1
+    if h <= 0 or w <= 0:
+        raise ValueError(
+            f"Non-positive conv output {h}x{w} for input {in_hw}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return h, w
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract sliding patches as a GEMM-ready matrix.
+
+    Returns ``cols`` of shape ``(N*OH*OW, C*kh*kw)`` (C-contiguous) so that
+    both the forward pass and the two backward passes are single large BLAS
+    GEMMs rather than batched small ones.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, h, w = x.shape
+    oh, ow = (h - kh) // stride + 1, (w - kw) // stride + 1
+    # windows: strided view (N, C, OH, OW, kh, kw)
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[
+        :, :, ::stride, ::stride, :, :
+    ]
+    # -> (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw); one materializing copy.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return cols, (oh, ow)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter patch grads back to the image.
+
+    ``dcols`` has shape ``(N*OH*OW, C*kh*kw)``.  The scatter uses a kh×kw
+    loop of fully-vectorised strided adds (the standard fast col2im).
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_shape((h, w), (kh, kw), stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    # One sequential materializing copy into (kh, kw, N, C, OH, OW) so each
+    # scatter-add below reads a contiguous source block.
+    d6 = np.ascontiguousarray(
+        dcols.reshape(n, oh, ow, c, kh, kw).transpose(4, 5, 0, 3, 1, 2)
+    )
+    for i in range(kh):
+        hi = i + stride * oh
+        for j in range(kw):
+            wj = j + stride * ow
+            dx[:, :, i:hi:stride, j:wj:stride] += d6[i, j]
+    if padding:
+        dx = dx[:, :, padding:-padding, padding:-padding]
+    return dx
+
+
+def max_pool2d_backward_scatter(
+    x_shape: Tuple[int, int, int, int],
+    arg: np.ndarray,
+    g: np.ndarray,
+    kernel: int,
+    stride: int,
+    dtype,
+) -> np.ndarray:
+    """Max-pool input gradient for *non-overlapping* windows (stride ≥ kernel).
+
+    Each input cell then receives at most one window's gradient, so the
+    scatter-add degenerates to a pure scatter: a fancy-index *assignment*,
+    which is several times faster than :func:`np.add.at`'s unbuffered
+    accumulation.  ``g + 0.0`` normalizes ``-0.0`` gradients to ``+0.0`` so
+    the result stays byte-identical to adding into a zeroed buffer.
+    """
+    n, c, _, _ = x_shape
+    oh, ow = arg.shape[2], arg.shape[3]
+    dx = np.zeros(x_shape, dtype=dtype)
+    ki, kj = np.divmod(arg, kernel)
+    oi, oj = np.ogrid[0:oh, 0:ow]
+    ni = np.arange(n)[:, None, None, None]
+    ci = np.arange(c)[None, :, None, None]
+    dx[ni, ci, oi * stride + ki, oj * stride + kj] = g + 0.0
+    return dx
+
+
+def max_pool2d_backward_add_at(
+    x_shape: Tuple[int, int, int, int],
+    arg: np.ndarray,
+    g: np.ndarray,
+    kernel: int,
+    stride: int,
+    dtype,
+) -> np.ndarray:
+    """Reference max-pool input gradient via ``np.add.at``.
+
+    Correct for any stride/kernel combination (overlapping windows
+    accumulate); :func:`max_pool2d_backward_scatter` is equivalence-tested
+    against this and used on the non-overlapping hot path.
+    """
+    dx = np.zeros(x_shape, dtype=dtype)
+    ki, kj = np.divmod(arg, kernel)
+    ni, ci, oi, oj = np.indices(arg.shape, sparse=False)
+    rows = oi * stride + ki
+    cols_ = oj * stride + kj
+    np.add.at(dx, (ni, ci, rows, cols_), g)
+    return dx
+
+
+class ReferenceKernels(KernelBackend):
+    """Dtype-preserving backend built on the verbatim reference functions.
+
+    Every primitive produces results bit-identical to the pre-kernels
+    autograd code paths (modulo the optional ``compute_dtype`` cast), which
+    makes this the equivalence oracle for all other backends.
+    """
+
+    # -- GEMM -----------------------------------------------------------
+    def gemm(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None):
+        """Single large BLAS matmul (batched via numpy's stacked matmul)."""
+        return np.matmul(self.cast(a), self.cast(b), out=out)
+
+    # -- im2col plumbing (overridable by pooled backends) ---------------
+    def im2col(self, x, kh, kw, stride, padding):
+        return im2col(x, kh, kw, stride, padding)
+
+    def col2im(self, dcols, x_shape, kh, kw, stride, padding):
+        return col2im(dcols, x_shape, kh, kw, stride, padding)
+
+    # -- dense conv2d ---------------------------------------------------
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        b: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        want_ctx: bool,
+    ) -> Tuple[np.ndarray, Optional[ConvCtx]]:
+        """im2col + one GEMM.  Returns ``(out, ctx)``; ctx is None when the
+        caller will not run a backward pass."""
+        x, w, b = self.cast(x), self.cast(w), self.cast(b)
+        n = x.shape[0]
+        c_out = w.shape[0]
+        kh, kw_ = w.shape[2], w.shape[3]
+        cols, (oh, ow) = self.im2col(x, kh, kw_, stride, padding)  # (N*P, K)
+        w_mat = w.reshape(c_out, -1)  # (F, K)
+        out2d = cols @ w_mat.T  # single GEMM -> (N*P, F)
+        out = np.moveaxis(out2d.reshape(n, oh, ow, c_out), 3, 1)
+        if b is not None:
+            out = out + b.reshape(1, c_out, 1, 1)
+        else:
+            out = np.ascontiguousarray(out)
+        if not want_ctx:
+            return out, None
+        ctx = ConvCtx(
+            cols=cols,
+            w_mat=w_mat,
+            x_shape=x.shape,
+            w_shape=w.shape,
+            stride=stride,
+            padding=padding,
+            has_bias=b is not None,
+        )
+        return out, ctx
+
+    def conv2d_backward(self, g: np.ndarray, ctx: ConvCtx):
+        """Two GEMMs + col2im scatter.  Returns ``(gx, gw[, gb])``."""
+        g = self.cast(g)
+        n = ctx.x_shape[0]
+        c_out, _, kh, kw_ = ctx.w_shape
+        oh, ow = g.shape[2], g.shape[3]
+        # (N,F,OH,OW) -> (N*P, F); one materializing copy.
+        g2d = np.moveaxis(g, 1, 3).reshape(n * oh * ow, c_out)
+        gw = (g2d.T @ ctx.cols).reshape(ctx.w_shape)  # single GEMM
+        dcols = g2d @ ctx.w_mat  # single GEMM -> (N*P, K)
+        gx = self.col2im(dcols, ctx.x_shape, kh, kw_, ctx.stride, ctx.padding)
+        if not ctx.has_bias:
+            return gx, gw
+        gb = g.sum(axis=(0, 2, 3))
+        return gx, gw, gb
+
+    # -- fused conv + bias + relu ---------------------------------------
+    def fused_conv_bias_relu_forward(
+        self, x, w, b, stride: int, padding: int, want_ctx: bool
+    ):
+        """conv2d + bias + ReLU as one kernel (byte-equal to the composed ops)."""
+        out, ctx = self.conv2d_forward(x, w, b, stride, padding, want_ctx)
+        if ctx is not None:
+            ctx.mask = out > 0
+        return np.maximum(out, 0), ctx
+
+    def fused_conv_bias_relu_backward(self, g: np.ndarray, ctx: ConvCtx):
+        """ReLU mask then the conv backward; gb sees the masked gradient."""
+        return self.conv2d_backward(self.cast(g) * ctx.mask, ctx)
+
+    # -- max pooling ----------------------------------------------------
+    def maxpool_forward(self, x: np.ndarray, kernel: int, stride: int):
+        """Windowed argmax; returns ``(out, arg)`` with arg kept for backward."""
+        x = self.cast(x)
+        n, c, h, w = x.shape
+        oh, ow = conv_output_shape((h, w), (kernel, kernel), stride, 0)
+        windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))[
+            :, :, ::stride, ::stride
+        ]  # (N,C,OH,OW,k,k)
+        flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        return np.ascontiguousarray(out), arg
+
+    def maxpool_backward(self, x_shape, arg, g, kernel: int, stride: int, dtype):
+        """Scatter (non-overlapping fast path) or add.at (general) input grad."""
+        g = self.cast(g)
+        if self.compute_dtype is not None:
+            dtype = self.compute_dtype
+        scatter = (
+            max_pool2d_backward_scatter
+            if stride >= kernel
+            else max_pool2d_backward_add_at
+        )
+        return scatter(x_shape, arg, g, kernel, stride, dtype)
+
+    # -- linear (2-D affine) --------------------------------------------
+    def linear_forward(
+        self, x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray], want_ctx: bool
+    ):
+        """``x @ w.T + b`` for 2-D ``x`` with PyTorch ``(out, in)`` weights."""
+        x, w, b = self.cast(x), self.cast(w), self.cast(b)
+        out = x @ w.T
+        if b is not None:
+            out = out + b
+        ctx = LinearCtx(x=x, w=w, has_bias=b is not None) if want_ctx else None
+        return out, ctx
+
+    def linear_backward(self, g: np.ndarray, ctx: LinearCtx):
+        g = self.cast(g)
+        gx = g @ ctx.w
+        gw = g.T @ ctx.x
+        if not ctx.has_bias:
+            return gx, gw
+        return gx, gw, g.sum(axis=0)
+
+    # -- elementwise train-step ops -------------------------------------
+    def relu_forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(self.cast(x), 0)
+
+    def relu_backward(self, g: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return self.cast(g) * (x > 0)
+
+    def sgd_update(
+        self,
+        param: np.ndarray,
+        grad: np.ndarray,
+        velocity: Optional[np.ndarray],
+        lr: float,
+        momentum: float,
+        nesterov: bool,
+        weight_decay: float,
+    ) -> Optional[np.ndarray]:
+        """In-place SGD step on one parameter; returns the velocity buffer.
+
+        Runs in the parameter's own dtype regardless of ``compute_dtype`` —
+        optimizer state precision is a training-semantics decision, not a
+        kernel one.
+        """
+        g = grad
+        if weight_decay:
+            g = g + weight_decay * param
+        if momentum:
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity *= momentum
+            velocity += g
+            g = g + momentum * velocity if nesterov else velocity
+        param -= lr * g
+        return velocity

@@ -16,6 +16,7 @@ from ..autograd import (
     avg_pool2d,
     batch_norm2d,
     conv2d,
+    conv2d_bias_relu,
     dropout as dropout_fn,
     global_avg_pool2d,
     linear as linear_fn,
@@ -70,7 +71,12 @@ class Linear(Module):
 
 
 class Conv2d(Module):
-    """2-D convolution layer over NCHW input."""
+    """2-D convolution layer over NCHW input.
+
+    ``activation="relu"`` folds a ReLU into the layer; for dense convs with
+    bias this runs the backend's fused conv+bias+ReLU kernel (one tape node
+    instead of three, byte-equal to ``ReLU()(Conv2d(...)(x))``).
+    """
 
     def __init__(
         self,
@@ -81,22 +87,34 @@ class Conv2d(Module):
         padding: int = 0,
         groups: int = 1,
         bias: bool = True,
+        activation: Optional[str] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else _DEFAULT_INIT_RNG
+        if activation not in (None, "relu"):
+            raise ValueError(f"unsupported Conv2d activation {activation!r}")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
         self.groups = groups
+        self.activation = activation
         shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
         self.weight = Parameter(init_mod.kaiming_normal(shape, rng))
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        return conv2d(
+        if (
+            self.activation == "relu"
+            and self.bias is not None
+            and self.groups == 1
+        ):
+            return conv2d_bias_relu(
+                x, self.weight, self.bias, stride=self.stride, padding=self.padding
+            )
+        out = conv2d(
             x,
             self.weight,
             self.bias,
@@ -104,12 +122,14 @@ class Conv2d(Module):
             padding=self.padding,
             groups=self.groups,
         )
+        return out.relu() if self.activation == "relu" else out
 
     def __repr__(self) -> str:
         return (
             f"Conv2d({self.in_channels}, {self.out_channels}, "
             f"k={self.kernel_size}, s={self.stride}, p={self.padding}"
             + (f", g={self.groups}" if self.groups != 1 else "")
+            + (f", act={self.activation}" if self.activation else "")
             + ")"
         )
 

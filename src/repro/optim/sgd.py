@@ -11,6 +11,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from ..kernels import active_backend
 from ..nn import Parameter
 from .base import Optimizer
 
@@ -37,19 +38,17 @@ class SGD(Optimizer):
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def step(self) -> None:
+        kb = active_backend()
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
-            g = p.grad
-            if self.weight_decay:
-                g = g + self.weight_decay * p.data
-            if self.momentum:
-                v = self._velocity[i]
-                if v is None:
-                    v = np.zeros_like(p.data)
-                    self._velocity[i] = v
-                v *= self.momentum
-                v += g
-                g = g + self.momentum * v if self.nesterov else v
-            p.data -= self.lr * g
+            self._velocity[i] = kb.sgd_update(
+                p.data,
+                p.grad,
+                self._velocity[i],
+                self.lr,
+                self.momentum,
+                self.nesterov,
+                self.weight_decay,
+            )
         self._post_step()

@@ -111,13 +111,15 @@ def select_benchmarks(pattern: Optional[str] = None) -> List[Benchmark]:
     """Registered benchmarks whose name matches ``pattern``, sorted by name.
 
     ``pattern`` is a shell glob (``frame_*``) or a plain substring
-    (``cache``); ``None`` selects everything.
+    (``cache``); ``|`` separates alternatives, any of which may match
+    (``'kernel|conv|train_step'``); ``None`` selects everything.
     """
     names = BENCHMARKS.available()
     if pattern is not None:
+        alternatives = [p for p in pattern.split("|") if p]
         names = [
             n for n in names
-            if fnmatch.fnmatchcase(n, pattern) or pattern in n
+            if any(fnmatch.fnmatchcase(n, p) or p in n for p in alternatives)
         ]
     return [BENCHMARKS.get(n) for n in names]
 

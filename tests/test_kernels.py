@@ -1,0 +1,574 @@
+"""The kernels backend layer: registry/selection, the buffer pool, and
+byte/tolerance equivalence of every ``fast`` kernel against ``reference``.
+
+Equivalence contract under test (see ``src/repro/kernels/``):
+
+* ``fast`` is **byte-equal** to ``reference`` — switching backends must not
+  change a single bit of any result, so cached rows and training
+  trajectories are backend-independent.
+* ``fast-f32`` is byte-equal to ``reference-f32`` (the float32 mode has its
+  own byte oracle) and within documented tolerance of the float64
+  ``reference``.
+"""
+
+import gc
+import json
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    conv2d,
+    conv2d_bias_relu,
+    cross_entropy,
+    gradcheck,
+    linear,
+    max_pool2d,
+)
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KERNELS,
+    BufferPool,
+    active_backend,
+    active_backend_name,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+RNG = np.random.default_rng(20260807)
+
+#: tolerance for float32-throughout results vs the float64 reference
+F32_TOL = dict(rtol=1e-4, atol=1e-5)
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Each test starts from the documented default selection state."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    set_backend(None)
+    yield
+    set_backend(None)
+
+
+def conv_case(shape=(4, 5, 13, 11), c_out=7, k=3, bias=True, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape)
+    w = rng.standard_normal((c_out, shape[1], k, k))
+    b = rng.standard_normal(c_out) if bias else None
+    return x, w, b
+
+
+def assert_bytes_equal(a, b):
+    __tracebackhide__ = True
+    assert a.dtype == b.dtype and a.shape == b.shape
+    assert a.tobytes() == b.tobytes()
+
+
+# --------------------------------------------------------------------------
+# registry + selection precedence
+# --------------------------------------------------------------------------
+
+class TestRegistryAndSelection:
+    def test_four_backends_registered(self):
+        assert set(KERNELS.available()) >= {
+            "reference", "reference-f32", "fast", "fast-f32"
+        }
+
+    def test_default_is_reference(self):
+        assert active_backend_name() == DEFAULT_BACKEND == "reference"
+
+    def test_resolve_backend_is_singleton(self):
+        assert resolve_backend("fast") is resolve_backend("fast")
+        # but the registry itself mints fresh instances
+        assert KERNELS.create("fast") is not KERNELS.create("fast")
+
+    def test_resolve_backend_passes_instances_through(self):
+        kb = resolve_backend("fast")
+        assert resolve_backend(kb) is kb
+
+    def test_unknown_backend_fails_loudly(self):
+        with pytest.raises(KeyError):
+            resolve_backend("fastt")
+        with pytest.raises(KeyError):
+            set_backend("nope")
+        with pytest.raises(KeyError):
+            use_backend("nope").__enter__()
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        assert active_backend_name() == "fast"
+
+    def test_set_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        set_backend("reference-f32")
+        assert active_backend_name() == "reference-f32"
+        set_backend(None)  # clearing falls back to the env var
+        assert active_backend_name() == "fast"
+
+    def test_use_backend_beats_everything_and_nests(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference-f32")
+        set_backend("reference")
+        with use_backend("fast") as kb:
+            assert kb.name == "fast"
+            with use_backend("fast-f32"):
+                assert active_backend_name() == "fast-f32"
+            assert active_backend_name() == "fast"
+        assert active_backend_name() == "reference"
+
+    def test_use_backend_none_is_passthrough(self):
+        with use_backend("fast"):
+            with use_backend(None) as kb:
+                assert kb.name == "fast"
+
+    def test_f32_backends_have_compute_dtype(self):
+        assert resolve_backend("fast-f32").compute_dtype == np.float32
+        assert resolve_backend("reference-f32").compute_dtype == np.float32
+        assert resolve_backend("reference").compute_dtype is None
+
+
+# --------------------------------------------------------------------------
+# buffer pool
+# --------------------------------------------------------------------------
+
+class TestBufferPool:
+    def test_acquire_release_recycles_the_same_array(self):
+        pool = BufferPool()
+        a = pool.acquire((8, 8), np.float64)
+        pool.release(a)
+        assert pool.acquire((8, 8), np.float64) is a
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_distinct_keys_do_not_alias(self):
+        pool = BufferPool()
+        a = pool.acquire((8, 8), np.float64)
+        pool.release(a)
+        assert pool.acquire((8, 8), np.float32) is not a
+        assert pool.acquire((4, 16), np.float64) is not a
+
+    def test_max_per_key_bounds_retention(self):
+        pool = BufferPool(max_per_key=2)
+        arrays = [pool.acquire((4,), np.float64) for _ in range(4)]
+        for arr in arrays:
+            pool.release(arr)
+        assert pool.stats()["retained_bytes"] == 2 * arrays[0].nbytes
+
+    def test_max_bytes_bounds_retention(self):
+        pool = BufferPool(max_bytes=100)
+        big = pool.acquire((64,), np.float64)  # 512 bytes > cap
+        pool.release(big)
+        assert pool.stats()["retained_bytes"] == 0
+        assert pool.acquire((64,), np.float64) is not big
+
+    def test_clear_and_release_none(self):
+        pool = BufferPool()
+        pool.release(None)  # no-op
+        pool.release(pool.acquire((4,), np.float64))
+        pool.clear()
+        assert pool.stats()["retained_bytes"] == 0
+        assert pool.stats()["keys"] == 0
+
+
+# --------------------------------------------------------------------------
+# byte equivalence: fast vs reference, kernel by kernel
+# --------------------------------------------------------------------------
+
+GEOMETRIES = [
+    # (stride, padding, bias) over an odd-shaped input so BLAS-path
+    # differences can't hide behind power-of-two sizes
+    (1, 1, True),
+    (1, 0, True),
+    (2, 1, False),
+    (2, 2, True),
+    (3, 0, False),
+    (1, 2, True),
+]
+
+
+class TestConvEquivalence:
+    @pytest.mark.parametrize("stride,padding,bias", GEOMETRIES)
+    def test_conv2d_forward_backward_byte_equal(self, stride, padding, bias):
+        fast, ref = resolve_backend("fast"), resolve_backend("reference")
+        x, w, b = conv_case(bias=bias)
+        out_f, ctx_f = fast.conv2d_forward(x, w, b, stride, padding, True)
+        out_r, ctx_r = ref.conv2d_forward(x, w, b, stride, padding, True)
+        assert_bytes_equal(out_f, out_r)
+        g = np.random.default_rng(1).standard_normal(out_f.shape)
+        grads_f = fast.conv2d_backward(g, ctx_f)
+        grads_r = ref.conv2d_backward(g, ctx_r)
+        assert len(grads_f) == len(grads_r) == (3 if bias else 2)
+        for gf, gr in zip(grads_f, grads_r):
+            assert_bytes_equal(gf, gr)
+
+    def test_conv2d_forward_without_ctx(self):
+        fast = resolve_backend("fast")
+        x, w, b = conv_case()
+        out, ctx = fast.conv2d_forward(x, w, b, 1, 1, False)
+        assert ctx is None
+        out_ref, _ = resolve_backend("reference").conv2d_forward(
+            x, w, b, 1, 1, False
+        )
+        assert_bytes_equal(out, out_ref)
+
+    def test_repeated_backward_on_retained_ctx_is_stable(self):
+        # The pooled cols buffer must not be recycled while the ctx lives:
+        # a second backward over the same tape has to read intact data even
+        # after other conv calls have churned the pool in between.
+        fast = resolve_backend("fast")
+        x, w, b = conv_case()
+        out, ctx = fast.conv2d_forward(x, w, b, 1, 1, True)
+        g = np.random.default_rng(2).standard_normal(out.shape)
+        first = [a.copy() for a in fast.conv2d_backward(g, ctx)]
+        x2, w2, b2 = conv_case(seed=9)
+        fast.conv2d_forward(x2, w2, b2, 1, 1, True)  # churn the pool
+        for a, bb in zip(first, fast.conv2d_backward(g, ctx)):
+            assert_bytes_equal(a, bb)
+
+    def test_ctx_release_returns_cols_to_pool(self):
+        fast = resolve_backend("fast")
+        fast.clear_pool()
+        x, w, b = conv_case()
+        out, ctx = fast.conv2d_forward(x, w, b, 1, 1, True)
+        retained_before = fast.pool.stats()["retained_bytes"]
+        del ctx
+        gc.collect()
+        assert fast.pool.stats()["retained_bytes"] > retained_before
+
+    @pytest.mark.parametrize("pair", [
+        ("fast", "reference"), ("fast-f32", "reference-f32")
+    ])
+    def test_fused_conv_bias_relu_byte_equal(self, pair):
+        fast, ref = (resolve_backend(n) for n in pair)
+        x, w, b = conv_case()
+        out_f, ctx_f = fast.fused_conv_bias_relu_forward(x, w, b, 1, 1, True)
+        out_r, ctx_r = ref.fused_conv_bias_relu_forward(x, w, b, 1, 1, True)
+        assert_bytes_equal(out_f, out_r)
+        assert (out_f >= 0).all()
+        g = np.random.default_rng(3).standard_normal(out_f.shape)
+        if fast.compute_dtype is not None:
+            g = g.astype(fast.compute_dtype)
+        for gf, gr in zip(
+            fast.fused_conv_bias_relu_backward(g, ctx_f),
+            ref.fused_conv_bias_relu_backward(g, ctx_r),
+        ):
+            assert_bytes_equal(gf, gr)
+
+    def test_fused_equals_composed_conv_relu(self):
+        # through autograd: one fused tape node == conv2d().relu(), bytes
+        # and gradients both
+        x, w, b = conv_case(shape=(2, 3, 8, 8), c_out=4)
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                xt = Tensor(x, requires_grad=True)
+                wt = Tensor(w, requires_grad=True)
+                bt = Tensor(b, requires_grad=True)
+                fused = conv2d_bias_relu(xt, wt, bt, padding=1)
+                fused.sum().backward()
+                gx, gw, gb = xt.grad, wt.grad, bt.grad
+                xt2 = Tensor(x, requires_grad=True)
+                wt2 = Tensor(w, requires_grad=True)
+                bt2 = Tensor(b, requires_grad=True)
+                composed = conv2d(xt2, wt2, bt2, padding=1).relu()
+                composed.sum().backward()
+                assert_bytes_equal(fused.data, composed.data)
+                assert_bytes_equal(gx, xt2.grad)
+                assert_bytes_equal(gw, wt2.grad)
+                assert_bytes_equal(gb, bt2.grad)
+
+    @pytest.mark.parametrize("stride,padding,bias", GEOMETRIES[:3])
+    def test_f32_twins_byte_equal(self, stride, padding, bias):
+        fast, ref = resolve_backend("fast-f32"), resolve_backend("reference-f32")
+        x, w, b = conv_case(bias=bias)
+        out_f, ctx_f = fast.conv2d_forward(x, w, b, stride, padding, True)
+        out_r, ctx_r = ref.conv2d_forward(x, w, b, stride, padding, True)
+        assert out_f.dtype == np.float32
+        assert_bytes_equal(out_f, out_r)
+        g = np.random.default_rng(4).standard_normal(out_f.shape).astype(np.float32)
+        for gf, gr in zip(
+            fast.conv2d_backward(g, ctx_f), ref.conv2d_backward(g, ctx_r)
+        ):
+            assert_bytes_equal(gf, gr)
+
+    def test_f32_within_tolerance_of_f64_reference(self):
+        f32, f64 = resolve_backend("reference-f32"), resolve_backend("reference")
+        x, w, b = conv_case()
+        out32, _ = f32.conv2d_forward(x, w, b, 1, 1, False)
+        out64, _ = f64.conv2d_forward(x, w, b, 1, 1, False)
+        np.testing.assert_allclose(out32, out64, **F32_TOL)
+
+
+class TestOtherKernelEquivalence:
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 3), (3, 2)])
+    def test_maxpool_byte_equal(self, kernel, stride):
+        # stride < kernel exercises the overlapping add.at path too
+        fast, ref = resolve_backend("fast"), resolve_backend("reference")
+        x = RNG.standard_normal((3, 4, 12, 12))
+        out_f, arg_f = fast.maxpool_forward(x, kernel, stride)
+        out_r, arg_r = ref.maxpool_forward(x, kernel, stride)
+        assert_bytes_equal(out_f, out_r)
+        assert (arg_f == arg_r).all()
+        g = RNG.standard_normal(out_f.shape)
+        assert_bytes_equal(
+            fast.maxpool_backward(x.shape, arg_f, g, kernel, stride, x.dtype),
+            ref.maxpool_backward(x.shape, arg_r, g, kernel, stride, x.dtype),
+        )
+
+    def test_linear_byte_equal(self):
+        fast, ref = resolve_backend("fast"), resolve_backend("reference")
+        x = RNG.standard_normal((9, 7))
+        w = RNG.standard_normal((5, 7))
+        b = RNG.standard_normal(5)
+        out_f, ctx_f = fast.linear_forward(x, w, b, True)
+        out_r, ctx_r = ref.linear_forward(x, w, b, True)
+        assert_bytes_equal(out_f, out_r)
+        g = RNG.standard_normal(out_f.shape)
+        for gf, gr in zip(
+            fast.linear_backward(g, ctx_f), ref.linear_backward(g, ctx_r)
+        ):
+            assert_bytes_equal(gf, gr)
+
+    def test_gemm_byte_equal(self):
+        fast, ref = resolve_backend("fast"), resolve_backend("reference")
+        a = RNG.standard_normal((11, 7))
+        b = RNG.standard_normal((7, 13))
+        assert_bytes_equal(fast.gemm(a, b), ref.gemm(a, b))
+
+    def test_relu_preserves_negative_zero_bytes(self):
+        # backward keeps g * (x > 0): a -0.0 gradient must stay -0.0, as the
+        # pre-kernels code produced (np.where would flip the sign bit)
+        fast, ref = resolve_backend("fast"), resolve_backend("reference")
+        x = np.array([1.0, -1.0, 2.0])
+        g = np.array([-0.0, -0.0, 3.0])
+        out_f = fast.relu_backward(g, x)
+        assert_bytes_equal(out_f, ref.relu_backward(g, x))
+        assert np.signbit(out_f[0])
+
+    def test_sgd_update_byte_equal_and_dtype_preserving(self):
+        for name in ("fast", "fast-f32"):
+            kb, ref = resolve_backend(name), resolve_backend("reference")
+            p1 = RNG.standard_normal(10)
+            p2 = p1.copy()
+            grad = RNG.standard_normal(10)
+            v1 = kb.sgd_update(p1, grad, None, 0.1, 0.9, True, 1e-4)
+            v2 = ref.sgd_update(p2, grad, None, 0.1, 0.9, True, 1e-4)
+            # optimizer state stays in the parameter dtype even under f32 mode
+            assert p1.dtype == v1.dtype == np.float64
+            assert_bytes_equal(p1, p2)
+            assert_bytes_equal(v1, v2)
+
+
+# --------------------------------------------------------------------------
+# gradcheck on both backends
+# --------------------------------------------------------------------------
+
+TOL = dict(eps=1e-5, atol=1e-5, rtol=1e-4)
+
+
+def T(shape, scale=1.0, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).normal(size=shape) * scale,
+        requires_grad=True,
+    )
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+class TestGradcheckBothBackends:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0)])
+    def test_conv2d(self, backend, stride, padding):
+        with use_backend(backend):
+            gradcheck(
+                lambda x, w, b: conv2d(
+                    x, w, b, stride=stride, padding=padding
+                ).sum(),
+                [T((2, 3, 6, 6)), T((4, 3, 3, 3), 0.5, 1), T((4,), 0.1, 2)],
+                **TOL,
+            )
+
+    def test_fused_conv_bias_relu(self, backend):
+        with use_backend(backend):
+            gradcheck(
+                lambda x, w, b: conv2d_bias_relu(x, w, b, padding=1).sum(),
+                [T((2, 3, 6, 6)), T((4, 3, 3, 3), 0.5, 1), T((4,), 0.1, 2)],
+                **TOL,
+            )
+
+    def test_maxpool(self, backend):
+        # margin between window values keeps the finite-difference stencil
+        # away from argmax ties
+        rng = np.random.default_rng(5)
+        x = Tensor(
+            rng.permutation(64).reshape(1, 4, 4, 4) * 0.1, requires_grad=True
+        )
+        with use_backend(backend):
+            gradcheck(lambda x: max_pool2d(x, 2, 2).sum(), [x], **TOL)
+
+    def test_linear(self, backend):
+        with use_backend(backend):
+            gradcheck(
+                lambda x, w, b: linear(x, w, b).sum(),
+                [T((5, 4)), T((3, 4), 0.5, 1), T((3,), 0.1, 2)],
+                **TOL,
+            )
+
+    def test_relu(self, backend):
+        # keep activations away from the kink
+        x = Tensor(
+            np.random.default_rng(6).normal(size=(4, 4)) + 3.0,
+            requires_grad=True,
+        )
+        with use_backend(backend):
+            gradcheck(lambda x: x.relu().sum(), [x], **TOL)
+
+
+# --------------------------------------------------------------------------
+# float32-throughout mode
+# --------------------------------------------------------------------------
+
+class TestFloat32Mode:
+    def _train_step(self, backend):
+        from repro import nn
+        from repro.optim import SGD
+
+        rng = np.random.default_rng(0)
+        with use_backend(backend):
+            model = nn.Sequential(
+                nn.Conv2d(3, 4, 3, padding=1, rng=rng, activation="relu"),
+                nn.MaxPool2d(2),
+                nn.Flatten(),
+                nn.Linear(4 * 4 * 4, 5, rng=rng),
+            )
+            model.train()
+            opt = SGD(list(model.parameters()), lr=0.01, momentum=0.9)
+            param_dtypes = [p.data.dtype for p in model.parameters()]
+            xb = rng.standard_normal((8, 3, 8, 8))
+            out = model(Tensor(xb))
+            loss = cross_entropy(out, rng.integers(0, 5, 8))
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        return model, out, loss, param_dtypes
+
+    def test_f32_dtype_propagates_through_train_step(self):
+        model, out, loss, param_dtypes = self._train_step("fast-f32")
+        # activations run in float32...
+        assert out.data.dtype == np.float32
+        # ...while every parameter keeps its own dtype (weights are float32
+        # by init, biases float64) — gradient accumulation casts grads back
+        # to the parameter dtype, and sgd_update never recasts
+        for p, dtype in zip(model.parameters(), param_dtypes):
+            assert p.data.dtype == dtype
+            assert p.grad is None or p.grad.dtype == dtype
+        assert np.isfinite(loss.data)
+
+    def test_f64_train_step_unaffected(self):
+        _, out, _, _ = self._train_step("fast")
+        assert out.data.dtype == np.float64
+
+    def test_f32_and_f64_training_agree_to_tolerance(self):
+        _, out32, loss32, _ = self._train_step("fast-f32")
+        _, out64, loss64, _ = self._train_step("reference")
+        np.testing.assert_allclose(
+            out32.data, out64.data, rtol=1e-3, atol=1e-4
+        )
+        np.testing.assert_allclose(
+            float(loss32.data), float(loss64.data), rtol=1e-3
+        )
+
+
+# --------------------------------------------------------------------------
+# propagation: executors, queue workers, result metadata, cache round-trip
+# --------------------------------------------------------------------------
+
+class TestBackendPropagation:
+    def test_executor_rejects_unknown_backend_eagerly(self):
+        from repro.experiment import SerialExecutor
+
+        with pytest.raises(KeyError):
+            SerialExecutor(kernel_backend="not-a-backend")
+
+    def test_serial_executor_tags_rows_with_backend(self, tmp_path):
+        import exp_fixtures  # registers the crashy dataset
+        from repro.experiment import SerialExecutor
+        from repro.experiment.cache import ResultCache
+
+        spec = exp_fixtures.crashy_spec(cell="kb-serial")
+        rows = SerialExecutor(
+            cache=ResultCache(tmp_path / "c"), kernel_backend="fast"
+        ).run([spec])
+        assert rows[0].extra["kernel_backend"] == "fast"
+
+    def test_default_executor_records_ambient_backend(self, tmp_path):
+        import exp_fixtures
+        from repro.experiment import SerialExecutor
+        from repro.experiment.cache import ResultCache
+
+        spec = exp_fixtures.crashy_spec(cell="kb-default")
+        rows = SerialExecutor(cache=ResultCache(tmp_path / "c")).run([spec])
+        assert rows[0].extra["kernel_backend"] == "reference"
+
+    def test_queue_persists_backend_for_remote_workers(self, tmp_path):
+        import exp_fixtures
+        from repro.experiment.queue import QueueWorker, WorkQueue
+        from repro.experiment.cache import ResultCache
+
+        queue = WorkQueue(tmp_path / "q", kernel_backend="fast")
+        stored = json.loads((tmp_path / "q" / "queue.json").read_text())
+        assert stored["kernel_backend"] == "fast"
+        # a worker attaching from another machine sees only the directory
+        adopted = WorkQueue(tmp_path / "q")
+        assert adopted.kernel_backend == "fast"
+        worker = QueueWorker(adopted, ResultCache(tmp_path / "q" / "cache"))
+        assert worker.kernel_backend == "fast"
+
+    def test_queue_worker_executes_under_stored_backend(self, tmp_path):
+        import exp_fixtures
+        from repro.experiment.queue import QueueWorker, WorkQueue
+        from repro.experiment.cache import ResultCache
+
+        queue = WorkQueue(tmp_path / "q", kernel_backend="fast")
+        spec = exp_fixtures.crashy_spec(cell="kb-queue")
+        queue.submit(spec)
+        cache = ResultCache(tmp_path / "q" / "cache")
+        QueueWorker(queue, cache).run(max_cells=1, idle_timeout=0.0)
+        row = cache.get(spec)
+        assert row is not None
+        assert row.extra["kernel_backend"] == "fast"
+
+    def test_cache_round_trip_preserves_backend_tag(self, tmp_path):
+        import exp_fixtures
+        from repro.experiment.cache import ResultCache
+        from repro.experiment.results import PruningResult
+
+        spec = exp_fixtures.crashy_spec(cell="kb-cache")
+        row = PruningResult(
+            model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+            compression=spec.compression, seed=spec.seed,
+            extra={"kernel_backend": "fast-f32"},
+        )
+        cache = ResultCache(tmp_path / "c")
+        cache.put(spec, row)
+        assert cache.get(spec).extra["kernel_backend"] == "fast-f32"
+
+    def test_report_surfaces_backends(self):
+        from repro.analysis import build_report, render_report
+        from repro.analysis.frame import ResultFrame
+        from repro.experiment.results import PruningResult
+
+        rows = [
+            PruningResult(
+                model="m", dataset="d", strategy="global_weight",
+                compression=2.0, seed=i, top1=0.5, top5=0.9,
+                baseline_top1=0.6, baseline_top5=0.95,
+                actual_compression=2.0, theoretical_speedup=1.5,
+                extra={"kernel_backend": backend},
+            )
+            for i, backend in enumerate(["reference", "fast"])
+        ]
+        report = build_report(ResultFrame.from_results(rows))
+        assert report.kernel_backends == ["fast", "reference"]
+        text = render_report(report)
+        assert "kernel backends: fast, reference" in text
+        assert "mixed" in text
