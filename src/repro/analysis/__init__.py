@@ -5,9 +5,20 @@ container every results consumer queries — experiment sweeps and the
 meta-analysis corpus alike.  :func:`build_report`/:func:`render_report`
 (:mod:`repro.analysis.report`) turn any finished sweep artifact into the
 paper's standard report; ``python -m repro report`` is the CLI wrapper.
+:mod:`repro.analysis.query` is the serializable JSON query language the
+results server (:mod:`repro.serve`) speaks — declarative
+filter/group/aggregate documents validated fail-fast and applied to
+frames with point-for-point in-process equivalence.
 """
 
-from .frame import ResultFrame, is_queue_dir, load_frame
+from .frame import (
+    FILTER_OPS,
+    ResultFrame,
+    is_queue_dir,
+    load_frame,
+    queue_outstanding,
+)
+from .query import Query, QueryError, compile_query, run_query
 from .report import (
     REPORT_SCHEMA_VERSION,
     StandardReport,
@@ -21,9 +32,15 @@ from .report import (
 )
 
 __all__ = [
+    "FILTER_OPS",
     "ResultFrame",
     "is_queue_dir",
     "load_frame",
+    "queue_outstanding",
+    "Query",
+    "QueryError",
+    "compile_query",
+    "run_query",
     "REPORT_SCHEMA_VERSION",
     "StandardReport",
     "build_report",

@@ -52,6 +52,7 @@ report (``python -m repro report`` accepts any of the three).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -61,7 +62,18 @@ import numpy as np
 from ..experiment.prune import BASELINE_STRATEGY
 from ..experiment.results import CurvePoint, PruningResult, ResultSet
 
-__all__ = ["ResultFrame", "is_queue_dir", "load_frame"]
+__all__ = [
+    "FILTER_OPS",
+    "ResultFrame",
+    "is_queue_dir",
+    "load_frame",
+    "queue_outstanding",
+]
+
+#: operators a ``{"op": ..., "value": ...}`` filter spec may use — the
+#: serializable comparison vocabulary of :meth:`ResultFrame.mask` and the
+#: results-server query language (callables cannot travel over HTTP)
+FILTER_OPS: Tuple[str, ...] = ("==", "!=", "<", "<=", ">", ">=", "in", "not-in")
 
 #: derived column → the base columns it is computed from
 _DERIVED = {
@@ -289,6 +301,30 @@ class ResultFrame:
     def __repr__(self) -> str:
         return f"ResultFrame({len(self)} rows × {len(self._columns)} columns)"
 
+    def fingerprint(self) -> str:
+        """Content hash of the frame: columns, dtypes, and every value.
+
+        Two frames holding the same rows in the same order fingerprint
+        identically regardless of how they were loaded — the
+        content-addressed identity behind the results server's ``ETag``s
+        (a row's identity columns are its spec hash inputs, so this is
+        transitively keyed on spec hashes).  Numeric columns hash their
+        raw bytes; object columns hash their JSON rendering, so free-form
+        ``extra`` dicts participate too.
+        """
+        h = hashlib.sha256()
+        h.update(str(len(self)).encode())
+        for name, col in self._columns.items():
+            h.update(b"\x00" + name.encode() + b"\x00" + col.dtype.str.encode())
+            if col.dtype.kind == "O":
+                h.update(json.dumps(
+                    [_json_safe(v) for v in col.tolist()],
+                    sort_keys=True, default=str,
+                ).encode())
+            else:
+                h.update(col.tobytes())
+        return h.hexdigest()
+
     # -- row selection ---------------------------------------------------
     def take(self, indices) -> "ResultFrame":
         """Subframe of the given row indices (or a boolean mask)."""
@@ -297,15 +333,93 @@ class ResultFrame:
             {name: col[indices] for name, col in self._columns.items()}
         )
 
+    @staticmethod
+    def _membership_mask(col: np.ndarray, values) -> np.ndarray:
+        """Row ∈ values.  Numeric columns go through :func:`np.isin`;
+        object columns keep the per-element hash-set semantics."""
+        allowed = values if isinstance(values, (set, frozenset)) else set(values)
+        if col.dtype.kind in "iuf" and all(
+            isinstance(v, (int, float)) and v == v for v in allowed
+        ):
+            return np.isin(col, list(allowed))
+        return np.fromiter(
+            (v in allowed for v in col), dtype=bool, count=len(col)
+        )
+
+    @staticmethod
+    def _equality_mask(col: np.ndarray, value) -> np.ndarray:
+        eq = col == value
+        if not isinstance(eq, np.ndarray):  # incomparable types
+            eq = np.fromiter(
+                (v == value for v in col), dtype=bool, count=len(col)
+            )
+        return eq.astype(bool)
+
+    @staticmethod
+    def _op_mask(name: str, col: np.ndarray, spec: Dict[str, Any]) -> np.ndarray:
+        """Mask for a ``{"op": ..., "value": ...}`` comparison spec.
+
+        The serializable subset of the filter language (see
+        :data:`FILTER_OPS`): range predicates an HTTP client can express
+        without shipping Python callables.  NaN rows compare False under
+        every ordering operator, matching NumPy semantics.
+        """
+        extra = set(spec) - {"op", "value"}
+        if extra or "op" not in spec or "value" not in spec:
+            raise ValueError(
+                f"filter spec for column {name!r} must be "
+                f"{{'op': ..., 'value': ...}}, got keys {sorted(spec)}"
+            )
+        op, value = spec["op"], spec["value"]
+        if op not in FILTER_OPS:
+            raise ValueError(
+                f"unknown filter op {op!r} for column {name!r}; "
+                f"expected one of {list(FILTER_OPS)}"
+            )
+        if op in ("in", "not-in"):
+            if not isinstance(value, (list, tuple, set, frozenset, np.ndarray)):
+                raise ValueError(
+                    f"filter op {op!r} on column {name!r} needs a sequence "
+                    f"value, got {type(value).__name__}"
+                )
+            member = ResultFrame._membership_mask(col, value)
+            return member if op == "in" else ~member
+        if op == "==":
+            return ResultFrame._equality_mask(col, value)
+        if op == "!=":
+            return ~ResultFrame._equality_mask(col, value)
+        compare = {"<": np.less, "<=": np.less_equal,
+                   ">": np.greater, ">=": np.greater_equal}[op]
+        try:
+            with np.errstate(invalid="ignore"):
+                result = np.asarray(compare(col, value))
+            if result.shape != (len(col),):
+                raise TypeError("non-elementwise comparison")
+            return result.astype(bool)
+        except TypeError:
+            pass
+        try:  # object columns (e.g. strings): per-element Python ordering
+            return np.fromiter(
+                (v is not None and bool(compare(v, value)) for v in col),
+                dtype=bool, count=len(col),
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"cannot apply filter op {op!r} to column {name!r}: {exc}"
+            ) from None
+
     def mask(self, **conditions) -> np.ndarray:
         """Boolean row mask for :meth:`filter`'s conditions (AND-combined).
 
         Each condition value may be a scalar (equality), a sequence
-        (membership), or a callable predicate.  Predicates are applied
-        vectorized when they accept the whole column (e.g. ``np.isfinite``
-        or ``lambda c: c > 2``) and fall back to per-element evaluation.
-        Membership tests on numeric columns run through :func:`np.isin`;
-        object columns keep the per-element hash-set semantics.
+        (membership), a callable predicate, or a ``{"op": ..., "value":
+        ...}`` comparison spec (ops in :data:`FILTER_OPS` — the
+        serializable form the results-server query language uses for range
+        predicates).  Predicates are applied vectorized when they accept
+        the whole column (e.g. ``np.isfinite`` or ``lambda c: c > 2``) and
+        fall back to per-element evaluation.  Membership tests on numeric
+        columns run through :func:`np.isin`; object columns keep the
+        per-element hash-set semantics.
         """
         out = np.ones(len(self), dtype=bool)
         for name, cond in conditions.items():
@@ -321,23 +435,12 @@ class ResultFrame:
                         (bool(cond(v)) for v in col), dtype=bool, count=len(col)
                     )
                 out &= result.astype(bool)
+            elif isinstance(cond, dict):
+                out &= self._op_mask(name, col, cond)
             elif isinstance(cond, (list, tuple, set, frozenset, np.ndarray)):
-                allowed = set(cond) if not isinstance(cond, (set, frozenset)) else cond
-                if col.dtype.kind in "iuf" and all(
-                    isinstance(v, (int, float)) and v == v for v in allowed
-                ):
-                    out &= np.isin(col, list(allowed))
-                else:
-                    out &= np.fromiter(
-                        (v in allowed for v in col), dtype=bool, count=len(col)
-                    )
+                out &= self._membership_mask(col, cond)
             else:
-                eq = col == cond
-                if not isinstance(eq, np.ndarray):  # incomparable types
-                    eq = np.fromiter(
-                        (v == cond for v in col), dtype=bool, count=len(col)
-                    )
-                out &= eq.astype(bool)
+                out &= self._equality_mask(col, cond)
         return out
 
     def filter(self, **conditions) -> "ResultFrame":
@@ -490,8 +593,9 @@ class ResultFrame:
             ]
         records: List[Dict[str, Any]] = []
         for key, sub in self.group_by(names, sort=True):
-            key_tuple = (key,) if len(names) == 1 else key
-            rec: Dict[str, Any] = dict(zip(names, key_tuple))
+            # group_by over a name *tuple* always yields tuple keys, even
+            # for one name — zip directly, no re-wrapping
+            rec: Dict[str, Any] = dict(zip(names, key))
             rec["n"] = len(sub)
             for value in values:
                 col = np.asarray(sub.column(value), dtype=np.float64)
@@ -716,6 +820,24 @@ def is_queue_dir(path) -> bool:
     return (path / "queue.json").is_file() or (path / "pending").is_dir()
 
 
+def queue_outstanding(source) -> Dict[str, int]:
+    """Pending/leased cell counts for a work-queue source (else zeros).
+
+    The single definition of "how unfinished is this sweep" shared by
+    ``python -m repro report`` and the results server, so both surface the
+    same partial-sweep accounting (in the report JSON's ``outstanding``
+    field and at ``/healthz``) instead of only a stderr warning.
+    """
+    path = Path(source)
+    out = {"pending": 0, "leased": 0}
+    if path.is_dir() and is_queue_dir(path):
+        for state in out:
+            sub = path / state
+            if sub.is_dir():
+                out[state] = sum(1 for _ in sub.glob("*.json"))
+    return out
+
+
 def load_frame(source, cache_dir=None) -> ResultFrame:
     """Frame from any finished-sweep artifact, sniffed by layout.
 
@@ -725,12 +847,38 @@ def load_frame(source, cache_dir=None) -> ResultFrame:
       ``<queue-dir>/cache`` result store, mirroring ``--cache-dir`` on the
       run/worker CLI);
     * any other directory → result-cache root (:meth:`ResultFrame.from_cache`).
+
+    Sources that match none of the three layouts fail *here*, with the
+    offending path in the message, instead of surfacing as an opaque
+    downstream error: a non-JSON file raises ``ValueError``, and a
+    directory with neither queue layout nor cache entries raises
+    ``FileNotFoundError``.
     """
     path = Path(source)
     if path.is_file():
-        return ResultFrame.from_json(path)
+        try:
+            return ResultFrame.from_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(
+                f"{path} is not a results file (expected a JSON list of "
+                f"result rows): {exc}"
+            ) from exc
+        except (TypeError, AttributeError) as exc:
+            raise ValueError(
+                f"{path} is not a results file (expected a JSON list of "
+                f"result rows, got a different JSON shape): {exc}"
+            ) from exc
     if not path.is_dir():
         raise FileNotFoundError(f"no results at {path}")
     if is_queue_dir(path):
         return ResultFrame.from_queue(path, cache_dir=cache_dir)
-    return ResultFrame.from_cache(path)
+    frame = ResultFrame.from_cache(path)
+    if not len(frame):
+        # an empty frame from a supposed cache dir means the directory is
+        # either empty or something else entirely — name the path and the
+        # three layouts instead of letting "0 rows" confuse callers later
+        raise FileNotFoundError(
+            f"{path} is not a results file, a result-cache directory with "
+            "entries, or a work-queue directory (nothing to load)"
+        )
+    return frame

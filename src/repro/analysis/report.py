@@ -29,7 +29,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,16 +77,33 @@ class StandardReport:
     #: distinct compute backends recorded in row metadata (sorted); rows from
     #: before backends existed carry none and contribute nothing
     kernel_backends: List[str] = field(default_factory=list)
+    #: partial-sweep accounting for queue sources: cells not yet executed
+    #: (``{"pending": N, "leased": N}``, zeros for finished/non-queue
+    #: sources) — see :func:`repro.analysis.frame.queue_outstanding`
+    outstanding: Dict[str, int] = field(
+        default_factory=lambda: {"pending": 0, "leased": 0}
+    )
+
+    @property
+    def n_outstanding(self) -> int:
+        """Total cells still pending/leased — nonzero means partial."""
+        return sum(self.outstanding.values())
 
 
-def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
+def build_report(
+    frame: ResultFrame,
+    y: str = "top1",
+    outstanding: Optional[Dict[str, int]] = None,
+) -> StandardReport:
     """Reduce raw sweep rows to the §6 report bundle.
 
     The input frame may come from any constructor; deduped baseline
     sentinel rows are replicated across strategies first, so curve data is
     identical whether the source was a saved ``results.json``, the result
     cache, or a queue directory.  Quarantined cells are excluded from all
-    statistics and surfaced via ``n_failed``.
+    statistics and surfaced via ``n_failed``; for queue sources callers
+    pass :func:`~repro.analysis.frame.queue_outstanding` counts so a
+    still-draining sweep is visibly partial in the report itself.
     """
     from ..meta.checklist import audit_results  # lazy: avoid import cycle
 
@@ -109,6 +126,8 @@ def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
         {e["kernel_backend"] for e in ok.column("extra")
          if isinstance(e, dict) and e.get("kernel_backend")}
     ) if "extra" in ok and len(ok) else []
+    counts = {"pending": 0, "leased": 0}
+    counts.update(outstanding or {})
     return StandardReport(
         frame=prepared,
         y=y,
@@ -118,6 +137,7 @@ def build_report(frame: ResultFrame, y: str = "top1") -> StandardReport:
         checklist=checklist,
         n_failed=n_failed,
         kernel_backends=backends,
+        outstanding=counts,
     )
 
 
@@ -165,6 +185,11 @@ def render_report(report: StandardReport, width: int = 64) -> str:
         f"rows: {len(frame)}   strategies: {len(strategies)}   "
         f"seeds: {seeds}   quarantined: {report.n_failed}"
     )
+    if report.n_outstanding:
+        out.append(
+            f"PARTIAL: {report.outstanding['pending']} pending + "
+            f"{report.outstanding['leased']} leased cell(s) not yet executed"
+        )
     if report.kernel_backends:
         line = f"kernel backends: {', '.join(report.kernel_backends)}"
         if len(report.kernel_backends) > 1:
@@ -259,6 +284,7 @@ def report_to_json(report: StandardReport) -> Dict[str, Any]:
         "y": report.y,
         "rows": len(frame),
         "n_failed": report.n_failed,
+        "outstanding": dict(report.outstanding),
         "strategies": frame.unique("strategy") if "strategy" in frame else [],
         "seeds": frame.unique("seed") if "seed" in frame else [],
         "kernel_backends": report.kernel_backends,

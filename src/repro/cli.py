@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro run sweep.json        # execute a declarative sweep
     python -m repro report SOURCE         # §6 standard report from a sweep
+    python -m repro serve SOURCE...       # long-running JSON results server
     python -m repro worker QUEUE_DIR      # pull + run cells from a work queue
     python -m repro queue stats|retry-failed|compact QUEUE_DIR
     python -m repro bench [PATTERN]       # performance microbenchmark suite
@@ -242,6 +243,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "(schema in docs/FORMATS.md) here; '-' for stdout")
     report.add_argument("--width", type=int, default=64,
                         help="ASCII plot width in columns")
+
+    serve = _add_command(
+        sub, "serve",
+        "serve sweep results over HTTP (report/curves/pareto/summary/query "
+        "JSON endpoints with ETag caching)",
+        "python -m repro serve results.json --port 8751\n"
+        "  curl -s localhost:8751/report | python -m json.tool\n"
+        "  curl -s localhost:8751/query -d "
+        "'{\"filter\": {\"strategy\": \"global_weight\"}}'",
+    )
+    serve.add_argument("sources", nargs="+", metavar="SOURCE",
+                       help="results JSON file, result-cache directory, or "
+                            "work-queue directory; repeatable (each becomes "
+                            "a named frame, NAME=PATH to name explicitly)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=_nonneg_int, default=8751,
+                       help="bind port; 0 picks a free one (default: 8751)")
+    serve.add_argument("--reload-interval", type=_nonneg_float, default=0.0,
+                       metavar="S",
+                       help="poll path-backed sources every S seconds and "
+                            "atomically reload changed ones (still-draining "
+                            "queue dirs converge live; default: off)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="queue-dir sources only: read rows from this "
+                            "shared result cache instead of <queue-dir>/cache")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request and reload log lines "
+                            "(the startup URL line is always printed)")
 
     queue = _add_command(
         sub, "queue",
@@ -489,6 +519,7 @@ def _cmd_report(args) -> int:
         build_report,
         is_queue_dir,
         load_frame,
+        queue_outstanding,
         render_report,
         write_report_csv,
     )
@@ -500,19 +531,17 @@ def _cmd_report(args) -> int:
         return 2
     try:
         frame = load_frame(source, cache_dir=args.cache_dir)
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     if not len(frame):
         print(f"no result rows found in {args.source}", file=sys.stderr)
         return 2
-    # a queue directory may still be draining: a report over it is partial
-    outstanding = 0
-    if source.is_dir() and is_queue_dir(source):
-        for sub in ("pending", "leased"):
-            if (source / sub).is_dir():
-                outstanding += sum(1 for _ in (source / sub).glob("*.json"))
-    report = build_report(frame, y=args.y)
+    # a queue directory may still be draining: a report over it is partial,
+    # and the JSON document says so (``outstanding``), not just stderr
+    counts = queue_outstanding(source)
+    outstanding = sum(counts.values())
+    report = build_report(frame, y=args.y, outstanding=counts)
     if args.json_out == "-":
         from .analysis import report_json_text
 
@@ -533,6 +562,58 @@ def _cmd_report(args) -> int:
         print(f"WARNING: {outstanding} cell(s) still pending/leased in "
               f"{source} — this report is partial", file=sys.stderr)
     return 1 if (report.n_failed or outstanding) else 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .serve import FrameSource, ResultsServer
+
+    sources = []
+    taken = set()
+    for raw in args.sources:
+        name, sep, path_text = raw.partition("=")
+        if not sep:
+            name, path_text = "", raw
+        path = Path(path_text)
+        if not name:
+            name = path.name or str(path)
+        if name in taken:  # two results.json from different dirs, say
+            base, n = name, 2
+            while name in taken:
+                name, n = f"{base}-{n}", n + 1
+        taken.add(name)
+        sources.append(FrameSource(name, path, cache_dir=args.cache_dir))
+
+    log = None if args.quiet else (lambda msg: print(msg, flush=True))
+    server = ResultsServer(
+        sources, host=args.host, port=args.port,
+        reload_interval=args.reload_interval, log=log,
+    )
+    try:
+        server.start()  # loads every source up front: bad paths fail here
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # always printed (even --quiet): with --port 0 this line is the only
+    # place scripts can learn the assigned port
+    print(f"serving {len(sources)} frame(s) on {server.url}", flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+    if not args.quiet:
+        print("shut down cleanly", flush=True)
+    return 0
 
 
 def _cmd_queue(args) -> int:
@@ -705,6 +786,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "queue":

@@ -32,6 +32,11 @@ Coverage map (layer → benches):
   ``frame_join_baseline``, each in a ``_vectorized`` and a ``_rowloop``
   variant over the same 100k-row frame, so the vectorization win is
   re-measured (not just asserted) on every run.
+* **serve** — ``serve_query_throughput``: a real
+  :class:`~repro.serve.ResultsServer` on a loopback port answering
+  concurrent keep-alive ``POST /query`` (filter + aggregate) clients over
+  the same 100k-row frame — the many-readers workload the server exists
+  for.
 
 The paired ``*_rowloop`` / ``*_addat`` variants are intentionally the
 byte-equivalent reference implementations the fast paths are tested
@@ -430,3 +435,59 @@ def _bench_frame_join_baseline():
 def _bench_frame_join_baseline_rowloop():
     frame = make_result_frame()
     return lambda: frame._join_baseline_rows(("model", "dataset", "seed"))
+
+
+# --------------------------------------------------------------------------
+# serve (results server under concurrent load)
+# --------------------------------------------------------------------------
+
+#: the serve bench's client fan-out: threads × keep-alive requests each
+SERVE_CLIENT_THREADS = 4
+SERVE_REQUESTS_PER_THREAD = 25
+
+
+@benchmark("serve_query_throughput",
+           f"{SERVE_CLIENT_THREADS} client threads × "
+           f"{SERVE_REQUESTS_PER_THREAD} keep-alive POST /query requests "
+           f"(filter + aggregate) against a {FRAME_ROWS}-row frame")
+def _bench_serve_query_throughput():
+    import http.client
+    import json as _json
+    import threading
+
+    from ..serve import FrameSource, ResultsServer
+
+    server = ResultsServer(
+        [FrameSource.from_frame("bench", make_result_frame())]
+    )
+    server.start()
+    body = _json.dumps({
+        "filter": {
+            "strategy": "global_weight",
+            "compression": {"op": ">=", "value": 4.0},
+        },
+        "aggregate": {"by": ["strategy", "compression"], "values": ["top1"]},
+        "limit": 10,
+    }).encode()
+    headers = {"Content-Type": "application/json"}
+
+    def client() -> None:
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            for _ in range(SERVE_REQUESTS_PER_THREAD):
+                conn.request("POST", "/query", body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                assert response.status == 200, payload[:200]
+        finally:
+            conn.close()
+
+    def run() -> None:
+        threads = [threading.Thread(target=client)
+                   for _ in range(SERVE_CLIENT_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    return run, server.stop

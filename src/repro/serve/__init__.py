@@ -1,0 +1,16 @@
+"""Long-running results service over the analysis layer.
+
+``python -m repro serve <results.json|cache-dir|queue-dir>`` starts a
+stdlib-only HTTP server that loads each source once into a
+:class:`~repro.analysis.frame.ResultFrame` and answers JSON reads —
+the §6 report, tradeoff curves, Pareto frontiers, grouped summaries and
+arbitrary :mod:`repro.analysis.query` documents — to many concurrent
+clients, with content-addressed ``ETag``/``304`` caching and optional
+background reload of still-draining sweeps.  See
+:mod:`repro.serve.server` for the endpoint reference and consistency
+model.
+"""
+
+from .server import SERVE_SCHEMA_VERSION, FrameSource, ResultsServer
+
+__all__ = ["SERVE_SCHEMA_VERSION", "FrameSource", "ResultsServer"]

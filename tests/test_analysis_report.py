@@ -321,6 +321,34 @@ class TestQueueMaintenance:
         assert rc == 1
         assert "still pending/leased" in captured.err
         assert "this report is partial" in captured.err
+        # partial accounting is in the JSON document too, not only stderr
+        rc = main(["report", str(queue.root), "--json", "-"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        payload = json.loads(captured.out)
+        assert payload["outstanding"] == {"pending": 1, "leased": 0}
+
+    def test_outstanding_in_report_document(self):
+        from repro.analysis import queue_outstanding, report_to_json
+        from repro.experiment import PruningResult
+
+        frame = ResultFrame.from_results([PruningResult(
+            model="m", dataset="d", strategy="s", compression=2.0, seed=0,
+            top1=0.5, baseline_top1=0.6, dense_flops=1.0,
+            actual_compression=2.0, theoretical_speedup=1.5,
+        )])
+        report = build_report(frame, outstanding={"pending": 3, "leased": 1})
+        assert report.n_outstanding == 4
+        assert report_to_json(report)["outstanding"] == \
+            {"pending": 3, "leased": 1}
+        assert "PARTIAL: 3 pending + 1 leased" in render_report(report)
+        # finished sweeps carry explicit zeros and render no PARTIAL line
+        finished = build_report(frame)
+        assert finished.n_outstanding == 0
+        assert "PARTIAL" not in render_report(finished)
+        # the shared helper returns zeros for non-queue sources
+        assert queue_outstanding("/definitely/not/a/queue") == \
+            {"pending": 0, "leased": 0}
 
     def test_from_queue_surfaces_quarantine(self, quarantined_queue):
         frame = ResultFrame.from_queue(quarantined_queue.root)

@@ -126,6 +126,92 @@ class TestFilter:
                [r.to_dict() for r in legacy]
 
 
+class TestFilterOpSpecs:
+    """The serializable {"op", "value"} comparison form (the query
+    language's filter conditions — see repro.analysis.query)."""
+
+    @pytest.fixture
+    def frame(self):
+        return ResultFrame.from_results(make_rows())
+
+    def test_ordering_ops_match_predicates(self, frame):
+        for op, fn in (("<", lambda c: c < 2), ("<=", lambda c: c <= 2),
+                       (">", lambda c: c > 2), (">=", lambda c: c >= 2)):
+            spec = frame.filter(compression={"op": op, "value": 2})
+            ref = frame.filter(compression=fn)
+            assert spec.to_records() == ref.to_records(), op
+
+    def test_eq_ne_match_scalar_forms(self, frame):
+        assert frame.filter(strategy={"op": "==", "value": "random"}) \
+            .to_records() == frame.filter(strategy="random").to_records()
+        ne = frame.filter(strategy={"op": "!=", "value": "random"})
+        assert set(ne["strategy"]) == {"global_weight"}
+
+    def test_in_not_in_match_sequence_forms(self, frame):
+        spec = frame.filter(compression={"op": "in", "value": [2, 4]})
+        assert spec.to_records() == frame.filter(compression=[2, 4]).to_records()
+        out = frame.filter(compression={"op": "not-in", "value": [2, 4]})
+        assert set(out["compression"]) == {1.0}
+
+    def test_ordering_on_string_column(self, frame):
+        sub = frame.filter(strategy={"op": ">=", "value": "random"})
+        assert set(sub["strategy"]) == {"random"}
+
+    def test_op_specs_compose_with_other_forms(self, frame):
+        sub = frame.filter(strategy="global_weight",
+                           compression={"op": ">", "value": 1},
+                           seed=[0])
+        assert len(sub) == 2
+        assert set(sub["compression"]) == {2.0, 4.0}
+
+    def test_unknown_op_rejected(self, frame):
+        with pytest.raises(ValueError, match="unknown filter op"):
+            frame.filter(compression={"op": "~=", "value": 2})
+
+    def test_malformed_spec_rejected(self, frame):
+        with pytest.raises(ValueError, match="filter spec for column"):
+            frame.filter(compression={"op": ">="})
+        with pytest.raises(ValueError, match="filter spec for column"):
+            frame.filter(compression={"op": ">=", "value": 2, "extra": 1})
+
+    def test_membership_op_needs_sequence(self, frame):
+        with pytest.raises(ValueError, match="sequence"):
+            frame.filter(compression={"op": "in", "value": 2.0})
+
+    def test_incomparable_types_error_names_column(self, frame):
+        with pytest.raises(ValueError, match="strategy"):
+            frame.filter(strategy={"op": ">=", "value": 2.0})
+
+
+class TestLoadFrameErrors:
+    def test_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no results at"):
+            load_frame(tmp_path / "nope.json")
+
+    def test_non_json_file_names_path_and_expectation(self, tmp_path):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("definitely: not json\n")
+        with pytest.raises(ValueError, match="not a results file"):
+            load_frame(bogus)
+        with pytest.raises(ValueError, match="notes.txt"):
+            load_frame(bogus)
+
+    def test_wrong_json_shape_is_a_value_error(self, tmp_path):
+        bogus = tmp_path / "scalar.json"
+        bogus.write_text("42")
+        with pytest.raises(ValueError, match="not a results file"):
+            load_frame(bogus)
+
+    def test_empty_directory_names_all_three_layouts(self, tmp_path):
+        with pytest.raises(FileNotFoundError,
+                           match="results file, a result-cache"):
+            load_frame(tmp_path)
+
+    def test_valid_sources_still_load(self, tmp_path):
+        path = ResultFrame.from_results(make_rows()).save(tmp_path / "r.json")
+        assert len(load_frame(path)) == len(make_rows())
+
+
 class TestGroupAggregate:
     def test_group_by_sorted_and_first_appearance(self):
         frame = ResultFrame.from_records(
@@ -149,6 +235,19 @@ class TestGroupAggregate:
         agg = frame.aggregate(by="k", values=("v",), stats=("min", "max"))
         rec = agg.to_records()[0]
         assert rec["v_min"] == 1.0 and rec["v_max"] == 3.0
+
+    def test_aggregate_single_by_keeps_scalar_keys(self):
+        # regression: a one-name `by` used to emit tuple-valued key columns
+        frame = ResultFrame.from_results(make_rows())
+        agg = frame.aggregate(by="strategy", values=("top1",))
+        assert agg.unique("strategy") == ["global_weight", "random"]
+
+    def test_fingerprint_tracks_content_not_identity(self):
+        frame = ResultFrame.from_results(make_rows())
+        same = ResultFrame.from_results(make_rows())
+        assert frame.fingerprint() == same.fingerprint()
+        other = frame.filter(strategy="random")
+        assert frame.fingerprint() != other.fingerprint()
 
     def test_curve_matches_legacy_aggregate_curve(self):
         rows = make_rows()

@@ -9,11 +9,12 @@ Two modes, both used by CI (and runnable locally):
     (http/https/mailto) and pure anchors are skipped.  Exit 1 listing the
     broken links otherwise.
 
-``python tools/check_docs.py --extract-quickstart README.md``
-    Print the first fenced ``bash`` block to stdout, so CI can execute
-    the README quickstart *verbatim*::
+``python tools/check_docs.py --extract-quickstart README.md [--block N]``
+    Print the Nth fenced ``bash`` block (0-based, default 0 — the
+    quickstart) to stdout, so CI can execute README snippets *verbatim*::
 
         python tools/check_docs.py --extract-quickstart README.md | bash -e
+        python tools/check_docs.py --extract-quickstart README.md --block 1 | bash -e
 """
 
 from __future__ import annotations
@@ -62,12 +63,13 @@ def check_links(root: Path, files) -> int:
     return 1 if broken else 0
 
 
-def extract_quickstart(path: Path) -> int:
-    match = _FENCE.search(path.read_text(encoding="utf-8"))
-    if not match:
-        print(f"{path}: no ```bash block found", file=sys.stderr)
+def extract_quickstart(path: Path, block: int = 0) -> int:
+    matches = _FENCE.findall(path.read_text(encoding="utf-8"))
+    if block >= len(matches):
+        print(f"{path}: has {len(matches)} ```bash block(s), "
+              f"no index {block}", file=sys.stderr)
         return 1
-    sys.stdout.write(match.group(1).lstrip("\n"))
+    sys.stdout.write(matches[block].lstrip("\n"))
     return 0
 
 
@@ -77,13 +79,16 @@ def main(argv=None) -> int:
     mode.add_argument("--links", action="store_true",
                       help="check relative markdown links resolve")
     mode.add_argument("--extract-quickstart", metavar="MD",
-                      help="print the file's first ```bash block")
+                      help="print one of the file's ```bash blocks")
+    parser.add_argument("--block", type=int, default=0, metavar="N",
+                        help="which ```bash block to extract "
+                             "(0-based, default: the first)")
     parser.add_argument("files", nargs="*",
                         help="markdown files for --links (default: all)")
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
     if args.extract_quickstart:
-        return extract_quickstart(Path(args.extract_quickstart))
+        return extract_quickstart(Path(args.extract_quickstart), args.block)
     files = ([Path(f).resolve() for f in args.files] if args.files
              else list(iter_md_files(root)))
     return check_links(root, files)
