@@ -203,20 +203,25 @@ class ResultFrame:
         skipped, matching the cache's own hit rules.  Entry order is the
         sorted hash order, which is stable across machines.
         """
-        from ..experiment.cache import SCHEMA_VERSION
+        from ..experiment.cache import iter_cache_entries
 
-        rows: List[PruningResult] = []
-        for path in sorted(Path(root).glob("??/*.json")):
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
-            if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
-                continue
-            result = payload.get("result")
-            if isinstance(result, dict):
-                rows.append(PruningResult.from_dict(result))
-        return cls.from_results(rows)
+        return cls.from_results(
+            PruningResult.from_dict(result)
+            for _, result in iter_cache_entries(root)
+        )
+
+    @classmethod
+    def from_store(cls, root) -> "ResultFrame":
+        """Frame from a binary :class:`~repro.store.ColumnStore` directory.
+
+        Numeric segment columns are memory-mapped straight into frame
+        columns — no per-row JSON parsing — which is what makes
+        million-row sweeps loadable in well under a second (see
+        docs/FORMATS.md for the on-disk layout).
+        """
+        from ..store import ColumnStore
+
+        return ColumnStore(root).to_frame()
 
     @classmethod
     def from_queue(cls, root, cache_dir=None) -> "ResultFrame":
@@ -846,6 +851,9 @@ def load_frame(source, cache_dir=None) -> ResultFrame:
       (:meth:`ResultFrame.from_queue`; ``cache_dir`` overrides the default
       ``<queue-dir>/cache`` result store, mirroring ``--cache-dir`` on the
       run/worker CLI);
+    * a directory with a binary-store manifest
+      (:func:`repro.store.is_store_dir`) → columnar store
+      (:meth:`ResultFrame.from_store`);
     * any other directory → result-cache root (:meth:`ResultFrame.from_cache`).
 
     Sources that match none of the three layouts fail *here*, with the
@@ -872,6 +880,10 @@ def load_frame(source, cache_dir=None) -> ResultFrame:
         raise FileNotFoundError(f"no results at {path}")
     if is_queue_dir(path):
         return ResultFrame.from_queue(path, cache_dir=cache_dir)
+    from ..store import is_store_dir
+
+    if is_store_dir(path):
+        return ResultFrame.from_store(path)
     frame = ResultFrame.from_cache(path)
     if not len(frame):
         # an empty frame from a supposed cache dir means the directory is

@@ -187,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"compute-kernel backend for every cell (one of "
                           f"{KERNELS.available()}); overrides the config's "
                           "executor_options and REPRO_KERNEL_BACKEND")
+    run.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="after the run, mirror the result cache into this "
+                          "binary column store (idempotent; requires the "
+                          "cache, i.e. not --no-cache)")
 
     worker = _add_command(
         sub, "worker",
@@ -218,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compute-kernel backend for claimed cells "
                              "(default: the submitter's choice stored in "
                              "queue.json, else REPRO_KERNEL_BACKEND)")
+    worker.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="also publish finished rows to this binary "
+                             "column store (the JSON cache stays the "
+                             "canonical interchange copy)")
 
     report = _add_command(
         sub, "report",
@@ -226,7 +234,8 @@ def build_parser() -> argparse.ArgumentParser:
         "python -m repro report results.json --csv curves.csv --json report.json",
     )
     report.add_argument("source", help="results JSON file, result-cache "
-                        "directory, or work-queue directory")
+                        "directory, work-queue directory, or binary "
+                        "column-store directory")
     report.add_argument("--y", default="top1", choices=["top1", "top5"],
                         help="quality metric on the curves (default: top1)")
     report.add_argument("--csv", default=None, metavar="PATH",
@@ -254,9 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'{\"filter\": {\"strategy\": \"global_weight\"}}'",
     )
     serve.add_argument("sources", nargs="+", metavar="SOURCE",
-                       help="results JSON file, result-cache directory, or "
-                            "work-queue directory; repeatable (each becomes "
-                            "a named frame, NAME=PATH to name explicitly)")
+                       help="results JSON file, result-cache directory, "
+                            "work-queue directory, or binary column-store "
+                            "directory; repeatable (each becomes a named "
+                            "frame, NAME=PATH to name explicitly)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=_nonneg_int, default=8751,
@@ -369,6 +379,44 @@ def build_parser() -> argparse.ArgumentParser:
     for sp in (stats, gc, clear):
         sp.add_argument("--cache-dir", default=None,
                         help="result cache root (default: artifacts/results/cache)")
+
+    store = _add_command(
+        sub, "store",
+        "binary column-store maintenance (ingest JSON artifacts, stats, "
+        "compact)",
+        "python -m repro store ingest results.json sweep_store/",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    singest = store_sub.add_parser(
+        "ingest",
+        help="chunked merge of a results.json / result-cache dir / "
+             "work-queue dir into a store",
+    )
+    singest.add_argument("source", help="results JSON file, result-cache "
+                         "directory, or work-queue directory")
+    singest.add_argument("store_dir", help="column-store directory "
+                         "(created on first ingest)")
+    singest.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="queue-dir sources only: read rows from this "
+                              "shared result cache instead of "
+                              "<queue-dir>/cache")
+    singest.add_argument("--chunk-rows", type=_positive_int, default=65536,
+                         metavar="N",
+                         help="rows per sealed segment while streaming "
+                              "(default: 65536)")
+    singest.add_argument("--no-skip-existing", action="store_true",
+                         help="re-append rows whose spec hash is already "
+                              "stored (the new generation supersedes on "
+                              "read; compact makes it physical)")
+    sstats = store_sub.add_parser(
+        "stats", help="rows, segments, columns, size, fingerprint"
+    )
+    scompact = store_sub.add_parser(
+        "compact",
+        help="coalesce segments into one and drop superseded generations",
+    )
+    for sp in (sstats, scompact):
+        sp.add_argument("store_dir", help="column-store directory")
     return p
 
 
@@ -455,6 +503,11 @@ def _cmd_run(args) -> int:
             "shared result cache is how workers deliver rows back (clear "
             "<queue-dir>/cache instead to force re-execution)"
         )
+    if args.no_cache and args.store_dir is not None:
+        raise ValueError(
+            "--store-dir mirrors the result cache into the binary store, "
+            "so it cannot be combined with --no-cache"
+        )
 
     if args.no_cache:
         cache = None
@@ -493,6 +546,13 @@ def _cmd_run(args) -> int:
         specs, rows, config.strategies,
         replicate_baselines=config.dedupe_baselines,
     )
+
+    if args.store_dir is not None and cache is not None:
+        from .store import ColumnStore
+
+        stats = ColumnStore(args.store_dir).ingest(cache.root)
+        print(f"store {args.store_dir}: +{stats['rows_appended']} row(s), "
+              f"{stats['rows_skipped']} already stored")
 
     failed = [r for r in results if r.extra.get("failed")]
     if args.out:
@@ -664,7 +724,8 @@ def _cmd_worker(args) -> int:
     cache = ResultCache(args.cache_dir or Path(args.queue_dir) / "cache")
     progress = None if args.quiet else lambda msg: print(msg, flush=True)
     worker = QueueWorker(queue, cache, worker_id=args.worker_id, progress=progress,
-                         kernel_backend=args.kernel_backend)
+                         kernel_backend=args.kernel_backend,
+                         store=args.store_dir)
     if not args.quiet:
         counts = queue.counts()
         backend = f"; kernel backend: {worker.kernel_backend}" \
@@ -780,6 +841,60 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from .store import ColumnStore
+
+    store = ColumnStore(args.store_dir)
+    if args.store_command == "ingest":
+        source = Path(args.source)
+        from .analysis import is_queue_dir
+
+        if args.cache_dir is not None and not (
+            source.is_dir() and is_queue_dir(source)
+        ):
+            print("--cache-dir only applies when SOURCE is a work-queue "
+                  "directory", file=sys.stderr)
+            return 2
+        try:
+            stats = store.ingest(
+                source,
+                cache_dir=args.cache_dir,
+                chunk_rows=args.chunk_rows,
+                skip_existing=not args.no_skip_existing,
+            )
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"ingested {stats['source']} -> {store.root}")
+        print(f"rows appended  : {stats['rows_appended']}")
+        print(f"rows skipped   : {stats['rows_skipped']}")
+        print(f"segments added : {stats['segments_added']}")
+        print(f"store rows     : {store.rows()}")
+        return 0
+    try:
+        if args.store_command == "compact":
+            result = store.compact()
+            print(f"segments : {result['segments_before']} -> "
+                  f"{result['segments_after']}")
+            print(f"rows     : {result['rows_before']} -> "
+                  f"{result['rows_after']}")
+            print(f"swept    : {result['swept_dirs']} stray dir(s)")
+            return 0
+        stats = store.stats()
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"root        : {stats['root']}")
+    print(f"rows        : {stats['rows']}")
+    print(f"segments    : {stats['segments']} "
+          f"({stats['keyed_segments']} keyed)")
+    print(f"columns     : {', '.join(stats['columns'])}")
+    print(f"size        : {stats['size_bytes'] / 1024:.1f} KiB")
+    print(f"schema      : {stats['schema']}")
+    print(f"fingerprint : {stats['fingerprint']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -798,6 +913,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_expand(args)
     if args.command == "ls":
         return _cmd_ls(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return _cmd_cache(args)
 
 

@@ -40,16 +40,23 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 import time
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..utils import artifacts_dir, atomic_write_text
+from ..utils import (
+    artifacts_dir,
+    atomic_write_text,
+    canonical_json,
+    restore_nonfinite,
+    sanitize_nonfinite,
+)
 from .prune import ExperimentSpec
 from .results import PruningResult
 
-__all__ = ["spec_hash", "ResultCache"]
+__all__ = ["spec_hash", "ResultCache", "iter_cache_entries"]
 
 #: bump when PruningResult/ExperimentSpec semantics change incompatibly —
 #: old cache entries then miss instead of poisoning new runs (and are
@@ -65,12 +72,14 @@ def spec_hash(spec: ExperimentSpec) -> str:
     compression, seed, pretrain/finetune configs, pretrain seed) as
     canonical JSON and hashes it.  Two specs collide iff they describe the
     same experiment.
+
+    Raises ``TypeError`` for specs carrying non-JSON-native kwargs (tuples,
+    sets, arbitrary objects): hashing those through a stringification hook
+    would let distinct specs alias whenever their ``str()`` collides, which
+    silently corrupts the content address.  Kwargs must be JSON-native;
+    hash values for such specs are unchanged from earlier releases.
     """
-    blob = json.dumps(
-        {"schema": SCHEMA_VERSION, "spec": asdict(spec)},
-        sort_keys=True,
-        default=str,
-    )
+    blob = canonical_json({"schema": SCHEMA_VERSION, "spec": asdict(spec)})
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -110,10 +119,18 @@ class ResultCache:
         result = payload.get("result")
         if not isinstance(result, dict):
             return None
-        return PruningResult.from_dict(result)
+        return PruningResult.from_dict(restore_nonfinite(result))
 
     def put(self, spec: ExperimentSpec, result: PruningResult) -> Path:
-        """Persist one result row atomically; returns the entry path."""
+        """Persist one result row atomically; returns the entry path.
+
+        Entries are strict RFC JSON: non-finite metrics are written with the
+        sentinel convention from :mod:`repro.utils.jsonio` (documented in
+        docs/FORMATS.md) rather than the bare ``Infinity``/``NaN`` tokens of
+        Python's default dialect, so any strict parser — including the
+        binary store's ingester — can consume them.  ``get`` restores the
+        sentinels; entries written by older releases still parse.
+        """
         path = self.path_for(spec)
         payload = {
             "schema": SCHEMA_VERSION,
@@ -121,14 +138,29 @@ class ResultCache:
             "spec": asdict(spec),
             "result": result.to_dict(),
         }
-        atomic_write_text(path, json.dumps(payload, indent=1, default=float))
+        text = json.dumps(
+            sanitize_nonfinite(payload), indent=1, allow_nan=False, default=float
+        )
+        atomic_write_text(path, text)
         return path
 
     # -- maintenance -----------------------------------------------------
+    #: a valid entry is <2-hex-shard>/<16-hex-hash>.json with the shard
+    #: equal to the hash prefix — everything else (atomic-writer temp
+    #: files, stray subdirectories, hand-dropped junk) is not ours to
+    #: count or delete.
+    _ENTRY_NAME = re.compile(r"^[0-9a-f]{16}\.json$")
+
     def _entries(self) -> Iterator[Path]:
         if not self.root.exists():
             return
-        yield from self.root.glob("??/*.json")
+        for path in sorted(self.root.glob("??/*.json")):
+            name = path.name
+            if not self._ENTRY_NAME.match(name):
+                continue
+            if path.parent.name != name[:2]:
+                continue
+            yield path
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -227,3 +259,25 @@ class ResultCache:
             survivors = survivors[excess:]
         removed["kept"] = len(survivors)
         return removed
+
+
+def iter_cache_entries(root) -> Iterator[Tuple[str, Dict]]:
+    """Yield ``(key, result_row_dict)`` per readable current-schema entry.
+
+    The shared reader behind ``ResultFrame.from_cache`` and the binary
+    store's ingester: deterministic (sorted hash) order, torn/stale files
+    skipped, non-finite sentinels restored.  ``key`` is the 16-hex spec
+    hash (the entry's file stem).
+    """
+    cache = ResultCache(root)
+    for path in cache._entries():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # torn write or concurrent delete
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            continue
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            continue
+        yield path.stem, restore_nonfinite(result)

@@ -553,6 +553,7 @@ class QueueWorker:
         heartbeat_interval: Optional[float] = -1.0,
         progress: Optional[ProgressFn] = None,
         kernel_backend: Optional[str] = None,
+        store=None,
     ) -> None:
         self.queue = queue
         self.cache = cache
@@ -565,6 +566,14 @@ class QueueWorker:
         self.kernel_backend = (
             kernel_backend if kernel_backend is not None else queue.kernel_backend
         )
+        # optional binary ColumnStore (or path) mirroring every published
+        # row; the JSON cache stays the interchange format and is still
+        # written first — the store is a serving-side copy
+        if store is not None and not hasattr(store, "append_rows"):
+            from ..store import ColumnStore
+
+            store = ColumnStore(store)
+        self.store = store
 
     def _say(self, message: str) -> None:
         if self.progress:
@@ -597,10 +606,14 @@ class QueueWorker:
             with use_backend(self.kernel_backend):
                 row, baseline = _run_spec(spec)
             self.cache.put(spec, row)
+            published = [(spec, row)]
             if baseline is not None:
                 bspec = baseline_spec_for(spec)
                 if not self.cache.contains(bspec):
                     self.cache.put(bspec, baseline)
+                    published.append((bspec, baseline))
+            if self.store is not None:
+                self._publish_to_store(published)
             self.queue.complete(claim, elapsed=time.monotonic() - started)
             self._say(f"[{self.worker_id}] done {claim.hash}")
             return True
@@ -612,6 +625,23 @@ class QueueWorker:
             stop_beat.set()
             if beater is not None:
                 beater.join(timeout=1.0)
+
+    def _publish_to_store(self, published) -> None:
+        """Mirror freshly cached rows into the binary store, keyed by spec
+        hash so a re-run supersedes its old row.  Best-effort: the cache
+        write already succeeded, so a store hiccup (e.g. lock contention
+        with a compact) must not fail the cell — it is reported and the
+        row remains ingestable from the cache later."""
+        try:
+            self.store.append_rows(
+                [row for _, row in published],
+                keys=[spec_hash(spec) for spec, _ in published],
+            )
+        except Exception as exc:  # noqa: BLE001 - mirror is best-effort
+            self._say(
+                f"[{self.worker_id}] store publish failed ({exc}); rows "
+                "remain in the cache"
+            )
 
     def run(
         self,

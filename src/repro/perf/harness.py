@@ -54,6 +54,7 @@ import json
 import math
 import os
 import platform
+import re
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -107,11 +108,19 @@ def benchmark(name: str, description: str = ""):
     return decorator
 
 
+def _regex_search(pattern: str, name: str) -> bool:
+    try:
+        return re.search(pattern, name) is not None
+    except re.error:
+        return False
+
+
 def select_benchmarks(pattern: Optional[str] = None) -> List[Benchmark]:
     """Registered benchmarks whose name matches ``pattern``, sorted by name.
 
-    ``pattern`` is a shell glob (``frame_*``) or a plain substring
-    (``cache``); ``|`` separates alternatives, any of which may match
+    ``pattern`` is a shell glob (``frame_*``), a plain substring
+    (``cache``), or a regular expression searched anywhere in the name
+    (``store_.*``); ``|`` separates alternatives, any of which may match
     (``'kernel|conv|train_step'``); ``None`` selects everything.
     """
     names = BENCHMARKS.available()
@@ -119,7 +128,10 @@ def select_benchmarks(pattern: Optional[str] = None) -> List[Benchmark]:
         alternatives = [p for p in pattern.split("|") if p]
         names = [
             n for n in names
-            if any(fnmatch.fnmatchcase(n, p) or p in n for p in alternatives)
+            if any(
+                fnmatch.fnmatchcase(n, p) or p in n or _regex_search(p, n)
+                for p in alternatives
+            )
         ]
     return [BENCHMARKS.get(n) for n in names]
 

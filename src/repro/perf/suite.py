@@ -32,6 +32,13 @@ Coverage map (layer → benches):
   ``frame_join_baseline``, each in a ``_vectorized`` and a ``_rowloop``
   variant over the same 100k-row frame, so the vectorization win is
   re-measured (not just asserted) on every run.
+* **store** — ``store_ingest_1m`` / ``store_load_1m`` /
+  ``report_from_store_1m`` plus their ``*_json_twin`` references: the
+  binary column store's write, mmap-load and full-report paths against
+  the per-row JSON paths they replace, at ``REPRO_STORE_BENCH_ROWS``
+  rows (default one million — the only benches sized past the suite's
+  under-a-minute budget; push CI shrinks them via the env knob, the
+  nightly leg runs them at full scale).
 * **serve** — ``serve_query_throughput``: a real
   :class:`~repro.serve.ResultsServer` on a loopback port answering
   concurrent keep-alive ``POST /query`` (filter + aggregate) clients over
@@ -68,7 +75,7 @@ from ..optim import OPTIMIZERS
 from ..pruning import MaskRegistry, magnitude_scores, prunable_parameters
 from .harness import benchmark
 
-__all__ = ["make_result_frame"]
+__all__ = ["make_result_frame", "make_sweep_frame"]
 
 
 # --------------------------------------------------------------------------
@@ -435,6 +442,116 @@ def _bench_frame_join_baseline():
 def _bench_frame_join_baseline_rowloop():
     frame = make_result_frame()
     return lambda: frame._join_baseline_rows(("model", "dataset", "seed"))
+
+
+# --------------------------------------------------------------------------
+# store (binary column store at corpus scale)
+# --------------------------------------------------------------------------
+
+#: row count for the store benches — the corpus-scale target from ROADMAP
+#: item 2.  The default is a genuine million rows (the nightly CI leg and
+#: local acceptance runs use it); the push-CI smoke sets
+#: ``REPRO_STORE_BENCH_ROWS`` to a small value so the full suite stays
+#: under its time budget.
+STORE_BENCH_ROWS = int(os.environ.get("REPRO_STORE_BENCH_ROWS", "1000000"))
+
+
+def make_sweep_frame(rows: int = STORE_BENCH_ROWS, seed: int = 0) -> ResultFrame:
+    """A synthetic full-schema sweep frame (every PruningResult column), so
+    ``build_report`` runs unmodified over it — the store benches' workload."""
+    frame = make_result_frame(rows, seed)
+    rng = np.random.default_rng(seed + 1)
+    compression = frame.column("compression")
+    backends = np.array([{"kernel_backend": "fast"}, {"kernel_backend": "reference"}],
+                        dtype=object)
+    top1 = frame.column("top1")
+    return ResultFrame({
+        **{name: frame.column(name) for name in frame.columns},
+        "actual_compression": compression * rng.uniform(0.9, 1.1, rows),
+        "theoretical_speedup": compression * rng.uniform(0.5, 0.9, rows),
+        "total_params": np.full(rows, 266_610, dtype=np.int64),
+        "nonzero_params": (266_610 / compression).astype(np.int64),
+        "dense_flops": np.full(rows, 5.3e5),
+        "effective_flops": 5.3e5 / compression,
+        "baseline_top1": np.clip(top1 + rng.uniform(0.0, 0.1, rows), 0, 1),
+        "baseline_top5": rng.random(rows),
+        "pre_finetune_top1": rng.random(rows),
+        "pre_finetune_top5": rng.random(rows),
+        "pretrained_key": np.array(["bench"] * rows, dtype=object),
+        "finetune_epochs_ran": rng.integers(0, 30, rows).astype(np.int64),
+        "extra": backends[rng.integers(0, 2, rows)],
+    }).derived()
+
+
+def _store_workdir():
+    """(tmpdir, results.json path, sealed store dir) for the store benches:
+    the same ``STORE_BENCH_ROWS`` rows as both a JSON artifact and a
+    compacted single-segment store — the two sides of the 10x claim."""
+    from ..store import ColumnStore
+
+    tmp = tempfile.TemporaryDirectory()
+    frame = make_sweep_frame()
+    json_path = os.path.join(tmp.name, "results.json")
+    frame.save(json_path)
+    store = ColumnStore(os.path.join(tmp.name, "store"))
+    store.ingest(json_path, chunk_rows=262_144)
+    store.compact()
+    return tmp, json_path, store
+
+
+@benchmark("store_ingest_1m",
+           f"repro store ingest of a {STORE_BENCH_ROWS}-row results.json "
+           "(streaming parse + chunked segment writes)")
+def _bench_store_ingest():
+    from ..store import ColumnStore
+
+    tmp = tempfile.TemporaryDirectory()
+    frame = make_sweep_frame()
+    json_path = os.path.join(tmp.name, "results.json")
+    frame.save(json_path)
+    counter = iter(range(10**9))
+
+    def ingest():
+        store = ColumnStore(os.path.join(tmp.name, f"store-{next(counter)}"))
+        store.ingest(json_path, chunk_rows=262_144)
+
+    return ingest, tmp.cleanup
+
+
+@benchmark("store_load_1m",
+           f"ColumnStore.to_frame at {STORE_BENCH_ROWS} rows "
+           "(mmap columns, no per-row parsing)")
+def _bench_store_load():
+    tmp, _, store = _store_workdir()
+    return store.to_frame, tmp.cleanup
+
+
+@benchmark("store_load_1m_json_twin",
+           f"ResultFrame.from_json over the same {STORE_BENCH_ROWS} rows "
+           "(the per-row JSON path the store replaces)")
+def _bench_store_load_json_twin():
+    tmp, json_path, _ = _store_workdir()
+    return (lambda: ResultFrame.from_json(json_path)), tmp.cleanup
+
+
+@benchmark("report_from_store_1m",
+           f"load_frame(store) + build_report at {STORE_BENCH_ROWS} rows "
+           "(the full `repro report <store-dir>` pipeline)")
+def _bench_report_from_store():
+    from ..analysis import build_report, load_frame
+
+    tmp, _, store = _store_workdir()
+    return (lambda: build_report(load_frame(store.root))), tmp.cleanup
+
+
+@benchmark("report_from_store_1m_json_twin",
+           f"load_frame(results.json) + build_report at {STORE_BENCH_ROWS} "
+           "rows (the JSON-cache-path twin of report_from_store_1m)")
+def _bench_report_from_json_twin():
+    from ..analysis import build_report, load_frame
+
+    tmp, json_path, _ = _store_workdir()
+    return (lambda: build_report(load_frame(json_path))), tmp.cleanup
 
 
 # --------------------------------------------------------------------------

@@ -100,12 +100,16 @@ class Snapshot:
         frame: ResultFrame,
         generation: int,
         outstanding: Optional[Dict[str, int]] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.frame = frame
         self.generation = generation
         self.outstanding = {"pending": 0, "leased": 0}
         self.outstanding.update(outstanding or {})
-        self.fingerprint = frame.fingerprint()
+        # binary-store sources pass the manifest fingerprint: same
+        # changes-iff-data-changed contract, without re-hashing a
+        # million-row frame on every reload
+        self.fingerprint = fingerprint if fingerprint else frame.fingerprint()
         self._lock = threading.Lock()
         self._prepared: Optional[ResultFrame] = None
         self._reports: Dict[str, str] = {}
@@ -168,12 +172,16 @@ class FrameSource:
 
     @property
     def kind(self) -> str:
+        from ..store import is_store_dir
+
         if self.path is None:
             return "memory"
         if self.path.is_file():
             return "results"
         if self.path.is_dir() and is_queue_dir(self.path):
             return "queue"
+        if self.path.is_dir() and is_store_dir(self.path):
+            return "store"
         return "cache"
 
     # -- change detection ------------------------------------------------
@@ -199,6 +207,13 @@ class FrameSource:
         if self.path.is_file():
             stat(self.path)
             return tuple(entries)
+        from ..store import is_store_dir
+
+        if self.path.is_dir() and is_store_dir(self.path):
+            # the manifest is rewritten atomically on every append/compact,
+            # so its (mtime, size) alone is the store's change token
+            stat(self.path / "manifest.json")
+            return tuple(entries)
         cache_root = self.path
         if self.path.is_dir() and is_queue_dir(self.path):
             for sub in ("pending", "leased", "done", "failed"):
@@ -223,14 +238,21 @@ class FrameSource:
             # capture the signature BEFORE reading: a write landing during
             # the load re-triggers on the next poll instead of being missed
             signature = self._signature()
+            fingerprint = None
             if self.path is None:
                 frame = self._memory_frame
                 outstanding = {"pending": 0, "leased": 0}
             else:
                 frame = load_frame(self.path, cache_dir=self.cache_dir)
                 outstanding = queue_outstanding(self.path)
+                if self.kind == "store":
+                    from ..store import ColumnStore
+
+                    fingerprint = ColumnStore(self.path).fingerprint()
             self._generation += 1
-            snapshot = Snapshot(frame, self._generation, outstanding)
+            snapshot = Snapshot(
+                frame, self._generation, outstanding, fingerprint=fingerprint
+            )
             self._signature_loaded = signature
             self._snapshot = snapshot  # atomic ref swap: readers never block
             return snapshot

@@ -1,0 +1,628 @@
+"""The :class:`ColumnStore` implementation (see package docstring).
+
+On-disk layout
+--------------
+::
+
+    <store>/
+      manifest.json               atomic: the store IS this file's contents
+      .lock                       writer mutex (O_EXCL create; advisory)
+      segments/
+        seg-00000003-9aa0c3f1/    seal order + first 8 hex of fingerprint
+          top1.npy                float64/int64 columns: raw npy, mmap-read
+          strategy.codes.npy      object columns: int32 codes into ...
+          strategy.values.json    ... a deduplicated strict-JSON value pool
+          keys.npy                optional <U16 spec hashes (row identity)
+        .tmp-<pid>-<seq>/         in-flight write; never read, swept by compact
+
+Writers serialize on ``.lock`` and seal a segment with ``rename`` before
+rewriting the manifest (atomic temp + ``os.replace``), so readers — which
+take no lock — either see the old manifest or the new one, never a torn
+segment: a crash mid-append leaves an unreferenced directory that
+``compact`` sweeps.  Readers trust only the manifest; anything on disk it
+does not name does not exist.
+
+Row identity and supersession: a segment written with ``keys`` (spec
+hashes) is *keyed*.  When every segment is keyed, ``to_frame()``
+deduplicates by key with the last-sealed occurrence winning — re-running a
+cell supersedes its old row exactly like a cache overwrite — and
+``compact`` makes the supersession physical by rewriting the survivors as
+one segment and deleting the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.frame import ResultFrame, is_queue_dir
+from ..utils import (
+    atomic_write_text,
+    canonical_json,
+    restore_nonfinite,
+    sanitize_nonfinite,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ColumnStore",
+    "StoreError",
+    "StoreLockTimeout",
+    "is_store_dir",
+]
+
+#: bump when the manifest/segment layout changes incompatibly; readers
+#: refuse (loudly — a store is one artifact, not a cache of many) rather
+#: than skip, because silently dropping segments would corrupt reports.
+STORE_SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_SEGMENTS = "segments"
+_NUMERIC_KINDS = ("int64", "float64")
+
+
+class StoreError(RuntimeError):
+    """A store directory violates the documented layout/schema."""
+
+
+class StoreLockTimeout(StoreError, TimeoutError):
+    """Could not acquire the writer lock within the timeout."""
+
+
+def is_store_dir(path) -> bool:
+    """True when ``path`` has the binary-store layout (a manifest file).
+
+    The single definition of "looks like a store", mirrored on
+    :func:`repro.analysis.frame.is_queue_dir` — shared by ``load_frame``'s
+    sniffing, the results server and the CLI guards.
+    """
+    return (Path(path) / _MANIFEST).is_file()
+
+
+def _column_file_names(name: str, kind: str) -> List[str]:
+    if kind in _NUMERIC_KINDS:
+        return [f"{name}.npy"]
+    return [f"{name}.codes.npy", f"{name}.values.json"]
+
+
+def _check_column_name(name: str) -> str:
+    # column names become file names; the cache/frame vocabulary is
+    # [a-z0-9_] and "keys" is reserved for the identity file
+    if not name or not name.replace("_", "a").isalnum() or name == "keys":
+        raise StoreError(f"column name {name!r} is not storable")
+    return name
+
+
+def _encode_object_column(arr: np.ndarray) -> Tuple[np.ndarray, List[Any]]:
+    """Dictionary-encode an object column: int32 codes + strict-JSON pool."""
+    codes = np.empty(len(arr), dtype=np.int32)
+    pool: List[Any] = []
+    index: Dict[Any, int] = {}
+    for i, value in enumerate(arr):
+        safe = sanitize_nonfinite(value)
+        if isinstance(safe, str):
+            key: Any = ("s", safe)
+        else:
+            key = ("j", json.dumps(safe, sort_keys=True, default=str))
+        code = index.get(key)
+        if code is None:
+            code = len(pool)
+            index[key] = code
+            pool.append(safe)
+        codes[i] = code
+    return codes, pool
+
+
+def _decode_object_column(codes: np.ndarray, pool: List[Any]) -> np.ndarray:
+    values = np.empty(len(pool), dtype=object)
+    values[:] = [restore_nonfinite(v) for v in pool]
+    return values[np.asarray(codes)]
+
+
+def _to_object(arr: np.ndarray) -> np.ndarray:
+    out = np.empty(len(arr), dtype=object)
+    out[:] = arr.tolist()
+    return out
+
+
+class ColumnStore:
+    """Append-only columnar result store (layout in the module docstring).
+
+    Usage::
+
+        store = ColumnStore("artifacts/store")
+        store.ingest(cache_dir)          # chunked merge from JSON artifacts
+        frame = store.to_frame()         # mmap-backed ResultFrame
+        store.compact()                  # coalesce segments, drop superseded
+    """
+
+    #: a writer lock older than this is presumed crashed and is broken
+    LOCK_STALE_SECONDS = 300.0
+
+    def __init__(self, root, lock_timeout: float = 30.0) -> None:
+        self.root = Path(root)
+        self.lock_timeout = float(lock_timeout)
+
+    # -- paths / manifest -------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / _SEGMENTS
+
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable store manifest {self.manifest_path}: {exc}")
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("segments"), list
+        ):
+            raise StoreError(f"{self.manifest_path} is not a store manifest")
+        if manifest.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"store {self.root} has schema {manifest.get('schema')!r}, "
+                f"this build reads {STORE_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    def _require_manifest(self) -> Dict[str, Any]:
+        manifest = self._read_manifest()
+        if manifest is None:
+            raise FileNotFoundError(f"no store at {self.root} (missing {_MANIFEST})")
+        return manifest
+
+    def _empty_manifest(self) -> Dict[str, Any]:
+        return {
+            "schema": STORE_SCHEMA_VERSION,
+            "fingerprint": "",
+            "rows": 0,
+            "columns": [],
+            "segments": [],
+        }
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        manifest["rows"] = sum(s["rows"] for s in manifest["segments"])
+        manifest["fingerprint"] = hashlib.sha256(
+            canonical_json(
+                {
+                    "schema": manifest["schema"],
+                    "columns": manifest["columns"],
+                    "segments": [
+                        [s["name"], s["rows"], s["fingerprint"]]
+                        for s in manifest["segments"]
+                    ],
+                }
+            ).encode()
+        ).hexdigest()
+        atomic_write_text(
+            self.manifest_path, json.dumps(manifest, indent=1, allow_nan=False)
+        )
+
+    def fingerprint(self) -> str:
+        """The manifest fingerprint: changes iff the stored rows change."""
+        return self._require_manifest()["fingerprint"]
+
+    def rows(self) -> int:
+        return self._require_manifest()["rows"]
+
+    # -- writer lock ------------------------------------------------------
+    def _lock_path(self) -> Path:
+        return self.root / ".lock"
+
+    def _acquire_lock(self) -> None:
+        lock = self._lock_path()
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, f"{os.getpid()}\n".encode())
+                os.close(fd)
+                return
+            except FileExistsError:
+                pass
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                continue  # holder just released; retry immediately
+            if age > self.LOCK_STALE_SECONDS:
+                lock.unlink(missing_ok=True)  # crashed writer; break the lock
+                continue
+            if time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"store {self.root} writer lock held for {age:.0f}s "
+                    f"(waited {self.lock_timeout:.0f}s); remove {lock} if the "
+                    "holder is dead"
+                )
+            time.sleep(0.05)
+
+    def _release_lock(self) -> None:
+        self._lock_path().unlink(missing_ok=True)
+
+    # -- append -----------------------------------------------------------
+    def append_frame(
+        self, frame: ResultFrame, keys: Optional[Sequence[str]] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Seal ``frame``'s rows as one new segment; returns its manifest
+        entry (None for an empty frame).
+
+        ``keys`` (one spec hash per row) makes the segment *keyed* — see
+        the module docstring for the supersession semantics.  Column values
+        must be JSON-native; appends are serialized on the writer lock and
+        the manifest is rewritten only after the segment is sealed, so a
+        crash can never publish a torn segment.
+        """
+        if keys is not None and len(keys) != len(frame):
+            raise ValueError(
+                f"got {len(keys)} keys for {len(frame)} rows"
+            )
+        if not len(frame):
+            return None
+        columns = {name: frame[name] for name in frame.columns}
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        try:
+            manifest = self._read_manifest() or self._empty_manifest()
+            entry = self._seal_segment(manifest, columns, keys)
+            manifest["segments"].append(entry)
+            for name in columns:
+                if name not in manifest["columns"]:
+                    manifest["columns"].append(name)
+            self._write_manifest(manifest)
+        finally:
+            self._release_lock()
+        return entry
+
+    def append_rows(
+        self, rows: Iterable[Any], keys: Optional[Sequence[str]] = None
+    ) -> Optional[Dict[str, Any]]:
+        """``append_frame`` over result rows (:class:`PruningResult` or
+        plain record dicts)."""
+        rows = list(rows)
+        if rows and hasattr(rows[0], "to_dict"):
+            frame = ResultFrame.from_results(rows)
+        else:
+            frame = ResultFrame.from_records(rows)
+        return self.append_frame(frame, keys=keys)
+
+    def _next_seq(self, manifest: Dict[str, Any]) -> int:
+        seqs = [0]
+        for entry in manifest["segments"]:
+            try:
+                seqs.append(int(entry["name"].split("-")[1]) + 1)
+            except (IndexError, ValueError):
+                pass
+        if self.segments_dir.is_dir():
+            # also step past unreferenced (crashed/stray) directories so a
+            # recovered writer can never collide with one
+            for path in self.segments_dir.glob("seg-*"):
+                try:
+                    seqs.append(int(path.name.split("-")[1]) + 1)
+                except (IndexError, ValueError):
+                    pass
+        return max(seqs)
+
+    def _seal_segment(
+        self,
+        manifest: Dict[str, Any],
+        columns: Dict[str, np.ndarray],
+        keys: Optional[Sequence[str]],
+    ) -> Dict[str, Any]:
+        seq = self._next_seq(manifest)
+        tmp = self.segments_dir / f".tmp-{os.getpid()}-{seq}"
+        tmp.mkdir(parents=True)
+        col_kinds: Dict[str, str] = {}
+        for name, arr in columns.items():
+            _check_column_name(name)
+            col_kinds[name] = self._write_column(tmp, name, arr)
+        if keys is not None:
+            np.save(tmp / "keys.npy", np.asarray(list(keys), dtype=np.str_))
+        fingerprint = self._fingerprint_segment(tmp)
+        name = f"seg-{seq:08d}-{fingerprint[:8]}"
+        tmp.rename(self.segments_dir / name)
+        n_rows = len(next(iter(columns.values()))) if columns else 0
+        return {
+            "name": name,
+            "rows": n_rows,
+            "keyed": keys is not None,
+            "fingerprint": fingerprint,
+            "columns": col_kinds,
+        }
+
+    @staticmethod
+    def _write_column(seg_dir: Path, name: str, arr: np.ndarray) -> str:
+        kind = arr.dtype.kind
+        if kind in "iu":
+            np.save(seg_dir / f"{name}.npy", np.ascontiguousarray(arr, np.int64))
+            return "int64"
+        if kind == "f":
+            np.save(seg_dir / f"{name}.npy", np.ascontiguousarray(arr, np.float64))
+            return "float64"
+        codes, pool = _encode_object_column(np.asarray(arr, dtype=object))
+        np.save(seg_dir / f"{name}.codes.npy", codes)
+        (seg_dir / f"{name}.values.json").write_text(
+            json.dumps(pool, allow_nan=False, default=str)
+        )
+        return "object"
+
+    @staticmethod
+    def _fingerprint_segment(seg_dir: Path) -> str:
+        digest = hashlib.sha256()
+        for path in sorted(seg_dir.iterdir()):
+            data = path.read_bytes()
+            digest.update(f"{path.name}:{len(data)}:".encode())
+            digest.update(data)
+        return digest.hexdigest()
+
+    # -- read -------------------------------------------------------------
+    def _load_segment(self, entry: Dict[str, Any]) -> Dict[str, np.ndarray]:
+        seg_dir = self.segments_dir / entry["name"]
+        out: Dict[str, np.ndarray] = {}
+        for name, kind in entry["columns"].items():
+            if kind in _NUMERIC_KINDS:
+                out[name] = np.load(seg_dir / f"{name}.npy", mmap_mode="r")
+            elif kind == "object":
+                codes = np.load(seg_dir / f"{name}.codes.npy")
+                pool = json.loads((seg_dir / f"{name}.values.json").read_text())
+                out[name] = _decode_object_column(codes, pool)
+            else:
+                raise StoreError(
+                    f"segment {entry['name']} column {name!r} has unknown "
+                    f"kind {kind!r}"
+                )
+        return out
+
+    def _segment_keys(self, entry: Dict[str, Any]) -> np.ndarray:
+        return np.load(self.segments_dir / entry["name"] / "keys.npy")
+
+    def to_frame(self) -> ResultFrame:
+        """Everything in the store as one :class:`ResultFrame`.
+
+        Numeric columns of a single-segment store stay memory-mapped
+        (zero-copy); multi-segment stores concatenate.  When every segment
+        is keyed, rows are deduplicated by key — last sealed wins — so a
+        re-ingested/re-run cell supersedes its old row without a compact.
+        """
+        frame, _ = self._load_frame()
+        return frame
+
+    def keys(self) -> set:
+        """Spec hashes present in keyed segments (for idempotent ingest)."""
+        out: set = set()
+        for entry in self._require_manifest()["segments"]:
+            if entry.get("keyed"):
+                out.update(self._segment_keys(entry).tolist())
+        return out
+
+    def _load_frame(self) -> Tuple[ResultFrame, Optional[np.ndarray]]:
+        manifest = self._require_manifest()
+        segments = manifest["segments"]
+        names = list(manifest["columns"])
+        if not segments:
+            return ResultFrame.from_records([], columns=names), None
+        loaded = [self._load_segment(entry) for entry in segments]
+        columns: Dict[str, np.ndarray] = {}
+        for name in names:
+            kinds = [entry["columns"].get(name) for entry in segments]
+            if "object" in kinds:
+                target = "object"
+            elif "float64" in kinds or None in kinds:
+                target = "float64"  # missing segments fill with NaN
+            else:
+                target = "int64"
+            parts: List[np.ndarray] = []
+            for entry, cols in zip(segments, loaded):
+                if name in cols:
+                    parts.append(self._cast(cols[name], target))
+                elif target == "object":
+                    parts.append(np.empty(entry["rows"], dtype=object))
+                else:
+                    parts.append(np.full(entry["rows"], np.nan, dtype=np.float64))
+            columns[name] = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        keys: Optional[np.ndarray] = None
+        if all(entry.get("keyed") for entry in segments):
+            parts = [self._segment_keys(entry) for entry in segments]
+            keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            keep = self._last_occurrence(keys)
+            if keep is not None:
+                keys = keys[keep]
+                columns = {name: arr[keep] for name, arr in columns.items()}
+        return ResultFrame(columns), keys
+
+    @staticmethod
+    def _cast(arr: np.ndarray, target: str) -> np.ndarray:
+        if target == "object" and arr.dtype.kind != "O":
+            return _to_object(arr)
+        if target == "float64" and arr.dtype.kind in "iu":
+            return arr.astype(np.float64)
+        return arr
+
+    @staticmethod
+    def _last_occurrence(keys: np.ndarray) -> Optional[np.ndarray]:
+        """Row indices keeping the last occurrence of each key, in original
+        order — or None when all keys are already unique."""
+        reversed_first = np.unique(keys[::-1], return_index=True)[1]
+        if len(reversed_first) == len(keys):
+            return None
+        return np.sort(len(keys) - 1 - reversed_first)
+
+    # -- ingest -----------------------------------------------------------
+    def ingest(
+        self,
+        source,
+        cache_dir=None,
+        chunk_rows: int = 65536,
+        skip_existing: bool = True,
+    ) -> Dict[str, Any]:
+        """Chunked/streaming merge of a JSON artifact into the store.
+
+        ``source`` is sniffed exactly like ``load_frame``: a
+        ``results.json`` file, a result-cache directory, or a work-queue
+        directory (done cells from its cache — ``cache_dir`` mirrors the
+        CLI override — plus quarantined placeholder rows).  Cache and queue
+        rows are keyed by spec hash, so with ``skip_existing`` (default)
+        re-ingest is idempotent and without it re-runs supersede old rows;
+        ``results.json`` rows carry no identity and always append.  Rows
+        stream in ``chunk_rows`` batches — a million-row cache never
+        materializes in memory.  Returns ``{"rows_appended",
+        "rows_skipped", "segments_added", "source"}``.
+        """
+        source = Path(source)
+        stats = {
+            "rows_appended": 0,
+            "rows_skipped": 0,
+            "segments_added": 0,
+            "source": str(source),
+        }
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+
+        def flush_frame(frame: ResultFrame, keys: Optional[List[str]]) -> None:
+            entry = self.append_frame(frame, keys=keys)
+            if entry is not None:
+                stats["rows_appended"] += entry["rows"]
+                stats["segments_added"] += 1
+
+        if source.is_file():
+            frame = ResultFrame.from_json(source)
+            for start in range(0, len(frame), chunk_rows):
+                idx = np.arange(start, min(start + chunk_rows, len(frame)))
+                flush_frame(frame.take(idx), None)
+            return stats
+        if not source.is_dir():
+            raise FileNotFoundError(f"nothing to ingest at {source}")
+
+        existing = self.keys() if skip_existing and self.exists() else set()
+        rows: List[Any] = []
+        keys: List[str] = []
+
+        def flush_rows() -> None:
+            if rows:
+                flush_frame(ResultFrame.from_results(rows), list(keys))
+                rows.clear()
+                keys.clear()
+
+        for key, row in self._iter_source_rows(source, cache_dir):
+            if key in existing:
+                stats["rows_skipped"] += 1
+                continue
+            rows.append(row)
+            keys.append(key)
+            if len(rows) >= chunk_rows:
+                flush_rows()
+        flush_rows()
+        return stats
+
+    @staticmethod
+    def _iter_source_rows(source: Path, cache_dir) -> Iterator[Tuple[str, Any]]:
+        """(spec-hash, PruningResult) rows of a cache or queue directory, in
+        the exact order ``from_cache``/``from_queue`` assemble them."""
+        from ..experiment.cache import iter_cache_entries
+        from ..experiment.prune import ExperimentSpec
+        from ..experiment.queue import QueueExecutor
+        from ..experiment.results import PruningResult
+
+        queue = is_queue_dir(source)
+        entries_root = (cache_dir or source / "cache") if queue else source
+        for key, result in iter_cache_entries(entries_root):
+            yield key, PruningResult.from_dict(result)
+        if not queue:
+            return
+        for path in sorted((source / "failed").glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict) or "spec" not in payload:
+                continue
+            spec = ExperimentSpec.from_dict(payload["spec"])
+            yield path.stem, QueueExecutor._quarantine_row(spec, payload)
+
+    # -- maintenance ------------------------------------------------------
+    def compact(self) -> Dict[str, Any]:
+        """Rewrite the store as one sealed segment and sweep everything else.
+
+        Coalesces small segments (a queue worker publishing row-at-a-time
+        produces many), makes key-supersession physical (superseded
+        generations are dropped, not just masked at read time), and removes
+        unreferenced segment directories left by crashed writers.  Readers
+        racing a compact are safe: the manifest swap is atomic and old
+        segment directories are deleted only after the new manifest is
+        down.  Returns before/after segment and row counts.
+        """
+        self._require_manifest()  # compacting a non-store is a caller bug
+        self._acquire_lock()
+        try:
+            manifest = self._require_manifest()  # re-read under the lock
+            before_segments = len(manifest["segments"])
+            before_rows = manifest["rows"]
+            frame, keys = self._load_frame()
+            manifest["segments"] = []
+            if len(frame):
+                columns = {name: frame[name] for name in frame.columns}
+                entry = self._seal_segment(
+                    manifest, columns, None if keys is None else keys.tolist()
+                )
+                manifest["segments"] = [entry]
+            self._write_manifest(manifest)
+            swept = self._sweep_unreferenced(manifest)
+        finally:
+            self._release_lock()
+        return {
+            "segments_before": before_segments,
+            "segments_after": len(manifest["segments"]),
+            "rows_before": before_rows,
+            "rows_after": manifest["rows"],
+            "swept_dirs": swept,
+        }
+
+    def _sweep_unreferenced(self, manifest: Dict[str, Any]) -> int:
+        live = {entry["name"] for entry in manifest["segments"]}
+        swept = 0
+        if not self.segments_dir.is_dir():
+            return swept
+        for path in self.segments_dir.iterdir():
+            if path.name in live or not path.is_dir():
+                continue
+            for child in path.iterdir():
+                child.unlink()
+            path.rmdir()
+            swept += 1
+        return swept
+
+    def stats(self) -> Dict[str, Any]:
+        """Store statistics (for ``python -m repro store stats``)."""
+        manifest = self._require_manifest()
+        size_bytes = 0
+        for entry in manifest["segments"]:
+            seg_dir = self.segments_dir / entry["name"]
+            for path in seg_dir.iterdir():
+                try:
+                    size_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "schema": manifest["schema"],
+            "fingerprint": manifest["fingerprint"],
+            "rows": manifest["rows"],
+            "columns": list(manifest["columns"]),
+            "segments": len(manifest["segments"]),
+            "keyed_segments": sum(
+                1 for entry in manifest["segments"] if entry.get("keyed")
+            ),
+            "size_bytes": size_bytes,
+        }

@@ -1,7 +1,13 @@
-"""Shared utilities: BLAS thread control, artifact cache paths."""
+"""Shared utilities: BLAS thread control, artifact cache paths, strict JSON."""
 
 from .threads import configure_blas_threads_from_env, set_blas_threads
 from .cache import artifacts_dir, atomic_write_text, atomic_writer
+from .jsonio import (
+    NONFINITE_KEY,
+    canonical_json,
+    restore_nonfinite,
+    sanitize_nonfinite,
+)
 
 __all__ = [
     "configure_blas_threads_from_env",
@@ -9,4 +15,8 @@ __all__ = [
     "artifacts_dir",
     "atomic_writer",
     "atomic_write_text",
+    "NONFINITE_KEY",
+    "canonical_json",
+    "restore_nonfinite",
+    "sanitize_nonfinite",
 ]

@@ -1,0 +1,124 @@
+"""Strict JSON helpers: non-finite sentinels and canonical hashing blobs.
+
+Two distinct problems share this module because both are about keeping the
+toolkit's JSON honest:
+
+* **Non-finite floats.**  Result rows legitimately contain ``inf`` / ``nan``
+  (``actual_compression`` is ``inf`` for an all-pruned mask).  Python's
+  default JSON dialect writes them as bare ``Infinity`` / ``NaN`` tokens,
+  which strict RFC 8259 consumers — including the binary store's segment
+  readers — reject.  :func:`sanitize_nonfinite` replaces them with an
+  explicit object sentinel (``{"__nonfinite__": "inf" | "-inf" | "nan"}``)
+  and :func:`restore_nonfinite` turns the sentinel back into a float.  The
+  convention is documented in docs/FORMATS.md; the sentinel key is reserved
+  and must not appear as a literal mapping in stored payloads.
+
+* **Hashing.**  :func:`canonical_json` is the serializer behind
+  ``spec_hash``: it refuses (``TypeError``) anything that is not JSON-native
+  (tuples, sets, arbitrary objects, non-finite floats, non-string dict
+  keys), naming the offending path.  Hashing through ``default=str`` would
+  silently alias distinct specs whose stringifications collide; failing
+  fast keeps the content address trustworthy.  For JSON-native input the
+  output string is byte-identical to ``json.dumps(obj, sort_keys=True)``,
+  so existing cache keys are unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "NONFINITE_KEY",
+    "sanitize_nonfinite",
+    "restore_nonfinite",
+    "canonical_json",
+]
+
+#: reserved sentinel key for non-finite floats in strict-JSON payloads.
+NONFINITE_KEY = "__nonfinite__"
+
+_TO_TOKEN = {math.inf: "inf", -math.inf: "-inf"}
+_FROM_TOKEN = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _float_sentinel(value: float):
+    if value != value:  # nan
+        return {NONFINITE_KEY: "nan"}
+    token = _TO_TOKEN.get(value)
+    return {NONFINITE_KEY: token} if token is not None else float(value)
+
+
+def sanitize_nonfinite(obj: Any) -> Any:
+    """A JSON-safe copy of ``obj`` with non-finite floats as sentinels.
+
+    Recurses through dicts/lists/tuples (tuples become lists, matching
+    ``json.dumps``); numpy scalars collapse to their Python equivalents.
+    Unknown leaf types pass through untouched for the caller's ``default``
+    hook to handle.
+    """
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        return obj
+    if isinstance(obj, float):
+        return _float_sentinel(obj)
+    if isinstance(obj, np.floating):
+        return _float_sentinel(float(obj))
+    if isinstance(obj, (np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {key: sanitize_nonfinite(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_nonfinite(value) for value in obj]
+    return obj
+
+
+def restore_nonfinite(obj: Any) -> Any:
+    """Inverse of :func:`sanitize_nonfinite`: sentinel dicts become floats."""
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            token = obj.get(NONFINITE_KEY)
+            if isinstance(token, str) and token in _FROM_TOKEN:
+                return _FROM_TOKEN[token]
+        return {key: restore_nonfinite(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [restore_nonfinite(value) for value in obj]
+    return obj
+
+
+def _assert_canonical(obj: Any, path: str) -> None:
+    if obj is None or isinstance(obj, (bool, str, int)):
+        return
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise TypeError(
+                f"non-finite float at {path} cannot be hashed canonically"
+            )
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"non-string mapping key {key!r} at {path} is not "
+                    "canonical JSON"
+                )
+            _assert_canonical(value, f"{path}.{key}")
+        return
+    if isinstance(obj, list):
+        for i, value in enumerate(obj):
+            _assert_canonical(value, f"{path}[{i}]")
+        return
+    raise TypeError(
+        f"{type(obj).__name__} at {path} is not canonical JSON "
+        "(only dict/list/str/int/finite float/bool/None hash stably; "
+        "convert tuples to lists and objects to JSON-native values)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """``json.dumps(obj, sort_keys=True)``, but fail fast on anything whose
+    serialization is not a faithful content address (see module docstring)."""
+    _assert_canonical(obj, "$")
+    return json.dumps(obj, sort_keys=True, allow_nan=False)

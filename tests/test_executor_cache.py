@@ -83,6 +83,54 @@ class TestSpecHash:
         )
         assert spec_hash(flipped) == spec_hash(base)
 
+    def test_non_canonical_kwargs_fail_fast(self):
+        # A tuple kwarg used to be stringified by json's default=str hook,
+        # which made ``(8, 8)`` and ``[8, 8]`` alias iff their str() forms
+        # matched whatever the hook emitted.  Now: lists hash, tuples raise.
+        from dataclasses import replace
+
+        base = tiny_specs()[0]
+        listy = replace(base, dataset_kwargs=dict(shape=[8, 8]))
+        assert spec_hash(listy)  # JSON-native: fine
+        with pytest.raises(TypeError, match="dataset_kwargs"):
+            spec_hash(replace(base, dataset_kwargs=dict(shape=(8, 8))))
+        with pytest.raises(TypeError):
+            spec_hash(replace(base, model_kwargs=dict(seeds={1, 2})))
+
+    def test_tuple_and_list_kwargs_do_not_alias(self):
+        # The regression guaranteed by fail-fast: no silent collision
+        # between a tuple-carrying spec and its list twin.
+        from dataclasses import replace
+
+        base = tiny_specs()[0]
+        listy = replace(base, dataset_kwargs=dict(shape=[8, 8]))
+        tupley = replace(base, dataset_kwargs=dict(shape=(8, 8)))
+        try:
+            tuple_hash = spec_hash(tupley)
+        except TypeError:
+            tuple_hash = None  # fail-fast is the fix; aliasing is the bug
+        assert tuple_hash != spec_hash(listy)
+
+    def test_hash_values_unchanged_from_legacy_encoder(self):
+        # canonical_json must be byte-identical to the old
+        # ``json.dumps(..., sort_keys=True, default=str)`` for JSON-native
+        # specs, or every existing cache entry would orphan.
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        from repro.experiment.cache import SCHEMA_VERSION
+
+        for spec in tiny_specs(("global_weight", "random"), (1, 4), (0,)):
+            legacy = hashlib.sha256(
+                json.dumps(
+                    {"schema": SCHEMA_VERSION, "spec": asdict(spec)},
+                    sort_keys=True,
+                    default=str,
+                ).encode()
+            ).hexdigest()[:16]
+            assert spec_hash(spec) == legacy
+
 
 class TestExpandSweep:
     def test_grid_shape_and_order(self):
@@ -241,6 +289,68 @@ class TestResultCache:
         assert len(cache) == 3
         assert cache.clear() == 3
         assert len(cache) == 0
+
+    def test_nonfinite_round_trip_stays_strict_json(self, tmp_path):
+        # inf/NaN used to serialize as bare Infinity/NaN tokens (via
+        # ``default=float`` + ``allow_nan`` defaults), which strict JSON
+        # parsers reject.  They now ride in __nonfinite__ sentinels.
+        import json
+        import math
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_specs()[1]
+        row = self._row()
+        row.actual_compression = float("inf")
+        row.top1 = float("nan")
+        row.extra = {"worst": float("-inf"), "list": [float("nan"), 1.0]}
+        path = cache.put(spec, row)
+
+        def reject(token):
+            raise AssertionError(f"bare {token} token in cache entry")
+
+        on_disk = json.loads(path.read_text(), parse_constant=reject)
+        assert on_disk["result"]["actual_compression"] == {
+            "__nonfinite__": "inf"
+        }
+
+        again = cache.get(spec)
+        assert again.actual_compression == float("inf")
+        assert math.isnan(again.top1)
+        assert again.extra["worst"] == float("-inf")
+        assert math.isnan(again.extra["list"][0])
+        assert again.extra["list"][1] == 1.0
+
+    def test_stray_files_excluded_from_iteration(self, tmp_path):
+        # _entries() used to glob ``??/*.json`` blind, so editor temp
+        # files and junk under shard dirs inflated len()/stats and could
+        # crash gc/iteration.  Plant every flavour of stray and assert
+        # none are counted, iterated, or deleted.
+        cache = ResultCache(tmp_path / "cache")
+        specs = tiny_specs(("global_weight",), (1, 2), (0,))
+        for s in specs:
+            cache.put(s, self._row())
+        shard = cache.path_for(specs[0]).parent
+        strays = [
+            shard / "orphan.json",                   # not a 16-hex name
+            shard / "0123456789abcdef.json",         # hash not in this shard
+            shard / (cache.path_for(specs[0]).name + ".tmp-123"),
+        ]
+        # a mis-sharded but otherwise well-formed hash: force a shard
+        # prefix mismatch unless it accidentally matches
+        if strays[1].name[:2] == shard.name:
+            strays[1] = shard / "ffffffffffffffff.json"
+        for stray in strays:
+            stray.write_text("{}")
+
+        assert len(cache) == 2
+        from repro.experiment.cache import iter_cache_entries
+
+        hashes = {h for h, _ in iter_cache_entries(cache.root)}
+        assert hashes == {spec_hash(s) for s in specs}
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        for stray in strays:
+            assert stray.exists()  # never deleted out from under the user
 
 
 def _count_runs(monkeypatch):

@@ -58,6 +58,23 @@ class TestHarness:
             {"experiment_cache_hit", "experiment_cache_miss"}
         assert select_benchmarks("no-such-bench") == []
 
+    def test_select_benchmarks_regex_alternative(self):
+        # ``store_.*`` is regex intent — under pure fnmatch the literal
+        # dot would match nothing
+        names = {b.name for b in select_benchmarks("store_.*")}
+        # re.search anchors nowhere, so the report benches match too
+        assert names == {
+            "store_ingest_1m", "store_load_1m", "store_load_1m_json_twin",
+            "report_from_store_1m", "report_from_store_1m_json_twin",
+        }
+        assert {b.name for b in
+                select_benchmarks("store_.*|report_from_store_1m")} == names
+        assert {b.name for b in select_benchmarks("^store_.*")} == {
+            "store_ingest_1m", "store_load_1m", "store_load_1m_json_twin",
+        }
+        # a broken regex alternative is ignored rather than raising
+        assert select_benchmarks("[unclosed") == []
+
     def test_timer_calibrates_inner_loops_for_fast_functions(self):
         timer = Timer(warmup=0, repeats=2, min_time=0.01)
         times, inner = timer.measure(lambda: None)

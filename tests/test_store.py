@@ -1,0 +1,381 @@
+"""Binary column store: equivalence with the JSON paths, crash recovery,
+supersession, CLI round-trips, and results-server integration.
+
+The load-bearing guarantee is *point-for-point equivalence*: a frame read
+back from the store must be indistinguishable — column order, dtypes,
+values including inf/NaN and ``extra`` payloads — from the frame the JSON
+path (``from_cache`` / ``from_queue`` / ``from_json``) builds over the
+same rows, because ``repro report`` output must be byte-identical across
+the two.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from exp_fixtures import crashy_spec
+from repro.analysis.frame import ResultFrame, load_frame
+from repro.experiment.cache import ResultCache, spec_hash
+from repro.experiment.prune import ExperimentSpec
+from repro.experiment.queue import QueueWorker, WorkQueue
+from repro.experiment.results import PruningResult
+from repro.store import ColumnStore, StoreError, StoreLockTimeout, is_store_dir
+
+
+def synth_spec(i: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        model="lenet-300-100", dataset="cifar10",
+        strategy=("global_weight", "random")[i % 2],
+        compression=float((2, 4, 8)[i % 3]), seed=i,
+    )
+
+
+def synth_row(spec: ExperimentSpec, i: int) -> PruningResult:
+    extra = {"kernel_backend": "fast"} if i % 2 else {}
+    return PruningResult(
+        model=spec.model, dataset=spec.dataset, strategy=spec.strategy,
+        compression=spec.compression, seed=spec.seed,
+        # exercise the non-finite paths: all-pruned masks report inf
+        # compression, missing metrics report NaN
+        actual_compression=float("inf") if i % 5 == 0 else spec.compression * 1.1,
+        theoretical_speedup=spec.compression * 0.8,
+        total_params=266_610, nonzero_params=266_610 // int(spec.compression),
+        dense_flops=5.3e5, effective_flops=5.3e5 / spec.compression,
+        baseline_top1=0.61, baseline_top5=0.95,
+        pre_finetune_top1=0.31, pre_finetune_top5=0.71,
+        top1=float("nan") if i % 7 == 0 else 0.5 + i / 100.0, top5=0.93,
+        pretrained_key="t", finetune_epochs_ran=i, extra=extra,
+    )
+
+
+def fill_cache(root, n: int = 20) -> ResultCache:
+    cache = ResultCache(root)
+    for i in range(n):
+        spec = synth_spec(i)
+        cache.put(spec, synth_row(spec, i))
+    return cache
+
+
+def assert_frames_identical(a: ResultFrame, b: ResultFrame) -> None:
+    """Column order, length, and every cell (NaN-aware, type-strict)."""
+    assert a.columns == b.columns
+    assert len(a) == len(b)
+    for i, (ra, rb) in enumerate(zip(a.to_records(), b.to_records())):
+        for name in ra:
+            va, vb = ra[name], rb[name]
+            if isinstance(va, float) and isinstance(vb, float) \
+                    and math.isnan(va) and math.isnan(vb):
+                continue
+            assert type(va) is type(vb), (i, name, va, vb)
+            assert va == vb, (i, name, va, vb)
+
+
+class TestEquivalence:
+    def test_cache_ingest_matches_from_cache(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache")
+        store = ColumnStore(tmp_path / "store")
+        stats = store.ingest(cache.root)
+        assert stats["rows_appended"] == 20 and stats["rows_skipped"] == 0
+        assert_frames_identical(store.to_frame(),
+                                ResultFrame.from_cache(cache.root))
+
+    def test_chunked_ingest_matches_single_chunk(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache")
+        chunked = ColumnStore(tmp_path / "chunked")
+        stats = chunked.ingest(cache.root, chunk_rows=3)
+        assert stats["segments_added"] == 7  # ceil(20 / 3)
+        assert_frames_identical(chunked.to_frame(),
+                                ResultFrame.from_cache(cache.root))
+
+    def test_results_json_ingest_matches_from_json(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache")
+        path = tmp_path / "results.json"
+        ResultFrame.from_cache(cache.root).save(path)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(path, chunk_rows=6)
+        assert_frames_identical(store.to_frame(), ResultFrame.from_json(path))
+
+    def test_queue_ingest_matches_from_queue_incl_quarantine(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", max_retries=0)
+        cache = ResultCache(tmp_path / "q" / "cache")
+        ok = crashy_spec(cell="store-ok")
+        bad = crashy_spec(cell="store-bad", behavior="raise")
+        queue.submit(ok)
+        queue.submit(bad)
+        QueueWorker(queue, cache, worker_id="w1").run(idle_timeout=0.0,
+                                                      poll_interval=0.01)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(tmp_path / "q")
+        frame = store.to_frame()
+        assert_frames_identical(frame, ResultFrame.from_queue(tmp_path / "q"))
+        failed = frame.column("extra")[np.array(
+            [bool(e and e.get("failed")) for e in frame.column("extra")]
+        )]
+        assert len(failed) == 1  # the quarantined cell rides along
+
+    def test_load_frame_sniffs_store_dir(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache", n=4)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        assert is_store_dir(store.root)
+        assert not is_store_dir(cache.root)
+        assert_frames_identical(load_frame(store.root),
+                                load_frame(cache.root))
+
+    def test_report_identical_from_store_and_cache(self, tmp_path):
+        from repro.analysis import build_report, report_json_text
+
+        cache = fill_cache(tmp_path / "cache")
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        via_cache = report_json_text(build_report(load_frame(cache.root)))
+        via_store = report_json_text(build_report(load_frame(store.root)))
+        assert via_store == via_cache
+
+
+class TestSupersession:
+    def test_reingest_is_idempotent(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache")
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        again = store.ingest(cache.root)
+        assert again["rows_appended"] == 0 and again["rows_skipped"] == 20
+        assert store.rows() == 20
+
+    def test_new_generation_supersedes_on_read(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache", n=4)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        spec = synth_spec(1)
+        newer = synth_row(spec, 1)
+        newer.top1 = 0.999
+        cache.put(spec, newer)
+        store.ingest(cache.root, skip_existing=False)
+        frame = store.to_frame()
+        assert len(frame) == 4  # deduped by spec hash, not 4 + 4
+        row = frame.filter(seed=1)
+        assert row.column("top1")[0] == 0.999  # last generation wins
+        # rows() still counts stored generations until compact
+        assert store.rows() == 8
+        result = store.compact()
+        assert result["rows_after"] == 4
+        assert store.rows() == 4
+        assert_frames_identical(store.to_frame(), frame)
+
+    def test_compact_coalesces_and_preserves_order(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache")
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root, chunk_rows=3)
+        before = store.to_frame()
+        result = store.compact()
+        assert result["segments_before"] == 7
+        assert result["segments_after"] == 1
+        assert_frames_identical(store.to_frame(), before)
+
+    def test_fingerprint_tracks_content(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache", n=4)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        fp = store.fingerprint()
+        assert store.ingest(cache.root)["rows_appended"] == 0
+        assert store.fingerprint() == fp  # idempotent re-ingest: unchanged
+        spec = synth_spec(99)
+        cache.put(spec, synth_row(spec, 99))
+        store.ingest(cache.root)
+        assert store.fingerprint() != fp
+
+
+class TestCrashRecovery:
+    def test_manifest_never_references_torn_segment(self, tmp_path, monkeypatch):
+        cache = fill_cache(tmp_path / "cache", n=6)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        good = store.to_frame()
+        fp = store.fingerprint()
+
+        def boom(manifest):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ColumnStore, "_write_manifest",
+                            lambda self, m: boom(m))
+        with pytest.raises(OSError):
+            store.append_rows([synth_row(synth_spec(50), 50)],
+                              keys=[spec_hash(synth_spec(50))])
+        monkeypatch.undo()
+        # the crashed append left a sealed-but-unreferenced dir; readers
+        # see the old generation, bit for bit
+        assert store.fingerprint() == fp
+        assert_frames_identical(store.to_frame(), good)
+        live = {s["name"] for s in store._require_manifest()["segments"]}
+        on_disk = {p.name for p in store.segments_dir.iterdir()}
+        assert on_disk - live  # the torn segment is on disk ...
+        store.compact()
+        on_disk = {p.name for p in store.segments_dir.iterdir()}
+        assert len(on_disk) == 1  # ... until compact sweeps it
+        assert_frames_identical(store.to_frame(), good)
+
+    def test_lock_contention_times_out(self, tmp_path):
+        store = ColumnStore(tmp_path / "store", lock_timeout=0.2)
+        store.append_rows([synth_row(synth_spec(0), 0)])
+        lock = store.root / ".lock"
+        lock.write_text("12345\n")
+        with pytest.raises(StoreLockTimeout):
+            store.append_rows([synth_row(synth_spec(1), 1)])
+        assert store.rows() == 1
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = ColumnStore(tmp_path / "store", lock_timeout=0.5)
+        store.append_rows([synth_row(synth_spec(0), 0)])
+        lock = store.root / ".lock"
+        lock.write_text("12345\n")
+        old = 1_000_000.0
+        os.utime(lock, (old, old))
+        store.append_rows([synth_row(synth_spec(1), 1)])
+        assert store.rows() == 2
+
+    def test_schema_mismatch_is_loud(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        store.append_rows([synth_row(synth_spec(0), 0)])
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["schema"] = 999
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="schema 999"):
+            store.to_frame()
+
+
+class TestWorkerPublish:
+    def test_worker_mirrors_rows_to_store(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        cache = ResultCache(tmp_path / "q" / "cache")
+        spec = crashy_spec(cell="store-pub")
+        queue.submit(spec)
+        store_dir = tmp_path / "store"
+        worker = QueueWorker(queue, cache, worker_id="w1", store=store_dir)
+        assert worker.run_once() is True
+        store = ColumnStore(store_dir)
+        # the cell row plus the synthesized baseline, keyed by spec hash
+        assert store.rows() == 2
+        assert spec_hash(spec) in store.keys()
+        # publish order is completion order, from_cache is hash order —
+        # compare as sets of rows
+        key = lambda r: (r["strategy"], r["seed"])
+        mirrored = sorted(store.to_frame().to_records(), key=key)
+        cached = sorted(ResultFrame.from_cache(cache.root).to_records(),
+                        key=key)
+        assert mirrored == cached
+
+    def test_store_failure_does_not_fail_the_cell(self, tmp_path, monkeypatch):
+        queue = WorkQueue(tmp_path / "q")
+        cache = ResultCache(tmp_path / "q" / "cache")
+        spec = crashy_spec(cell="store-pub2")
+        queue.submit(spec)
+        worker = QueueWorker(queue, cache, worker_id="w1",
+                             store=tmp_path / "store")
+        monkeypatch.setattr(
+            type(worker.store), "append_rows",
+            lambda self, rows, keys=None: (_ for _ in ()).throw(
+                RuntimeError("store offline")),
+        )
+        assert worker.run_once() is True  # best-effort mirror
+        assert queue.state(spec_hash(spec)) == "done"
+        assert cache.get(spec) is not None
+
+
+class TestColumnEdgeCases:
+    def test_column_union_across_segments(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        store.append_frame(ResultFrame.from_records(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]))
+        store.append_frame(ResultFrame.from_records(
+            [{"a": 3, "c": 0.5}, {"a": 4, "c": 1.5}]))
+        frame = store.to_frame()
+        assert frame.columns == ["a", "b", "c"]
+        assert frame.column("a").tolist() == [1, 2, 3, 4]
+        assert frame.column("b").tolist() == ["x", "y", None, None]
+        b = frame.column("c")
+        assert np.isnan(b[:2]).all() and b[2:].tolist() == [0.5, 1.5]
+
+    def test_int_then_float_widens(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        store.append_frame(ResultFrame.from_records([{"v": 1}]))
+        store.append_frame(ResultFrame.from_records([{"v": 2.5}]))
+        v = store.to_frame().column("v")
+        assert v.dtype == np.float64 and v.tolist() == [1.0, 2.5]
+
+    def test_unstorable_column_name_rejected(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="keys"):
+            store.append_frame(ResultFrame.from_records([{"keys": 1}]))
+        assert not store.exists()  # nothing half-written
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        assert store.append_frame(ResultFrame.from_records([])) is None
+        with pytest.raises(FileNotFoundError):
+            store.to_frame()
+
+
+class TestStoreCLI:
+    def test_ingest_stats_compact_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = fill_cache(tmp_path / "cache", n=7)
+        store_dir = tmp_path / "store"
+        assert main(["store", "ingest", str(cache.root), str(store_dir),
+                     "--chunk-rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rows appended  : 7" in out
+        assert main(["store", "stats", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "rows        : 7" in out and "segments    : 4" in out
+        assert main(["store", "compact", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "segments : 4 -> 1" in out
+        assert main(["report", str(store_dir), "--json", "-"]) == 0
+
+    def test_ingest_missing_source_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["store", "ingest", str(tmp_path / "nope"),
+                     str(tmp_path / "store")]) == 2
+        assert "nothing to ingest" in capsys.readouterr().err
+
+    def test_stats_on_non_store_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["store", "stats", str(tmp_path)]) == 2
+        assert "no store at" in capsys.readouterr().err
+
+
+class TestServeIntegration:
+    def test_store_source_kind_and_manifest_fingerprint(self, tmp_path):
+        from repro.serve import FrameSource
+
+        cache = fill_cache(tmp_path / "cache", n=5)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        source = FrameSource("s", path=store.root)
+        assert source.kind == "store"
+        snapshot = source.load()
+        # ETags key on the manifest fingerprint — no frame re-hash
+        assert snapshot.fingerprint == store.fingerprint()
+        assert len(snapshot.frame) == 5
+
+    def test_reload_on_append_and_compact(self, tmp_path):
+        from repro.serve import FrameSource
+
+        cache = fill_cache(tmp_path / "cache", n=3)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        source = FrameSource("s", path=store.root)
+        source.load()
+        assert source.maybe_reload() is False
+        spec = synth_spec(77)
+        cache.put(spec, synth_row(spec, 77))
+        store.ingest(cache.root)
+        assert source.maybe_reload() is True
+        assert len(source.snapshot().frame) == 4
+        assert source.snapshot().fingerprint == store.fingerprint()
