@@ -172,11 +172,15 @@ class Query:
 
     # -- execution -------------------------------------------------------
     def _checked_columns(self, frame: ResultFrame, names, what: str) -> None:
+        self._checked_names(frame.columns, names, what)
+
+    @staticmethod
+    def _checked_names(available, names, what: str) -> None:
         for name in names:
-            if name not in frame:
+            if name not in available:
                 raise QueryError(
                     f"unknown {what} column {name!r}; "
-                    f"available: {frame.columns}"
+                    f"available: {list(available)}"
                 )
 
     def apply(self, frame: ResultFrame) -> Dict[str, Any]:
@@ -193,6 +197,65 @@ class Query:
             rows = frame.filter(**self.filter) if self.filter else frame
         except ValueError as exc:  # e.g. op applied to an incomparable column
             raise QueryError(str(exc)) from exc
+        return self._finish(frame, rows)
+
+    def needed_columns(self, available) -> Optional[List[str]]:
+        """The source columns this query must load, in ``available`` order —
+        or None when it needs all of them (no projection possible).
+
+        Validates every referenced column against ``available`` (the store
+        manifest's column list == the full frame's vocabulary) so pushdown
+        raises the same :class:`QueryError` as the full scan would.
+        """
+        available = list(available)
+        self._checked_names(available, self.filter, "filter")
+        needed = set(self.filter)
+        if self.aggregate is not None:
+            by = self.aggregate.get("by", ("strategy", "compression"))
+            self._checked_names(available, by, "aggregate 'by'")
+            values = self.aggregate.get("values")
+            if values is None:
+                return None  # defaults to "every numeric column": load all
+            self._checked_names(available, values, "aggregate 'values'")
+            needed |= set(by) | set(values)
+        elif self.group_by is not None:
+            self._checked_names(available, self.group_by, "group_by")
+            needed |= set(self.group_by)
+        else:
+            if self.sort is not None:
+                self._checked_names(available, self.sort, "sort")
+                needed |= set(self.sort)
+            if self.columns is not None:
+                self._checked_names(available, self.columns, "projection")
+                needed |= set(self.columns)
+            else:
+                return None  # result carries every column
+        return [name for name in available if name in needed]
+
+    def apply_store(self, store, manifest=None) -> Dict[str, Any]:
+        """Pushdown twin of ``apply(store.to_frame())``.
+
+        Routes the filter through :meth:`ColumnStore.to_frame`'s zone-map
+        planner (skipped segments are never read) and loads only the
+        columns the query references; the remaining stages are shared with
+        :meth:`apply`, so the result document is byte-identical to the
+        full scan.  ``manifest`` pins a snapshot's manifest (see
+        ``ColumnStore.to_frame``).
+        """
+        manifest = manifest or store._require_manifest()
+        projection = self.needed_columns(manifest["columns"])
+        try:
+            rows = store.to_frame(
+                columns=projection, where=self.filter or None, manifest=manifest
+            )
+        except ValueError as exc:  # same surface as apply()'s filter stage
+            raise QueryError(str(exc)) from exc
+        return self._finish(rows, rows)
+
+    def _finish(self, frame: ResultFrame, rows: ResultFrame) -> Dict[str, Any]:
+        """Post-filter stages, shared by the full-scan and pushdown paths:
+        ``frame`` supplies the aggregate/group_by column vocabulary, ``rows``
+        is the already-filtered selection."""
         if self.aggregate is not None:
             agg = dict(self.aggregate)
             by = agg.get("by", ("strategy", "compression"))

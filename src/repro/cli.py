@@ -408,14 +408,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-append rows whose spec hash is already "
                               "stored (the new generation supersedes on "
                               "read; compact makes it physical)")
+    singest.add_argument("--quiet", action="store_true",
+                         help="suppress the per-chunk progress lines")
     sstats = store_sub.add_parser(
         "stats", help="rows, segments, columns, size, fingerprint"
     )
+    sstats.add_argument("--segments", action="store_true",
+                        help="also list every segment with its rows, "
+                             "columns, and zone-map min/max stats")
     scompact = store_sub.add_parser(
         "compact",
-        help="coalesce segments into one and drop superseded generations",
+        help="coalesce segments into one and drop superseded generations "
+             "(also backfills zone-map stats)",
     )
-    for sp in (sstats, scompact):
+    sanalyze = store_sub.add_parser(
+        "analyze",
+        help="backfill zone-map stats into segments written before stats "
+             "existed (in place; the fingerprint does not change)",
+    )
+    for sp in (sstats, scompact, sanalyze):
         sp.add_argument("store_dir", help="column-store directory")
     return p
 
@@ -584,24 +595,41 @@ def _cmd_report(args) -> int:
         write_report_csv,
     )
 
+    from .store import is_store_dir
+
     source = Path(args.source)
     if args.cache_dir is not None and not (source.is_dir() and is_queue_dir(source)):
         print("--cache-dir only applies when SOURCE is a work-queue "
               "directory", file=sys.stderr)
         return 2
-    try:
-        frame = load_frame(source, cache_dir=args.cache_dir)
-    except (FileNotFoundError, ValueError) as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    if not len(frame):
-        print(f"no result rows found in {args.source}", file=sys.stderr)
-        return 2
     # a queue directory may still be draining: a report over it is partial,
     # and the JSON document says so (``outstanding``), not just stderr
     counts = queue_outstanding(source)
     outstanding = sum(counts.values())
-    report = build_report(frame, y=args.y, outstanding=counts)
+    try:
+        if source.is_dir() and is_store_dir(source):
+            # fold the store segment by segment (byte-identical to the
+            # materialize-then-report path, without the union frame)
+            from .analysis.report import build_report_from_store
+            from .store import ColumnStore
+
+            store = ColumnStore(source)
+            if not store.rows():
+                print(f"no result rows found in {args.source}",
+                      file=sys.stderr)
+                return 2
+            report = build_report_from_store(store, y=args.y,
+                                             outstanding=counts)
+        else:
+            frame = load_frame(source, cache_dir=args.cache_dir)
+            if not len(frame):
+                print(f"no result rows found in {args.source}",
+                      file=sys.stderr)
+                return 2
+            report = build_report(frame, y=args.y, outstanding=counts)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.json_out == "-":
         from .analysis import report_json_text
 
@@ -855,12 +883,14 @@ def _cmd_store(args) -> int:
             print("--cache-dir only applies when SOURCE is a work-queue "
                   "directory", file=sys.stderr)
             return 2
+        progress = None if args.quiet else (lambda line: print(line))
         try:
             stats = store.ingest(
                 source,
                 cache_dir=args.cache_dir,
                 chunk_rows=args.chunk_rows,
                 skip_existing=not args.no_skip_existing,
+                progress=progress,
             )
         except FileNotFoundError as exc:
             print(str(exc), file=sys.stderr)
@@ -880,6 +910,12 @@ def _cmd_store(args) -> int:
                   f"{result['rows_after']}")
             print(f"swept    : {result['swept_dirs']} stray dir(s)")
             return 0
+        if args.store_command == "analyze":
+            result = store.analyze()
+            print(f"segments : {result['segments']}")
+            print(f"analyzed : {result['analyzed']} "
+                  "(zone-map stats backfilled)")
+            return 0
         stats = store.stats()
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
@@ -892,7 +928,39 @@ def _cmd_store(args) -> int:
     print(f"size        : {stats['size_bytes'] / 1024:.1f} KiB")
     print(f"schema      : {stats['schema']}")
     print(f"fingerprint : {stats['fingerprint']}")
+    if getattr(args, "segments", False):
+        for entry in store.segments():
+            _print_segment_stats(entry)
     return 0
+
+
+def _print_segment_stats(entry) -> None:
+    """One ``store stats --segments`` block: rows + per-column zone maps."""
+    from .utils.jsonio import restore_nonfinite
+
+    keyed = "keyed" if entry.get("keyed") else "unkeyed"
+    print(f"\nsegment {entry['name']} : {entry['rows']} row(s), {keyed}")
+    stats = entry.get("stats")
+    if not isinstance(stats, dict):
+        print("  (no zone-map stats — run `repro store analyze` or "
+              "`repro store compact` to backfill)")
+        return
+    for name, kind in entry["columns"].items():
+        col = stats.get(name)
+        if not isinstance(col, dict):
+            continue
+        if kind == "object":
+            values = col.get("values")
+            pool = (f"{len(values)} distinct value(s)" if values is not None
+                    else "pool too large for zone map")
+            print(f"  {name:<22}: {kind:<8} {pool}, "
+                  f"nulls {col.get('nulls', 0)}")
+        else:
+            lo = restore_nonfinite(col.get("min"))
+            hi = restore_nonfinite(col.get("max"))
+            span = "all-null" if lo is None else f"min {lo}, max {hi}"
+            print(f"  {name:<22}: {kind:<8} {span}, "
+                  f"nulls {col.get('nulls', 0)}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

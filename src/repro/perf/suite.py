@@ -554,6 +554,75 @@ def _bench_report_from_json_twin():
     return (lambda: build_report(load_frame(json_path))), tmp.cleanup
 
 
+#: the pushdown benches' selective predicate: one seed value out of
+#: ``PUSHDOWN_SEEDS``, over a store whose segments are seed-clustered —
+#: so the zone maps rule out ~95% of segments (the ISSUE's "≤10% of
+#: segments match" acceptance shape)
+PUSHDOWN_SEEDS = 20
+PUSHDOWN_SEGMENTS = 64
+PUSHDOWN_QUERY = {
+    "filter": {"seed": {"op": "==", "value": 7}},
+    "columns": ["strategy", "compression", "seed", "top1"],
+    "limit": 100,
+}
+
+
+def _pushdown_workdir():
+    """(tmpdir, sealed multi-segment store) for the pushdown benches: the
+    sweep rows re-seeded over ``PUSHDOWN_SEEDS`` values and sorted by seed
+    before ingest, so each of the ``PUSHDOWN_SEGMENTS`` segments covers a
+    narrow seed range and a single-seed predicate prunes almost all of
+    them — the clustered-ingest layout the zone maps are designed for."""
+    from ..store import ColumnStore
+
+    tmp = tempfile.TemporaryDirectory()
+    frame = make_sweep_frame()
+    rows = len(frame)
+    rng = np.random.default_rng(7)
+    columns = {name: frame.column(name) for name in frame.columns}
+    columns["seed"] = rng.integers(0, PUSHDOWN_SEEDS, rows).astype(np.int64)
+    frame = ResultFrame(columns).sort_by("seed")
+    json_path = os.path.join(tmp.name, "results.json")
+    frame.save(json_path)
+    store = ColumnStore(os.path.join(tmp.name, "store"))
+    store.ingest(json_path, chunk_rows=max(1, -(-rows // PUSHDOWN_SEGMENTS)))
+    return tmp, store
+
+
+@benchmark("store_query_pushdown_1m",
+           f"zone-map pushdown /query (seed == 7 over {PUSHDOWN_SEGMENTS} "
+           f"seed-clustered segments, {STORE_BENCH_ROWS} rows): skip "
+           "non-matching segments, load only referenced columns")
+def _bench_store_query_pushdown():
+    from ..analysis.query import compile_query
+
+    tmp, store = _pushdown_workdir()
+    query = compile_query(PUSHDOWN_QUERY)
+    return (lambda: query.apply_store(store)), tmp.cleanup
+
+
+@benchmark("store_query_fullscan_twin_1m",
+           f"full-scan twin of store_query_pushdown_1m: materialize all "
+           f"{STORE_BENCH_ROWS} rows, then apply the same query")
+def _bench_store_query_fullscan_twin():
+    from ..analysis.query import compile_query
+
+    tmp, store = _pushdown_workdir()
+    query = compile_query(PUSHDOWN_QUERY)
+    return (lambda: query.apply(store.to_frame())), tmp.cleanup
+
+
+@benchmark("report_from_store_incremental_1m",
+           f"build_report_from_store at {STORE_BENCH_ROWS} rows: fold "
+           "segments into the report without materializing the union "
+           "frame (byte-identical twin of report_from_store_1m)")
+def _bench_report_from_store_incremental():
+    from ..analysis.report import build_report_from_store
+
+    tmp, _, store = _store_workdir()
+    return (lambda: build_report_from_store(store)), tmp.cleanup
+
+
 # --------------------------------------------------------------------------
 # serve (results server under concurrent load)
 # --------------------------------------------------------------------------

@@ -71,7 +71,11 @@ from ..analysis.frame import (
     queue_outstanding,
 )
 from ..analysis.query import Query, QueryError, compile_query
-from ..analysis.report import build_report, report_json_text
+from ..analysis.report import (
+    build_report,
+    build_report_from_store,
+    report_json_text,
+)
 
 __all__ = ["SERVE_SCHEMA_VERSION", "FrameSource", "ResultsServer"]
 
@@ -101,6 +105,8 @@ class Snapshot:
         generation: int,
         outstanding: Optional[Dict[str, int]] = None,
         fingerprint: Optional[str] = None,
+        store=None,
+        store_manifest: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.frame = frame
         self.generation = generation
@@ -110,6 +116,11 @@ class Snapshot:
         # changes-iff-data-changed contract, without re-hashing a
         # million-row frame on every reload
         self.fingerprint = fingerprint if fingerprint else frame.fingerprint()
+        # store-backed snapshots keep the handle + the manifest generation
+        # they were loaded from, so /query and /report can push filters and
+        # aggregation down to segment level instead of scanning self.frame
+        self.store = store
+        self.store_manifest = store_manifest
         self._lock = threading.Lock()
         self._prepared: Optional[ResultFrame] = None
         self._reports: Dict[str, str] = {}
@@ -130,9 +141,23 @@ class Snapshot:
         byte-identical to ``python -m repro report --json -``."""
         with self._lock:
             if y not in self._reports:
-                report = build_report(
-                    self.frame, y=y, outstanding=self.outstanding
-                )
+                report = None
+                if self.store is not None:
+                    try:
+                        # fold segment by segment (byte-identical output);
+                        # a store torn by a racing compact (segments this
+                        # manifest references already deleted) falls back
+                        # to the already-materialized snapshot frame
+                        report = build_report_from_store(
+                            self.store, y=y, outstanding=self.outstanding,
+                            manifest=self.store_manifest,
+                        )
+                    except (OSError, RuntimeError):
+                        report = None
+                if report is None:
+                    report = build_report(
+                        self.frame, y=y, outstanding=self.outstanding
+                    )
                 self._reports[y] = report_json_text(report)
             return self._reports[y]
 
@@ -239,19 +264,28 @@ class FrameSource:
             # the load re-triggers on the next poll instead of being missed
             signature = self._signature()
             fingerprint = None
+            store = manifest = None
             if self.path is None:
                 frame = self._memory_frame
                 outstanding = {"pending": 0, "leased": 0}
+            elif self.kind == "store":
+                from ..store import ColumnStore
+
+                # keep the handle + this generation's manifest so handlers
+                # can push queries down to segment level (one manifest read
+                # per load: fingerprint, frame, and planner all share it)
+                store = ColumnStore(self.path)
+                manifest = store._require_manifest()
+                frame = store.to_frame(manifest=manifest)
+                outstanding = queue_outstanding(self.path)
+                fingerprint = manifest["fingerprint"]
             else:
                 frame = load_frame(self.path, cache_dir=self.cache_dir)
                 outstanding = queue_outstanding(self.path)
-                if self.kind == "store":
-                    from ..store import ColumnStore
-
-                    fingerprint = ColumnStore(self.path).fingerprint()
             self._generation += 1
             snapshot = Snapshot(
-                frame, self._generation, outstanding, fingerprint=fingerprint
+                frame, self._generation, outstanding,
+                fingerprint=fingerprint, store=store, store_manifest=manifest,
             )
             self._signature_loaded = signature
             self._snapshot = snapshot  # atomic ref swap: readers never block
@@ -703,7 +737,22 @@ class ResultsServer:
         query = compile_query(spec)
         source = self._source(query.frame or params.get("frame"))
         snapshot = source.snapshot()
-        result = query.apply(snapshot.frame)
+        result = None
+        if snapshot.store is not None:
+            try:
+                # zone-map pushdown: skip segments the filter rules out and
+                # load only referenced columns.  QueryError propagates (it
+                # is identical on both paths by construction); a store torn
+                # by a racing compact falls back to the snapshot frame.
+                result = query.apply_store(
+                    snapshot.store, manifest=snapshot.store_manifest
+                )
+            except QueryError:
+                raise
+            except (OSError, RuntimeError):
+                result = None
+        if result is None:
+            result = query.apply(snapshot.frame)
         payload = self._envelope(source, snapshot, result)
         etag = self._etag(snapshot, "/query", query.canonical())
         return _Response(200, _json_text(payload), etag)

@@ -14,6 +14,7 @@ docs/ARCHITECTURE.md for where the store sits in the pipeline.
 
 from .columnar import (
     STORE_SCHEMA_VERSION,
+    ZONE_MAP_MAX_VALUES,
     ColumnStore,
     StoreError,
     StoreLockTimeout,
@@ -22,6 +23,7 @@ from .columnar import (
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "ZONE_MAP_MAX_VALUES",
     "ColumnStore",
     "StoreError",
     "StoreLockTimeout",

@@ -28,6 +28,15 @@ deduplicates by key with the last-sealed occurrence winning — re-running a
 cell supersedes its old row exactly like a cache overwrite — and
 ``compact`` makes the supersession physical by rewriting the survivors as
 one segment and deleting the rest.
+
+Zone maps: each manifest segment entry may carry a ``"stats"`` mapping —
+per-column min/max/NaN-count for numeric columns, null count plus (small)
+distinct value pool for dict-encoded object columns.  ``to_frame(columns=
+..., where=...)`` uses them to skip whole segments whose stats prove no
+row can match, and loads only the referenced column files.  Stats are
+optional (legacy manifests keep loading, just without pruning) and are
+backfilled by ``compact`` or ``analyze``; they are deliberately excluded
+from the manifest fingerprint so a backfill never changes row identity.
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ from ..utils import (
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "ZONE_MAP_MAX_VALUES",
     "ColumnStore",
     "StoreError",
     "StoreLockTimeout",
@@ -65,6 +75,11 @@ STORE_SCHEMA_VERSION = 1
 _MANIFEST = "manifest.json"
 _SEGMENTS = "segments"
 _NUMERIC_KINDS = ("int64", "float64")
+
+#: object-column zone maps record the segment's distinct value pool only
+#: up to this size — beyond it the pool stops being selective and would
+#: bloat the manifest, so only the null count is kept.
+ZONE_MAP_MAX_VALUES = 64
 
 
 class StoreError(RuntimeError):
@@ -129,6 +144,171 @@ def _to_object(arr: np.ndarray) -> np.ndarray:
     out = np.empty(len(arr), dtype=object)
     out[:] = arr.tolist()
     return out
+
+
+# -- zone-map statistics ---------------------------------------------------
+def _json_bound(value: Any) -> Any:
+    """A numeric bound as a manifest-storable JSON value.
+
+    The manifest is written with ``allow_nan=False``, so non-finite bounds
+    use the same sentinel convention as result entries (jsonio).
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    return sanitize_nonfinite(float(value))
+
+
+def _numeric_stats(arr: np.ndarray) -> Dict[str, Any]:
+    """Zone map for one numeric segment column: min/max over non-NaN rows
+    (None when every row is NaN) plus the NaN count."""
+    arr = np.asarray(arr)
+    nulls = int(np.isnan(arr).sum()) if arr.dtype.kind == "f" else 0
+    if nulls == len(arr) or not len(arr):
+        lo: Any = None
+        hi: Any = None
+    elif nulls:
+        lo, hi = _json_bound(np.nanmin(arr)), _json_bound(np.nanmax(arr))
+    else:
+        lo, hi = _json_bound(arr.min()), _json_bound(arr.max())
+    return {"min": lo, "max": hi, "nulls": nulls}
+
+
+def _object_stats(codes: np.ndarray, pool: List[Any]) -> Dict[str, Any]:
+    """Zone map for one dict-encoded object column: null (None) row count
+    plus, for small pools, the distinct sanitized value pool itself."""
+    none_codes = [i for i, value in enumerate(pool) if value is None]
+    nulls = int(np.isin(np.asarray(codes), none_codes).sum()) if none_codes else 0
+    stats: Dict[str, Any] = {"nulls": nulls}
+    if len(pool) <= ZONE_MAP_MAX_VALUES:
+        # round-trip through the exact dialect values.json uses, so the
+        # manifest pool is bit-identical to what _load_segment will decode
+        stats["values"] = json.loads(
+            json.dumps(pool, allow_nan=False, default=str)
+        )
+    return stats
+
+
+def _normalize_condition(cond: Any) -> Optional[Tuple[str, Any]]:
+    """``(op, value)`` for a frame.mask-style condition, or None when the
+    condition's shape could make the full scan raise (planner must keep)."""
+    if isinstance(cond, dict):
+        op = cond.get("op")
+        if set(cond) != {"op", "value"} or not isinstance(op, str):
+            return None
+        return op, cond.get("value")
+    if isinstance(cond, (list, tuple, set, frozenset, np.ndarray)):
+        return "in", list(cond)
+    return "==", cond
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating))
+
+
+def _plain_members(value: Any) -> Optional[List[Any]]:
+    """Membership list as plain scalars, or None when it contains anything
+    the full-scan membership test could choke on (keep the segment)."""
+    if not isinstance(value, (list, tuple, set, frozenset, np.ndarray)):
+        return None
+    members = list(value)
+    for member in members:
+        if not isinstance(member, (int, float, str, bool, type(None))):
+            return None
+    return members
+
+
+def _numeric_may_match(cond: Any, stats: Dict[str, Any]) -> bool:
+    """Conservative zone-map test for one condition against one numeric
+    segment column: False only when *provably* no row can match.
+
+    Mirrors ``ResultFrame._op_mask`` semantics exactly: NaN rows compare
+    False under ==/</<=/>/>=/in and True under !=/not-in; conditions whose
+    evaluation could raise on real data always keep the segment so the
+    full-scan error surfaces.
+    """
+    normalized = _normalize_condition(cond)
+    if normalized is None:
+        return True
+    op, value = normalized
+    lo = restore_nonfinite(stats.get("min"))
+    hi = restore_nonfinite(stats.get("max"))
+    nulls = stats.get("nulls", 0)
+    has_values = lo is not None and hi is not None
+    if op == "==":
+        if not _is_number(value) or value != value:
+            return False  # non-numeric / NaN never equals a numeric row
+        return has_values and lo <= value <= hi
+    if op == "!=":
+        # only a constant segment with no NaN rows can fail to match
+        return not (
+            nulls == 0
+            and has_values
+            and _is_number(value)
+            and value == value
+            and lo == hi == value
+        )
+    if op in ("<", "<=", ">", ">="):
+        if not _is_number(value):
+            return True  # full scan may raise (e.g. None/str bound): keep
+        if value != value or not has_values:
+            return False  # NaN bound or all-NaN column: comparisons are False
+        if op == "<":
+            return lo < value
+        if op == "<=":
+            return lo <= value
+        if op == ">":
+            return hi > value
+        return hi >= value
+    if op == "in":
+        members = _plain_members(value)
+        if members is None:
+            return True
+        if not has_values:
+            return False
+        return any(
+            _is_number(m) and m == m and lo <= m <= hi for m in members
+        )
+    if op == "not-in":
+        members = _plain_members(value)
+        if members is None:
+            return True
+        if nulls > 0 or not has_values or lo != hi:
+            return True
+        return not any(_is_number(m) and m == lo for m in members)
+    return True  # unknown op: the full scan will raise; keep the segment
+
+
+def _values_may_match(name: str, cond: Any, values: np.ndarray) -> bool:
+    """Evaluate one condition against a small value array through the real
+    mask machinery — exact semantics for every op; any error keeps the
+    segment so the full scan raises it instead."""
+    if not len(values):
+        return False
+    try:
+        return bool(ResultFrame({name: values}).mask(**{name: cond}).any())
+    except Exception:
+        return True
+
+
+def _pool_may_match(name: str, cond: Any, stats: Dict[str, Any]) -> bool:
+    """Zone-map test for an object column: every pool value has at least
+    one row, so "some pool value matches" == "some row matches"."""
+    pool = stats.get("values")
+    if pool is None:
+        return True  # pool too large to record: cannot prune
+    values = np.empty(len(pool), dtype=object)
+    values[:] = [restore_nonfinite(v) for v in pool]
+    return _values_may_match(name, cond, values)
+
+
+def _fill_may_match(name: str, cond: Any, target: str) -> bool:
+    """Whether the union fill value (NaN / None) of a column absent from a
+    segment can satisfy the condition."""
+    if target == "object":
+        fill = np.empty(1, dtype=object)
+    else:
+        fill = np.full(1, np.nan)
+    return _values_may_match(name, cond, fill)
 
 
 class ColumnStore:
@@ -325,9 +505,10 @@ class ColumnStore:
         tmp = self.segments_dir / f".tmp-{os.getpid()}-{seq}"
         tmp.mkdir(parents=True)
         col_kinds: Dict[str, str] = {}
+        col_stats: Dict[str, Dict[str, Any]] = {}
         for name, arr in columns.items():
             _check_column_name(name)
-            col_kinds[name] = self._write_column(tmp, name, arr)
+            col_kinds[name], col_stats[name] = self._write_column(tmp, name, arr)
         if keys is not None:
             np.save(tmp / "keys.npy", np.asarray(list(keys), dtype=np.str_))
         fingerprint = self._fingerprint_segment(tmp)
@@ -340,23 +521,28 @@ class ColumnStore:
             "keyed": keys is not None,
             "fingerprint": fingerprint,
             "columns": col_kinds,
+            "stats": col_stats,
         }
 
     @staticmethod
-    def _write_column(seg_dir: Path, name: str, arr: np.ndarray) -> str:
+    def _write_column(
+        seg_dir: Path, name: str, arr: np.ndarray
+    ) -> Tuple[str, Dict[str, Any]]:
         kind = arr.dtype.kind
         if kind in "iu":
-            np.save(seg_dir / f"{name}.npy", np.ascontiguousarray(arr, np.int64))
-            return "int64"
+            data = np.ascontiguousarray(arr, np.int64)
+            np.save(seg_dir / f"{name}.npy", data)
+            return "int64", _numeric_stats(data)
         if kind == "f":
-            np.save(seg_dir / f"{name}.npy", np.ascontiguousarray(arr, np.float64))
-            return "float64"
+            data = np.ascontiguousarray(arr, np.float64)
+            np.save(seg_dir / f"{name}.npy", data)
+            return "float64", _numeric_stats(data)
         codes, pool = _encode_object_column(np.asarray(arr, dtype=object))
         np.save(seg_dir / f"{name}.codes.npy", codes)
         (seg_dir / f"{name}.values.json").write_text(
             json.dumps(pool, allow_nan=False, default=str)
         )
-        return "object"
+        return "object", _object_stats(codes, pool)
 
     @staticmethod
     def _fingerprint_segment(seg_dir: Path) -> str:
@@ -368,10 +554,14 @@ class ColumnStore:
         return digest.hexdigest()
 
     # -- read -------------------------------------------------------------
-    def _load_segment(self, entry: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    def _load_segment(
+        self, entry: Dict[str, Any], subset: Optional[Sequence[str]] = None
+    ) -> Dict[str, np.ndarray]:
         seg_dir = self.segments_dir / entry["name"]
         out: Dict[str, np.ndarray] = {}
         for name, kind in entry["columns"].items():
+            if subset is not None and name not in subset:
+                continue
             if kind in _NUMERIC_KINDS:
                 out[name] = np.load(seg_dir / f"{name}.npy", mmap_mode="r")
             elif kind == "object":
@@ -385,18 +575,64 @@ class ColumnStore:
                 )
         return out
 
+    def _load_segment_raw(
+        self, entry: Dict[str, Any], subset: Sequence[str]
+    ) -> Dict[str, Tuple[str, Any, Any]]:
+        """Undecoded segment columns for the incremental aggregation path:
+        ``{"name": ("numeric", array, None) | ("object", codes, pool)}``."""
+        seg_dir = self.segments_dir / entry["name"]
+        out: Dict[str, Tuple[str, Any, Any]] = {}
+        for name, kind in entry["columns"].items():
+            if name not in subset:
+                continue
+            if kind in _NUMERIC_KINDS:
+                out[name] = (
+                    "numeric",
+                    np.load(seg_dir / f"{name}.npy", mmap_mode="r"),
+                    None,
+                )
+            elif kind == "object":
+                codes = np.load(seg_dir / f"{name}.codes.npy")
+                pool = json.loads((seg_dir / f"{name}.values.json").read_text())
+                out[name] = ("object", codes, pool)
+            else:
+                raise StoreError(
+                    f"segment {entry['name']} column {name!r} has unknown "
+                    f"kind {kind!r}"
+                )
+        return out
+
     def _segment_keys(self, entry: Dict[str, Any]) -> np.ndarray:
         return np.load(self.segments_dir / entry["name"] / "keys.npy")
 
-    def to_frame(self) -> ResultFrame:
-        """Everything in the store as one :class:`ResultFrame`.
+    def to_frame(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[Dict[str, Any]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> ResultFrame:
+        """The store (or a projected/filtered slice of it) as one
+        :class:`ResultFrame`.
 
         Numeric columns of a single-segment store stay memory-mapped
         (zero-copy); multi-segment stores concatenate.  When every segment
         is keyed, rows are deduplicated by key — last sealed wins — so a
         re-ingested/re-run cell supersedes its old row without a compact.
+
+        ``columns`` restricts the load to the named columns (projection —
+        unreferenced column files are never opened).  ``where`` takes
+        :meth:`ResultFrame.mask`-style conditions (scalar equality, list
+        membership, ``{"op": ..., "value": ...}``) and is the pushdown
+        read path: segments whose zone-map statistics prove no row can
+        match are skipped without touching their data files, and surviving
+        segments are masked with the exact ``mask`` semantics, so the
+        result is byte-identical to ``to_frame().filter(**where)``
+        projected to ``columns``.  Callable conditions cannot be pushed
+        down — filter the materialized frame instead.  ``manifest`` pins a
+        previously read manifest (the server uses this to keep one
+        snapshot's reads self-consistent).
         """
-        frame, _ = self._load_frame()
+        frame, _ = self._load_frame(columns=columns, where=where, manifest=manifest)
         return frame
 
     def keys(self) -> set:
@@ -407,40 +643,214 @@ class ColumnStore:
                 out.update(self._segment_keys(entry).tolist())
         return out
 
-    def _load_frame(self) -> Tuple[ResultFrame, Optional[np.ndarray]]:
-        manifest = self._require_manifest()
+    @staticmethod
+    def _union_kind(kinds: Sequence[Optional[str]]) -> str:
+        """The dtype a column takes in the union frame, given its kind in
+        each segment (None where the segment lacks the column)."""
+        if "object" in kinds:
+            return "object"
+        if "float64" in kinds or None in kinds:
+            return "float64"  # missing segments fill with NaN
+        return "int64"
+
+    @staticmethod
+    def _empty_column(target: str) -> np.ndarray:
+        if target == "object":
+            return np.empty(0, dtype=object)
+        return np.empty(0, dtype=np.int64 if target == "int64" else np.float64)
+
+    def _check_where(
+        self, where: Optional[Dict[str, Any]], names: Sequence[str]
+    ) -> Optional[Dict[str, Any]]:
+        if not where:
+            return None
+        for name, cond in where.items():
+            if name not in names:
+                raise KeyError(
+                    f"unknown filter column {name!r}; available: {list(names)}"
+                )
+            if callable(cond):
+                raise ValueError(
+                    f"filter for column {name!r} is a callable; only "
+                    "mask-style conditions push down — use "
+                    "to_frame().filter(...) instead"
+                )
+        return dict(where)
+
+    def _segment_may_match(
+        self,
+        entry: Dict[str, Any],
+        where: Dict[str, Any],
+        targets: Dict[str, str],
+    ) -> bool:
+        """Conservative planner predicate: False only when the segment's
+        zone maps *prove* no row can satisfy every condition.  Segments
+        from legacy (pre-stats) manifests always load."""
+        stats = entry.get("stats") or {}
+        for name, cond in where.items():
+            kind = entry["columns"].get(name)
+            if kind is None:
+                # the column is absent here: every row holds the union fill
+                if not _fill_may_match(name, cond, targets[name]):
+                    return False
+                continue
+            col_stats = stats.get(name)
+            if not isinstance(col_stats, dict):
+                continue  # no stats recorded for this column: cannot prune
+            if kind == "object":
+                if not _pool_may_match(name, cond, col_stats):
+                    return False
+            elif not _numeric_may_match(cond, col_stats):
+                return False
+        return True
+
+    def scan_plan(
+        self,
+        where: Optional[Dict[str, Any]] = None,
+        columns: Optional[Sequence[str]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """What a pushdown read would touch, without touching it.
+
+        Returns ``{"segments_total", "segments_selected", "rows_total",
+        "rows_selected", "columns_loaded"}`` — the observable planner
+        decision, used by tests and ``repro store stats`` to prove a skip
+        actually skips.
+        """
+        manifest = manifest or self._require_manifest()
         segments = manifest["segments"]
         names = list(manifest["columns"])
+        where = self._check_where(where, names)
+        if columns is None:
+            needed = list(names)
+        else:
+            needed = [self._check_column(name, names) for name in columns]
+            for name in where or ():
+                if name not in needed:
+                    needed.append(name)
+        targets = {
+            name: self._union_kind([e["columns"].get(name) for e in segments])
+            for name in needed
+        }
+        chosen = [
+            entry
+            for entry in segments
+            if not where or self._segment_may_match(entry, where, targets)
+        ]
+        return {
+            "segments_total": len(segments),
+            "segments_selected": len(chosen),
+            "rows_total": sum(e["rows"] for e in segments),
+            "rows_selected": sum(e["rows"] for e in chosen),
+            "columns_loaded": needed,
+        }
+
+    @staticmethod
+    def _check_column(name: str, names: Sequence[str]) -> str:
+        if name not in names:
+            raise KeyError(f"unknown column {name!r}; available: {list(names)}")
+        return name
+
+    def _dedup_keep_masks(
+        self, segments: Sequence[Dict[str, Any]]
+    ) -> Tuple[Optional[List[np.ndarray]], Optional[List[np.ndarray]]]:
+        """Global key-supersession masks, one boolean mask per segment.
+
+        Keys are loaded from *every* segment (they are small) even when the
+        planner skips a segment's data, because a superseded row in a loaded
+        segment may be shadowed by a newer generation in a skipped one.
+        Returns ``(key_parts, keep_masks)`` — ``(None, None)`` when any
+        segment is unkeyed, ``(parts, None)`` when no key repeats.
+        """
+        if not segments or not all(e.get("keyed") for e in segments):
+            return None, None
+        parts = [self._segment_keys(entry) for entry in segments]
+        keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        keep = self._last_occurrence(keys)
+        if keep is None:
+            return parts, None
+        keep_all = np.zeros(len(keys), dtype=bool)
+        keep_all[keep] = True
+        masks: List[np.ndarray] = []
+        offset = 0
+        for entry in segments:
+            masks.append(keep_all[offset : offset + entry["rows"]])
+            offset += entry["rows"]
+        return parts, masks
+
+    def _load_frame(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[Dict[str, Any]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[ResultFrame, Optional[np.ndarray]]:
+        manifest = manifest or self._require_manifest()
+        segments = manifest["segments"]
+        all_names = list(manifest["columns"])
+        if columns is None:
+            names = all_names
+        else:
+            names = [self._check_column(name, all_names) for name in columns]
+        where = self._check_where(where, all_names)
         if not segments:
             return ResultFrame.from_records([], columns=names), None
-        loaded = [self._load_segment(entry) for entry in segments]
-        columns: Dict[str, np.ndarray] = {}
-        for name in names:
-            kinds = [entry["columns"].get(name) for entry in segments]
-            if "object" in kinds:
-                target = "object"
-            elif "float64" in kinds or None in kinds:
-                target = "float64"  # missing segments fill with NaN
-            else:
-                target = "int64"
-            parts: List[np.ndarray] = []
-            for entry, cols in zip(segments, loaded):
-                if name in cols:
-                    parts.append(self._cast(cols[name], target))
-                elif target == "object":
-                    parts.append(np.empty(entry["rows"], dtype=object))
+        needed = list(names)
+        for name in where or ():
+            if name not in needed:
+                needed.append(name)
+        # union dtypes come from ALL segments — a skipped segment still
+        # widens int64 to float64, exactly as the full scan would
+        targets = {
+            name: self._union_kind([e["columns"].get(name) for e in segments])
+            for name in needed
+        }
+        key_parts, keep_masks = self._dedup_keep_masks(segments)
+        keyed = key_parts is not None
+        col_parts: Dict[str, List[np.ndarray]] = {name: [] for name in names}
+        key_out: List[np.ndarray] = []
+        for i, entry in enumerate(segments):
+            if where and not self._segment_may_match(entry, where, targets):
+                continue
+            loaded = self._load_segment(entry, subset=needed)
+            arrays: Dict[str, np.ndarray] = {}
+            for name in needed:
+                if name in loaded:
+                    arrays[name] = self._cast(loaded[name], targets[name])
+                elif targets[name] == "object":
+                    arrays[name] = np.empty(entry["rows"], dtype=object)
                 else:
-                    parts.append(np.full(entry["rows"], np.nan, dtype=np.float64))
-            columns[name] = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                    arrays[name] = np.full(entry["rows"], np.nan, dtype=np.float64)
+            mask: Optional[np.ndarray] = None
+            if keep_masks is not None:
+                mask = keep_masks[i]
+            if where:
+                row_mask = ResultFrame(arrays).mask(**where)
+                mask = row_mask if mask is None else (mask & row_mask)
+            for name in names:
+                col_parts[name].append(
+                    arrays[name] if mask is None else arrays[name][mask]
+                )
+            if keyed:
+                seg_keys = key_parts[i]
+                key_out.append(seg_keys if mask is None else seg_keys[mask])
+        out_columns: Dict[str, np.ndarray] = {}
+        for name in names:
+            parts = col_parts[name]
+            if not parts:
+                out_columns[name] = self._empty_column(targets[name])
+            elif len(parts) == 1:
+                out_columns[name] = parts[0]
+            else:
+                out_columns[name] = np.concatenate(parts)
         keys: Optional[np.ndarray] = None
-        if all(entry.get("keyed") for entry in segments):
-            parts = [self._segment_keys(entry) for entry in segments]
-            keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            keep = self._last_occurrence(keys)
-            if keep is not None:
-                keys = keys[keep]
-                columns = {name: arr[keep] for name, arr in columns.items()}
-        return ResultFrame(columns), keys
+        if keyed:
+            if not key_out:
+                keys = np.asarray([], dtype=np.str_)
+            elif len(key_out) == 1:
+                keys = key_out[0]
+            else:
+                keys = np.concatenate(key_out)
+        return ResultFrame(out_columns), keys
 
     @staticmethod
     def _cast(arr: np.ndarray, target: str) -> np.ndarray:
@@ -466,6 +876,7 @@ class ColumnStore:
         cache_dir=None,
         chunk_rows: int = 65536,
         skip_existing: bool = True,
+        progress=None,
     ) -> Dict[str, Any]:
         """Chunked/streaming merge of a JSON artifact into the store.
 
@@ -477,8 +888,11 @@ class ColumnStore:
         re-ingest is idempotent and without it re-runs supersede old rows;
         ``results.json`` rows carry no identity and always append.  Rows
         stream in ``chunk_rows`` batches — a million-row cache never
-        materializes in memory.  Returns ``{"rows_appended",
-        "rows_skipped", "segments_added", "source"}``.
+        materializes in memory.  ``progress`` (a callable taking one
+        string) receives a ``chunk i/N (rows)`` line per sealed chunk; N
+        counts source candidates, so skipped rows can finish short of it.
+        Returns ``{"rows_appended", "rows_skipped", "segments_added",
+        "source"}``.
         """
         source = Path(source)
         stats = {
@@ -489,15 +903,22 @@ class ColumnStore:
         }
         if chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        chunks_total = 0
 
         def flush_frame(frame: ResultFrame, keys: Optional[List[str]]) -> None:
             entry = self.append_frame(frame, keys=keys)
             if entry is not None:
                 stats["rows_appended"] += entry["rows"]
                 stats["segments_added"] += 1
+                if progress is not None:
+                    progress(
+                        f"chunk {stats['segments_added']}/{chunks_total} "
+                        f"({entry['rows']} rows)"
+                    )
 
         if source.is_file():
             frame = ResultFrame.from_json(source)
+            chunks_total = -(-len(frame) // chunk_rows) if len(frame) else 0
             for start in range(0, len(frame), chunk_rows):
                 idx = np.arange(start, min(start + chunk_rows, len(frame)))
                 flush_frame(frame.take(idx), None)
@@ -505,6 +926,8 @@ class ColumnStore:
         if not source.is_dir():
             raise FileNotFoundError(f"nothing to ingest at {source}")
 
+        candidates = self._count_source_rows(source, cache_dir)
+        chunks_total = -(-candidates // chunk_rows) if candidates else 0
         existing = self.keys() if skip_existing and self.exists() else set()
         rows: List[Any] = []
         keys: List[str] = []
@@ -525,6 +948,19 @@ class ColumnStore:
                 flush_rows()
         flush_rows()
         return stats
+
+    @staticmethod
+    def _count_source_rows(source: Path, cache_dir) -> int:
+        """Candidate row count of a cache/queue source — a cheap directory
+        listing (no JSON parsing) sizing the ingest progress denominator."""
+        from ..experiment.cache import ResultCache
+
+        queue = is_queue_dir(source)
+        entries_root = (cache_dir or source / "cache") if queue else source
+        count = sum(1 for _ in ResultCache(entries_root)._entries())
+        if queue:
+            count += sum(1 for _ in (source / "failed").glob("*.json"))
+        return count
 
     @staticmethod
     def _iter_source_rows(source: Path, cache_dir) -> Iterator[Tuple[str, Any]]:
@@ -588,6 +1024,52 @@ class ColumnStore:
             "rows_after": manifest["rows"],
             "swept_dirs": swept,
         }
+
+    def analyze(self) -> Dict[str, Any]:
+        """Backfill zone-map statistics for segments sealed before stats
+        existed, rewriting only the manifest.
+
+        Segment data files are immutable, so the stats are computed once
+        from disk and recorded next to each entry.  The manifest
+        fingerprint hashes only row identity (name/rows/segment digest),
+        not stats, so backfilling never invalidates server ETags.  Returns
+        ``{"segments", "analyzed"}``; segments that already carry stats are
+        left untouched (``compact`` also produces stats as a side effect).
+        """
+        self._require_manifest()
+        self._acquire_lock()
+        try:
+            manifest = self._require_manifest()  # re-read under the lock
+            analyzed = 0
+            for entry in manifest["segments"]:
+                if isinstance(entry.get("stats"), dict):
+                    continue
+                entry["stats"] = self._stats_from_disk(entry)
+                analyzed += 1
+            if analyzed:
+                self._write_manifest(manifest)
+        finally:
+            self._release_lock()
+        return {"segments": len(manifest["segments"]), "analyzed": analyzed}
+
+    def _stats_from_disk(self, entry: Dict[str, Any]) -> Dict[str, Any]:
+        seg_dir = self.segments_dir / entry["name"]
+        stats: Dict[str, Any] = {}
+        for name, kind in entry["columns"].items():
+            if kind in _NUMERIC_KINDS:
+                stats[name] = _numeric_stats(
+                    np.load(seg_dir / f"{name}.npy", mmap_mode="r")
+                )
+            else:
+                codes = np.load(seg_dir / f"{name}.codes.npy")
+                pool = json.loads((seg_dir / f"{name}.values.json").read_text())
+                stats[name] = _object_stats(codes, pool)
+        return stats
+
+    def segments(self) -> List[Dict[str, Any]]:
+        """The manifest's segment entries (name/rows/keyed/columns/stats) —
+        the read API behind ``repro store stats --segments``."""
+        return list(self._require_manifest()["segments"])
 
     def _sweep_unreferenced(self, manifest: Dict[str, Any]) -> int:
         live = {entry["name"] for entry in manifest["segments"]}

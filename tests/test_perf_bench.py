@@ -65,12 +65,15 @@ class TestHarness:
         # re.search anchors nowhere, so the report benches match too
         assert names == {
             "store_ingest_1m", "store_load_1m", "store_load_1m_json_twin",
+            "store_query_pushdown_1m", "store_query_fullscan_twin_1m",
             "report_from_store_1m", "report_from_store_1m_json_twin",
+            "report_from_store_incremental_1m",
         }
         assert {b.name for b in
                 select_benchmarks("store_.*|report_from_store_1m")} == names
         assert {b.name for b in select_benchmarks("^store_.*")} == {
             "store_ingest_1m", "store_load_1m", "store_load_1m_json_twin",
+            "store_query_pushdown_1m", "store_query_fullscan_twin_1m",
         }
         # a broken regex alternative is ignored rather than raising
         assert select_benchmarks("[unclosed") == []

@@ -379,3 +379,427 @@ class TestServeIntegration:
         assert source.maybe_reload() is True
         assert len(source.snapshot().frame) == 4
         assert source.snapshot().fingerprint == store.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# zone maps: recording, backfill, and predicate pushdown (PR 9)
+# ---------------------------------------------------------------------------
+
+def probe_store(tmp_path) -> ColumnStore:
+    """Three hand-built segments exercising every zone-map edge: NaN and
+    ±inf numerics, a null-bearing object column, int/float columns whose
+    ranges separate cleanly across segments."""
+    store = ColumnStore(tmp_path / "probe_store")
+    store.append_frame(ResultFrame.from_records([
+        {"i": 1, "f": 0.5, "s": "alpha"},
+        {"i": 2, "f": float("nan"), "s": "beta"},
+    ]))
+    store.append_frame(ResultFrame.from_records([
+        {"i": 5, "f": float("inf"), "s": "gamma"},
+        {"i": 7, "f": float("-inf"), "s": None},
+    ]))
+    store.append_frame(ResultFrame.from_records([
+        {"i": -3, "f": 2.25, "s": "alpha"},
+    ]))
+    return store
+
+
+def strip_stats(store: ColumnStore) -> ColumnStore:
+    """Rewrite the manifest without ``stats`` — a pre-PR-9 legacy store."""
+    manifest = json.loads(store.manifest_path.read_text())
+    for entry in manifest["segments"]:
+        entry.pop("stats", None)
+    store.manifest_path.write_text(json.dumps(manifest, indent=1))
+    return ColumnStore(store.root)
+
+
+#: (column, condition) pairs covering all 8 ops × int64/float64/object
+#: × NaN/±inf probe values; every one must be byte-equal to its
+#: full-scan twin, with or without zone maps
+PUSHDOWN_CASES = [
+    ("i", {"op": "==", "value": 2}),
+    ("i", {"op": "==", "value": 100}),          # no match: all skipped
+    ("i", {"op": "!=", "value": 5}),
+    ("i", {"op": "<", "value": 0}),
+    ("i", {"op": "<=", "value": 1}),
+    ("i", {"op": ">", "value": 6}),
+    ("i", {"op": ">=", "value": 7}),
+    ("i", {"op": "in", "value": [2, 7]}),
+    ("i", {"op": "not-in", "value": [1, 2, 5, 7, -3]}),
+    ("f", {"op": "==", "value": 0.5}),
+    ("f", {"op": "==", "value": float("inf")}),
+    ("f", {"op": "==", "value": float("nan")}),   # matches nothing
+    ("f", {"op": "!=", "value": 0.5}),            # NaN rows DO match !=
+    ("f", {"op": "<", "value": 0.0}),
+    ("f", {"op": "<=", "value": float("-inf")}),
+    ("f", {"op": ">", "value": 100.0}),
+    ("f", {"op": ">=", "value": 2.25}),
+    ("f", {"op": "<", "value": float("nan")}),    # all-False, skippable
+    ("f", {"op": "in", "value": [0.5, float("inf")]}),
+    ("f", {"op": "not-in", "value": [0.5, 2.25]}),
+    ("s", {"op": "==", "value": "alpha"}),
+    ("s", {"op": "==", "value": "nope"}),
+    ("s", {"op": "!=", "value": "alpha"}),
+    ("s", {"op": "in", "value": ["alpha", "gamma"]}),
+    ("s", {"op": "not-in", "value": ["alpha", "beta", "gamma"]}),
+    ("s", "beta"),                                # scalar = equality
+    ("i", [5, -3]),                               # bare list = membership
+]
+
+
+class TestZoneMaps:
+    def test_stats_recorded_at_append(self, tmp_path):
+        store = probe_store(tmp_path)
+        segments = store.segments()
+        assert all(isinstance(e.get("stats"), dict) for e in segments)
+        s0 = segments[0]["stats"]
+        assert s0["i"] == {"min": 1, "max": 2, "nulls": 0}
+        # NaN is counted as a null and excluded from the bounds
+        assert s0["f"]["nulls"] == 1 and s0["f"]["min"] == 0.5
+        assert s0["s"] == {"nulls": 0, "values": ["alpha", "beta"]}
+        # ±inf round-trips through the strict-JSON sentinel encoding
+        s1 = json.loads(store.manifest_path.read_text())["segments"][1]
+        assert s1["stats"]["f"]["max"] == {"__nonfinite__": "inf"}
+        assert s1["stats"]["f"]["min"] == {"__nonfinite__": "-inf"}
+        assert s1["stats"]["s"]["nulls"] == 1
+
+    def test_large_pools_omit_values(self, tmp_path):
+        from repro.store import ZONE_MAP_MAX_VALUES
+
+        store = ColumnStore(tmp_path / "store")
+        n = ZONE_MAP_MAX_VALUES + 1
+        store.append_frame(ResultFrame.from_records(
+            [{"s": f"v{j:04d}"} for j in range(n)]))
+        (entry,) = store.segments()
+        assert "values" not in entry["stats"]["s"]
+        assert entry["stats"]["s"]["nulls"] == 0
+        # no pool → the planner cannot prune, but reads stay correct
+        plan = store.scan_plan(where={"s": "v0000"})
+        assert plan["segments_selected"] == 1
+        assert len(store.to_frame(where={"s": "v0000"})) == 1
+
+    def test_analyze_backfills_and_keeps_fingerprint(self, tmp_path):
+        store = probe_store(tmp_path)
+        with_stats = store.segments()
+        fp = store.fingerprint()
+        legacy = strip_stats(store)
+        assert all("stats" not in e for e in legacy.segments())
+        # stats are deliberately outside the fingerprint: stripping or
+        # backfilling them never invalidates ETags or change detection
+        assert legacy.fingerprint() == fp
+        result = legacy.analyze()
+        assert result == {"segments": 3, "analyzed": 3}
+        assert legacy.segments() == with_stats
+        assert legacy.fingerprint() == fp
+        # idempotent: a second pass finds nothing to do
+        assert legacy.analyze() == {"segments": 3, "analyzed": 0}
+
+    def test_compact_backfills_stats(self, tmp_path):
+        legacy = strip_stats(probe_store(tmp_path))
+        legacy.compact()
+        (entry,) = legacy.segments()
+        assert isinstance(entry["stats"], dict)
+        assert entry["stats"]["i"] == {"min": -3, "max": 7, "nulls": 0}
+
+
+class TestPushdown:
+    @pytest.mark.parametrize("column,cond", PUSHDOWN_CASES)
+    def test_pushdown_equals_fullscan_twin(self, tmp_path, column, cond):
+        store = probe_store(tmp_path)
+        where = {column: cond}
+        expect = store.to_frame().filter(**where)
+        assert_frames_identical(store.to_frame(where=where), expect)
+        # the same predicate over a legacy store (no stats: nothing is
+        # skipped), then again after analyze backfills the zone maps
+        legacy = strip_stats(store)
+        assert_frames_identical(legacy.to_frame(where=where), expect)
+        legacy.analyze()
+        assert_frames_identical(legacy.to_frame(where=where), expect)
+
+    def test_plan_actually_skips(self, tmp_path):
+        store = probe_store(tmp_path)
+        plan = store.scan_plan(where={"i": {"op": ">", "value": 4}})
+        assert plan["segments_total"] == 3
+        assert plan["segments_selected"] == 1  # only segment 2 can match
+        assert plan["rows_total"] == 5 and plan["rows_selected"] == 2
+        # a predicate nothing satisfies prunes everything
+        none = store.scan_plan(where={"i": {"op": "==", "value": 100}})
+        assert none["segments_selected"] == 0
+        assert len(store.to_frame(where={"i": 100})) == 0
+        # no stats → conservative: every segment is selected
+        legacy = strip_stats(store)
+        assert legacy.scan_plan(where={"i": {"op": ">", "value": 4}})[
+            "segments_selected"] == 3
+
+    def test_projection_loads_requested_columns_only(self, tmp_path):
+        store = probe_store(tmp_path)
+        frame = store.to_frame(columns=["f", "i"])
+        # the projection keeps the requested order
+        assert frame.columns == ["f", "i"]
+        plan = store.scan_plan(where={"i": {"op": "<", "value": 0}},
+                               columns=["s"])
+        # the filter column is loaded for masking even when not projected
+        assert sorted(plan["columns_loaded"]) == ["i", "s"]
+
+    def test_unknown_columns_fail_loudly(self, tmp_path):
+        store = probe_store(tmp_path)
+        with pytest.raises(KeyError, match="unknown column 'nope'"):
+            store.to_frame(columns=["nope"])
+        with pytest.raises(KeyError, match="unknown filter column 'nope'"):
+            store.to_frame(where={"nope": 1})
+        with pytest.raises(ValueError, match="callable"):
+            store.to_frame(where={"i": lambda v: v > 0})
+
+    def test_ordering_on_object_column_matches_fullscan(self, tmp_path):
+        # string ordering on object columns: the planner evaluates the
+        # condition against each segment's value pool, so the segment
+        # holding only "gamma"/None is provably unmatched and skipped —
+        # and the surviving rows still match the full scan byte for byte
+        store = probe_store(tmp_path)
+        where = {"s": {"op": "<", "value": "beta"}}
+        assert store.scan_plan(where=where)["segments_selected"] == 2
+        assert_frames_identical(store.to_frame(where=where),
+                                store.to_frame().filter(**where))
+
+    def test_superseded_rows_stay_dead_when_segment_skipped(self, tmp_path):
+        store = ColumnStore(tmp_path / "store")
+        store.append_frame(ResultFrame.from_records([{"x": 1}]), keys=["k"])
+        store.append_frame(ResultFrame.from_records([{"x": 100}]), keys=["k"])
+        # x == 1 prunes the superseding segment; the stale generation in
+        # the surviving segment must NOT resurface
+        assert store.scan_plan(where={"x": 1})["segments_selected"] == 1
+        assert len(store.to_frame(where={"x": 1})) == 0
+        frame = store.to_frame(where={"x": 100})
+        assert frame.column("x").tolist() == [100]
+
+    def test_pushdown_on_real_sweep_rows(self, tmp_path):
+        cache = fill_cache(tmp_path / "cache", n=24)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root, chunk_rows=6)
+        where = {"strategy": "random",
+                 "compression": {"op": ">=", "value": 4.0}}
+        assert_frames_identical(store.to_frame(where=where),
+                                store.to_frame().filter(**where))
+
+
+class TestApplyStore:
+    QUERIES = [
+        {"filter": {"seed": {"op": "<", "value": 6}}, "sort": ["seed"]},
+        {"filter": {"strategy": "random"},
+         "columns": ["strategy", "seed", "top1"], "limit": 3},
+        {"filter": {"compression": {"op": "in", "value": [4.0, 8.0]}},
+         "aggregate": {"by": ["strategy", "compression"],
+                       "values": ["top1"]}},
+        {"group_by": ["strategy", "compression"], "sort": ["n"],
+         "limit": 2, "offset": 1},
+        {},
+    ]
+
+    @pytest.mark.parametrize("spec", QUERIES)
+    def test_apply_store_matches_apply(self, tmp_path, spec):
+        from repro.analysis.query import compile_query
+
+        cache = fill_cache(tmp_path / "cache", n=24)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root, chunk_rows=6)
+        query = compile_query(spec)
+        a = query.apply_store(store)
+        b = query.apply(store.to_frame())
+        assert json.dumps(a, default=float) == json.dumps(b, default=float)
+
+    def test_apply_store_error_parity(self, tmp_path):
+        from repro.analysis.query import QueryError, compile_query
+
+        cache = fill_cache(tmp_path / "cache", n=6)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        frame = store.to_frame()
+        for spec in ({"filter": {"nope": 1}},
+                     {"columns": ["nope"]},
+                     {"sort": ["nope"]},
+                     {"aggregate": {"by": ["nope"]}},
+                     # sort names a pre-aggregation column: both paths
+                     # must reject it against the aggregated vocabulary
+                     {"group_by": ["strategy"], "sort": ["seed"]}):
+            query = compile_query(spec)
+            with pytest.raises(QueryError) as via_store:
+                query.apply_store(store)
+            with pytest.raises(QueryError) as via_frame:
+                query.apply(frame)
+            assert str(via_store.value) == str(via_frame.value)
+
+
+class TestIncrementalReport:
+    def make_store(self, tmp_path, with_sentinels: bool = True):
+        from repro.experiment.prune import BASELINE_STRATEGY
+
+        cache = fill_cache(tmp_path / "cache", n=24)
+        if with_sentinels:
+            spec = ExperimentSpec(
+                model="lenet-300-100", dataset="cifar10",
+                strategy=BASELINE_STRATEGY, compression=1.0, seed=0)
+            row = synth_row(spec, 3)
+            cache.put(spec, row)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root, chunk_rows=7)
+        return store
+
+    def assert_reports_byte_equal(self, store, y="top1", outstanding=None):
+        from repro.analysis.report import (
+            _build_report_incremental,
+            build_report,
+            report_json_text,
+        )
+
+        # call the incremental builder directly so a silent fallback can
+        # never make this test vacuous
+        incremental = _build_report_incremental(
+            store, store._require_manifest(), y, outstanding)
+        full = build_report(store.to_frame(), y=y, outstanding=outstanding)
+        assert report_json_text(incremental) == report_json_text(full)
+
+    def test_byte_equal_with_baseline_sentinels(self, tmp_path):
+        self.assert_reports_byte_equal(self.make_store(tmp_path))
+
+    def test_byte_equal_without_sentinels_y_top5(self, tmp_path):
+        store = self.make_store(tmp_path, with_sentinels=False)
+        self.assert_reports_byte_equal(store, y="top5")
+
+    def test_byte_equal_after_compact_and_outstanding(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.compact()
+        self.assert_reports_byte_equal(
+            store, outstanding={"pending": 2, "leased": 1})
+
+    def test_fallback_is_byte_equal_too(self, tmp_path, monkeypatch):
+        import repro.analysis.report as report_mod
+        from repro.analysis.report import (
+            build_report,
+            build_report_from_store,
+            report_json_text,
+        )
+
+        store = self.make_store(tmp_path)
+        # when the incremental plan bails, the public entry point must
+        # fall back to materialize-then-report transparently
+        monkeypatch.setattr(
+            report_mod, "_build_report_incremental",
+            lambda *a, **k: (_ for _ in ()).throw(
+                report_mod._IncrementalFallback()))
+        assert report_json_text(build_report_from_store(store)) == \
+            report_json_text(build_report(store.to_frame()))
+
+    def test_report_cli_routes_store_through_incremental(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        store = self.make_store(tmp_path)
+        assert main(["report", str(tmp_path / "cache"), "--json", "-"]) == 0
+        from_cache = capsys.readouterr().out
+        called = []
+        import repro.analysis.report as report_mod
+
+        original = report_mod._build_report_incremental
+
+        def spy(*args, **kwargs):
+            called.append(True)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(report_mod, "_build_report_incremental", spy)
+        assert main(["report", str(store.root), "--json", "-"]) == 0
+        from_store = capsys.readouterr().out
+        assert called, "store report did not take the incremental path"
+        assert from_store == from_cache
+
+
+class TestStoreCLIProgress:
+    def test_ingest_prints_chunk_progress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = fill_cache(tmp_path / "cache", n=7)
+        assert main(["store", "ingest", str(cache.root),
+                     str(tmp_path / "store"), "--chunk-rows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk 1/3 (3 rows)" in out
+        assert "chunk 3/3 (1 rows)" in out
+
+    def test_ingest_quiet_suppresses_progress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = fill_cache(tmp_path / "cache", n=7)
+        assert main(["store", "ingest", str(cache.root),
+                     str(tmp_path / "store"), "--chunk-rows", "3",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk" not in out
+        assert "rows appended  : 7" in out
+
+    def test_stats_segments_renders_zone_maps(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = probe_store(tmp_path)
+        assert main(["store", "stats", str(store.root), "--segments"]) == 0
+        out = capsys.readouterr().out
+        assert "5 row(s)" not in out  # per-segment, not the union
+        assert "2 row(s), unkeyed" in out
+        assert "min 1, max 2" in out          # segment 0 int bounds
+        assert "min -inf, max inf" in out     # segment 1 restores ±inf
+        assert "2 distinct value(s)" in out
+        strip_stats(store)
+        assert main(["store", "stats", str(store.root), "--segments"]) == 0
+        out = capsys.readouterr().out
+        assert "no zone-map stats" in out and "store analyze" in out
+        assert main(["store", "analyze", str(store.root)]) == 0
+        assert "analyzed : 3" in capsys.readouterr().out
+
+
+class TestServePushdown:
+    def test_store_snapshot_carries_planner_handles(self, tmp_path):
+        from repro.serve import FrameSource
+
+        cache = fill_cache(tmp_path / "cache", n=6)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        snapshot = FrameSource("s", path=store.root).load()
+        assert snapshot.store is not None
+        assert snapshot.store_manifest["fingerprint"] == store.fingerprint()
+        # non-store sources must NOT grow the handles
+        memory = FrameSource.from_frame("m", store.to_frame()).load()
+        assert memory.store is None
+
+    def test_store_report_text_matches_full_build(self, tmp_path):
+        from repro.analysis.report import build_report, report_json_text
+        from repro.serve import FrameSource
+
+        cache = fill_cache(tmp_path / "cache", n=12)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root, chunk_rows=5)
+        snapshot = FrameSource("s", path=store.root).load()
+        expected = report_json_text(build_report(
+            store.to_frame(), outstanding=snapshot.outstanding))
+        assert snapshot.report_text("top1") == expected
+
+    def test_query_falls_back_when_store_torn(self, tmp_path, monkeypatch):
+        import repro.analysis.query as query_mod
+        from repro.analysis.query import compile_query
+        from repro.serve import FrameSource, ResultsServer
+
+        cache = fill_cache(tmp_path / "cache", n=8)
+        store = ColumnStore(tmp_path / "store")
+        store.ingest(cache.root)
+        server = ResultsServer([FrameSource("s", path=store.root)])
+        source = server.sources["s"]
+        source.load()
+        spec = {"filter": {"seed": {"op": "<", "value": 4}},
+                "sort": ["seed"]}
+        expected = compile_query(spec).apply(store.to_frame())
+        monkeypatch.setattr(
+            query_mod.Query, "apply_store",
+            lambda self, st, manifest=None: (_ for _ in ()).throw(
+                OSError("segment deleted by racing compact")))
+        response = server.dispatch(
+            "POST", "/query", {}, json.dumps(spec).encode())
+        assert response.status == 200
+        payload = json.loads(response.text)
+        assert payload["rows"] == json.loads(
+            json.dumps(expected["rows"], default=float))
