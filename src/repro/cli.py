@@ -6,7 +6,10 @@ Subcommands::
     python -m repro report SOURCE         # §6 standard report from a sweep
     python -m repro serve SOURCE...       # long-running JSON results server
     python -m repro worker QUEUE_DIR      # pull + run cells from a work queue
-    python -m repro queue stats|retry-failed|compact QUEUE_DIR
+    python -m repro queue stats|retry-failed|compact|watch QUEUE_DIR
+    python -m repro fleet plan sweep.json QUEUE_DIR    # batch-submit a sweep
+    python -m repro fleet launch hosts.txt QUEUE_DIR   # start the workers
+    python -m repro fleet verify QUEUE_DIR [--retry]   # audit done vs cache
     python -m repro bench [PATTERN]       # performance microbenchmark suite
     python -m repro expand sweep.json     # dry-run: list cells + spec hashes
     python -m repro ls [models|datasets|strategies|schedules|optimizers|executors|kernels]
@@ -303,8 +306,115 @@ def build_parser() -> argparse.ArgumentParser:
     qcompact.add_argument("--max-age-days", type=float, default=None,
                           help="only remove markers older than this many days "
                                "(default: all)")
-    for sp in (qstats, qretry, qcompact):
+    qwatch = queue_sub.add_parser(
+        "watch", help="live progress dashboard (counts, per-worker "
+                      "heartbeats, throughput, ETA); exits when the queue "
+                      "drains"
+    )
+    qwatch.add_argument("--interval", type=_nonneg_float, default=2.0,
+                        metavar="S",
+                        help="seconds between refreshes (default: 2)")
+    qwatch.add_argument("--iterations", type=_positive_int, default=None,
+                        metavar="N",
+                        help="stop after N refreshes even if not drained "
+                             "(for scripts/CI; default: until drained)")
+    qwatch.add_argument("--no-clear", action="store_true",
+                        help="append refreshes instead of clearing the "
+                             "screen (log-friendly)")
+    for sp in (qstats, qretry, qcompact, qwatch):
         sp.add_argument("queue_dir", help="work-queue directory")
+
+    fleet = _add_command(
+        sub, "fleet",
+        "fleet-scale sweep orchestration: plan batches, launch workers "
+        "from a hosts file, verify done markers against the cache",
+        "python -m repro fleet plan sweep.json /shared/q\n"
+        "  python -m repro fleet launch hosts.txt /shared/q\n"
+        "  python -m repro queue watch /shared/q\n"
+        "  python -m repro fleet verify /shared/q --retry",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fplan = fleet_sub.add_parser(
+        "plan",
+        help="expand a sweep config and submit it in recorded batches "
+             "(writes <queue-dir>/fleet/batch_manifest.json)",
+    )
+    fplan.add_argument("config", help="path to a sweep config JSON file")
+    fplan.add_argument("queue_dir", help="work-queue directory "
+                       "(created if missing)")
+    fplan.add_argument("--batch-size", type=_positive_int, default=64,
+                       metavar="N",
+                       help="cells per recorded batch (default: 64)")
+    fplan.add_argument("--dry-run", action="store_true",
+                       help="write the batch manifest without submitting "
+                            "anything to pending/")
+    fplan.add_argument("--force", action="store_true",
+                       help="replace an existing plan made from a "
+                            "different config")
+    fplan.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="S",
+                       help="queue lease timeout (default: the config's "
+                            "executor_options, else the queue default)")
+    fplan.add_argument("--max-retries", type=_nonneg_int, default=None,
+                       help="queue retry budget (default: the config's "
+                            "executor_options, else the queue default)")
+    fplan.add_argument("--kernel-backend", default=None, metavar="NAME",
+                       help="kernel backend recorded in queue.json for "
+                            "workers (default: the config's "
+                            "executor_options)")
+    flaunch = fleet_sub.add_parser(
+        "launch",
+        help="start `repro worker` processes on every host in a hosts "
+             "file (logs + PID manifest under <queue-dir>/fleet/)",
+    )
+    flaunch.add_argument("hosts_file",
+                         help="one host per line: `local workers=4`, "
+                              "`gpu-box workers=8 launcher=ssh` "
+                              "(# comments allowed)")
+    flaunch.add_argument("queue_dir",
+                         help="work-queue directory (plan it first)")
+    flaunch.add_argument("--workers", type=_positive_int, default=1,
+                         help="workers per host when a line has no "
+                              "workers= option (default: 1)")
+    flaunch.add_argument("--import", dest="imports", action="append",
+                         default=[], metavar="MODULE",
+                         help="passed through to every worker "
+                              "(registers custom components); repeatable")
+    flaunch.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="S",
+                         help="workers exit after the queue stays empty "
+                              "this long (default: wait forever)")
+    flaunch.add_argument("--max-cells", type=int, default=None,
+                         help="each worker exits after claiming this many "
+                              "cells")
+    flaunch.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared result cache for the workers "
+                              "(default: <queue-dir>/cache)")
+    flaunch.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="workers also publish rows to this binary "
+                              "column store")
+    flaunch.add_argument("--kernel-backend", default=None, metavar="NAME",
+                         help="kernel backend for the workers (default: "
+                              "the submitter's choice in queue.json)")
+    fverify = fleet_sub.add_parser(
+        "verify",
+        help="audit done/ markers against the result cache (ghost-done "
+             "cells, corrupt markers, orphan/mismatched cache entries); "
+             "--retry re-enqueues the gaps",
+    )
+    fverify.add_argument("queue_dir", help="work-queue directory")
+    fverify.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared result cache the workers published "
+                              "to (default: <queue-dir>/cache)")
+    fverify.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="also check done cells against this binary "
+                              "column store's stored keys")
+    fverify.add_argument("--retry", action="store_true",
+                         help="repair: requeue expired leases, re-enqueue "
+                              "ghost/corrupt/missing cells, drop orphan "
+                              "cache entries, retry quarantined cells")
+    fverify.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the audit (and repairs) as JSON")
 
     bench = _add_command(
         sub, "bench",
@@ -713,6 +823,15 @@ def _cmd_queue(args) -> int:
         print(f"no work queue at {args.queue_dir} (missing queue.json)",
               file=sys.stderr)
         return 2
+    if args.queue_command == "watch":
+        from .fleet import watch_queue
+
+        return watch_queue(
+            args.queue_dir,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
     queue = WorkQueue(args.queue_dir)
     if args.queue_command == "stats":
         stats = queue.stats()
@@ -743,6 +862,101 @@ def _cmd_queue(args) -> int:
         removed = queue.compact(max_age=max_age)
         print(f"removed {removed} done marker(s); queue: {queue.counts()}")
     return 0
+
+
+def _cmd_fleet(args) -> int:
+    from . import fleet
+
+    if args.fleet_command == "plan":
+        config = SweepConfig.load(args.config)
+        try:
+            manifest = fleet.fleet_plan(
+                config,
+                args.queue_dir,
+                batch_size=args.batch_size,
+                lease_timeout=args.lease_timeout,
+                max_retries=args.max_retries,
+                kernel_backend=args.kernel_backend,
+                submit=not args.dry_run,
+                force=args.force,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        verb = "planned (dry run)" if args.dry_run else "planned"
+        print(f"{verb} {manifest['n_cells']} cell(s) in "
+              f"{len(manifest['batches'])} batch(es) of "
+              f"<= {manifest['batch_size']} "
+              f"(config {manifest['config_hash']}) -> "
+              f"{fleet.batch_manifest_path(args.queue_dir)}")
+        for batch in manifest["batches"]:
+            print(f"  batch {batch['index']:>3}: "
+                  f"{len(batch['hashes'])} cell(s), "
+                  f"{batch['submitted']} submitted, "
+                  f"{batch['already_done']} done, "
+                  f"{batch['already_queued']} queued")
+        return 0
+
+    if args.fleet_command == "launch":
+        try:
+            hosts = fleet.parse_hosts_file(
+                args.hosts_file, default_workers=args.workers
+            )
+            manifest = fleet.launch_fleet(
+                hosts,
+                args.queue_dir,
+                imports=args.imports,
+                idle_timeout=args.idle_timeout,
+                max_cells=args.max_cells,
+                cache_dir=args.cache_dir,
+                store_dir=args.store_dir,
+                kernel_backend=args.kernel_backend,
+                progress=lambda msg: print(msg, flush=True),
+            )
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        total = sum(h.workers for h in hosts)
+        print(f"launched {total} worker(s) on {len(hosts)} host(s); "
+              f"manifest: {fleet.fleet_manifest_path(args.queue_dir)}")
+        return 0
+
+    # verify
+    from .analysis import is_queue_dir
+
+    if not is_queue_dir(args.queue_dir):
+        print(f"no work queue at {args.queue_dir} (missing queue.json)",
+              file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or Path(args.queue_dir) / "cache"
+    audit, repairs = fleet.verify_fleet(
+        args.queue_dir,
+        cache_dir=cache_dir,
+        store_dir=args.store_dir,
+        retry=args.retry,
+    )
+    if args.as_json:
+        print(json.dumps({"audit": audit.to_dict(), "repairs": repairs},
+                         indent=1))
+        return 0 if audit.clean else 1
+    print(f"queue   : {audit.queue_dir}")
+    print(f"cache   : {audit.cache_dir}")
+    print(f"planned : {audit.planned}   done: {audit.done}   "
+          f"cached: {audit.cached}")
+    if audit.clean:
+        print("audit   : clean — every done marker is backed by a cache row")
+    else:
+        print("audit   : PROBLEMS")
+        for name, hashes in audit.problems().items():
+            shown = ", ".join(hashes[:4]) + (" ..." if len(hashes) > 4 else "")
+            print(f"  {name:<16} {len(hashes):>4}  {shown}")
+    if args.retry:
+        for action, hashes in repairs.items():
+            if hashes:
+                print(f"repair  : {action} x{len(hashes)}")
+        if not any(repairs.values()):
+            print("repair  : nothing to do")
+    return 0 if audit.clean else 1
 
 
 def _cmd_worker(args) -> int:
@@ -975,6 +1189,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "queue":
         return _cmd_queue(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "expand":

@@ -71,6 +71,7 @@ import socket
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -171,12 +172,47 @@ class WorkQueue:
                 ),
             )
 
+    #: queue.json settings older layouts may lack; value = validator for
+    #: the stored value (anything else is treated as absent + defaulted)
+    _SETTING_CHECKS = {
+        "lease_timeout": lambda v: (
+            isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0
+        ),
+        "max_retries": lambda v: (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 0
+        ),
+    }
+
     def _load_settings(self) -> Dict:
+        """queue.json settings, with missing/invalid keys dropped.
+
+        Queue directories created by older layouts can lack settings keys
+        (or hold ``null`` where a number belongs); dropping those keys
+        here lets the constructor's ``.get(..., DEFAULT)`` defaults apply
+        instead of crashing on ``float(None)``.  A warning names the
+        defaulted keys so a surprising lease timeout is traceable.
+        """
         try:
             settings = json.loads((self.root / "queue.json").read_text())
         except (OSError, json.JSONDecodeError):
             return {}
-        return settings if isinstance(settings, dict) else {}
+        if not isinstance(settings, dict):
+            return {}
+        defaulted = [
+            key for key, valid in self._SETTING_CHECKS.items()
+            if key not in settings or not valid(settings[key])
+        ]
+        if defaulted:
+            for key in defaulted:
+                settings.pop(key, None)
+            warnings.warn(
+                f"queue.json at {self.root} is missing or has invalid "
+                f"settings for {defaulted} (older queue layout?); "
+                "using defaults",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return settings
 
     # -- paths -----------------------------------------------------------
     def _paths(self, h: str) -> Dict[str, Path]:
@@ -442,7 +478,8 @@ class WorkQueue:
     # -- maintenance (python -m repro queue ...) -------------------------
     def stats(self) -> Dict:
         """Health snapshot: per-state counts, live leases with their ages,
-        and the quarantine roster — ``python -m repro queue stats``."""
+        a per-worker rollup, and the quarantine roster — ``python -m repro
+        queue stats`` and the ``queue watch`` dashboard."""
         now = time.time()
         leases: List[Dict] = []
         for name in sorted(os.listdir(self.leased_dir)):
@@ -452,6 +489,12 @@ class WorkQueue:
             age = self._lease_age(h, now)
             if age is None:
                 continue  # raced with completion
+            # A beat from the "future" (clock skew between the worker's
+            # host and ours on a shared filesystem) reads as a negative
+            # age; report it as a fresh beat rather than a nonsense
+            # negative number.  Expiry math is unaffected either way —
+            # negative never exceeds the timeout.
+            age = max(0.0, age)
             info = self.lease_info(h) or {}
             leases.append(
                 {
@@ -461,13 +504,30 @@ class WorkQueue:
                     "expired": age > self.lease_timeout,
                 }
             )
+        workers: Dict[str, Dict] = {}
+        for lease in leases:
+            row = workers.setdefault(
+                lease["worker"],
+                {"worker": lease["worker"], "cells": 0,
+                 "freshest_beat": lease["age"], "expired": False},
+            )
+            row["cells"] += 1
+            row["freshest_beat"] = min(row["freshest_beat"], lease["age"])
+            row["expired"] = row["expired"] or lease["expired"]
         failed: List[Dict] = []
         for name in sorted(os.listdir(self.failed_dir)):
             if not name.endswith(".json"):
                 continue
             payload = self._read_json(self.failed_dir / name) or {}
             failures = payload.get("failures", [])
-            last = failures[-1]["error"].strip().splitlines()[-1] if failures else ""
+            # failure entries may predate this layout or be hand-edited:
+            # tolerate non-dict entries and absent/empty error strings
+            last = ""
+            if failures and isinstance(failures[-1], dict):
+                error_lines = str(
+                    failures[-1].get("error", "")
+                ).strip().splitlines()
+                last = error_lines[-1] if error_lines else ""
             failed.append(
                 {
                     "hash": name[: -len(".json")],
@@ -481,6 +541,7 @@ class WorkQueue:
             "max_retries": self.max_retries,
             "counts": self.counts(),
             "leases": leases,
+            "workers": sorted(workers.values(), key=lambda r: r["worker"]),
             "failed": failed,
         }
 

@@ -1,0 +1,86 @@
+"""Fleet-scale sweep orchestration: launch, plan, verify, watch.
+
+The work queue (:mod:`repro.experiment.queue`) made multi-machine sweeps
+durable; this package makes them *operable*.  Four pieces, each exposed as
+a ``python -m repro`` subcommand:
+
+* :mod:`~repro.fleet.launcher` — ``repro fleet launch <hosts-file>
+  <queue-dir>``: start ``python -m repro worker`` processes on every host
+  in a hosts file through a pluggable ``LAUNCHERS`` registry (``local``
+  subprocess backend, ``ssh`` backend), capturing each worker's log under
+  ``<queue-dir>/fleet/logs/`` and recording host/PID/argv in a fleet
+  manifest.
+* :mod:`~repro.fleet.plan` — ``repro fleet plan <sweep.json>
+  <queue-dir>``: expand a :class:`~repro.experiment.config.SweepConfig`
+  and submit it in batches, writing a ``batch_manifest.json`` that records
+  the spec hashes of every batch (the audit trail ``verify`` repairs
+  from).
+* :mod:`~repro.fleet.verify` — ``repro fleet verify <queue-dir>
+  [--retry]``: audit ``done/`` markers against the shared result cache
+  (and optionally a binary column store), detecting ghost-done cells,
+  corrupt markers, orphaned cache entries, and hash mismatches; with
+  ``--retry`` the gaps are re-enqueued so a drained fleet converges to
+  exactly the rows a serial run would produce.
+* :mod:`~repro.fleet.watch` — ``repro queue watch <queue-dir>``: a
+  live-refreshing progress dashboard (counts, per-worker heartbeat ages,
+  throughput, ETA) over :meth:`~repro.experiment.queue.WorkQueue.stats`.
+
+On-disk layout (everything lives under the queue directory, so the whole
+fleet state travels with the queue)::
+
+    <queue-dir>/fleet/
+      manifest.json          workers launched: host, launcher, pid, log
+      batch_manifest.json    planned batches: spec hashes, submit counts
+      logs/<worker-id>.log   captured stdout+stderr per launched worker
+
+Formats are documented in docs/FORMATS.md; the fault-injection battery in
+``tests/test_fleet.py`` kills workers and the launcher mid-sweep and
+asserts ``verify --retry`` convergence to serial-run byte-equality.
+"""
+
+from .launcher import (
+    FLEET_SCHEMA_VERSION,
+    LAUNCHERS,
+    HostSpec,
+    LocalLauncher,
+    SshLauncher,
+    fleet_dir,
+    fleet_manifest_path,
+    launch_fleet,
+    parse_hosts_file,
+    read_fleet_manifest,
+    worker_alive,
+)
+from .plan import (
+    batch_manifest_path,
+    config_hash,
+    fleet_plan,
+    plan_batches,
+    read_batch_manifest,
+)
+from .verify import FleetAudit, verify_fleet
+from .watch import WatchState, render_watch, watch_queue
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "LAUNCHERS",
+    "HostSpec",
+    "LocalLauncher",
+    "SshLauncher",
+    "fleet_dir",
+    "fleet_manifest_path",
+    "launch_fleet",
+    "parse_hosts_file",
+    "read_fleet_manifest",
+    "worker_alive",
+    "batch_manifest_path",
+    "config_hash",
+    "fleet_plan",
+    "plan_batches",
+    "read_batch_manifest",
+    "FleetAudit",
+    "verify_fleet",
+    "WatchState",
+    "render_watch",
+    "watch_queue",
+]

@@ -1,0 +1,353 @@
+"""The worker launcher: start a fleet of queue workers from a hosts file.
+
+``python -m repro worker <queue-dir>`` is the unit of execution; until now
+every worker was started by hand.  :func:`launch_fleet` starts all of them
+from one declarative *hosts file* and records what it did in a fleet
+manifest, so the fleet can be audited (``repro fleet verify``), watched
+(``repro queue watch``), and culled (the manifest holds every PID).
+
+Hosts file
+----------
+One host per line; ``#`` starts a comment.  The first token is the host
+name, the rest are ``key=value`` options::
+
+    # host        options
+    local         workers=4
+    gpu-box-1     workers=8 launcher=ssh
+    gpu-box-2     workers=8 python=/opt/conda/bin/python3
+
+Recognized options: ``workers`` (worker processes on that host, default
+from the CLI's ``--workers``), ``launcher`` (a ``LAUNCHERS`` registry
+name; defaults to ``local`` for ``local``/``localhost``/``127.0.0.1`` and
+``ssh`` for everything else), and ``python`` (the remote interpreter for
+the ssh backend; the local backend always uses ``sys.executable``).
+
+Launcher backends
+-----------------
+``LAUNCHERS`` is a :class:`~repro.registry.Registry` — the same seam the
+executors and kernels use — of backends exposing ``build_argv(host,
+worker_argv)``/``spawn(argv, log_path, env)``:
+
+* ``local`` — ``subprocess.Popen`` in a **new session**
+  (``start_new_session=True``), so workers survive the launcher being
+  killed: the launcher is bookkeeping, the queue's leases are the only
+  liveness protocol.
+* ``ssh`` — wraps the same worker command line in ``ssh -o BatchMode=yes
+  <host> ...`` (shell-quoted); the recorded PID is the local ssh client's.
+  The queue directory path is passed through verbatim, so it must name the
+  shared (NFS/sshfs) mount on the remote side too.
+
+Every worker's stdout+stderr is appended to
+``<queue-dir>/fleet/logs/<worker-id>.log`` and a record ``{worker_id,
+host, launcher, pid, log, argv, started_at, launch}`` is merged into
+``<queue-dir>/fleet/manifest.json`` (format in docs/FORMATS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..registry import Registry
+from ..utils import atomic_write_text
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "LAUNCHERS",
+    "HostSpec",
+    "LocalLauncher",
+    "SshLauncher",
+    "parse_hosts_file",
+    "fleet_dir",
+    "fleet_manifest_path",
+    "read_fleet_manifest",
+    "launch_fleet",
+    "worker_alive",
+]
+
+#: bump when the fleet/batch manifest formats change incompatibly
+FLEET_SCHEMA_VERSION = 1
+
+#: host names the hosts-file parser treats as "this machine" (subprocess
+#: backend) when no explicit ``launcher=`` option is given
+LOCAL_HOST_NAMES = ("local", "localhost", "127.0.0.1")
+
+#: pluggable launcher backends — register a class exposing
+#: ``build_argv(host, worker_argv)`` and ``spawn(argv, log_path, env)``
+LAUNCHERS = Registry("launcher")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One hosts-file line: where and how many workers to start."""
+
+    host: str
+    workers: int = 1
+    #: a ``LAUNCHERS`` name; None = infer from the host name
+    launcher: Optional[str] = None
+    #: remote interpreter (ssh backend only)
+    python: str = "python3"
+
+    def launcher_name(self) -> str:
+        if self.launcher is not None:
+            return self.launcher
+        return "local" if self.host in LOCAL_HOST_NAMES else "ssh"
+
+
+def parse_hosts_file(path, default_workers: int = 1) -> List[HostSpec]:
+    """Parse a hosts file (format in the module docstring) into specs.
+
+    Malformed lines fail loudly with the file name and line number —
+    a silently dropped host is a silently smaller fleet.
+    """
+    path = Path(path)
+    hosts: List[HostSpec] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        options: Dict[str, str] = {}
+        for token in tokens[1:]:
+            key, sep, value = token.partition("=")
+            if not sep or not key or not value:
+                raise ValueError(
+                    f"{path}:{lineno}: expected key=value, got {token!r}"
+                )
+            if key not in ("workers", "launcher", "python"):
+                raise ValueError(
+                    f"{path}:{lineno}: unknown option {key!r} "
+                    "(expected workers=, launcher=, or python=)"
+                )
+            options[key] = value
+        try:
+            workers = int(options.get("workers", default_workers))
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: workers= must be an integer, "
+                f"got {options['workers']!r}"
+            ) from exc
+        if workers < 1:
+            raise ValueError(
+                f"{path}:{lineno}: workers= must be >= 1, got {workers}"
+            )
+        launcher = options.get("launcher")
+        if launcher is not None and launcher not in LAUNCHERS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown launcher {launcher!r} "
+                f"(available: {LAUNCHERS.available()})"
+            )
+        hosts.append(HostSpec(
+            host=tokens[0], workers=workers, launcher=launcher,
+            python=options.get("python", "python3"),
+        ))
+    if not hosts:
+        raise ValueError(f"{path}: no hosts (every line blank or comment)")
+    return hosts
+
+
+class _SubprocessLauncher:
+    """Shared spawn: detached Popen with the log file as stdout+stderr."""
+
+    def spawn(self, argv: Sequence[str], log_path: Path,
+              env: Optional[Dict[str, str]] = None) -> int:
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        merged = dict(os.environ)
+        if env:
+            merged.update(env)
+        with open(log_path, "ab") as log:
+            # start_new_session: the worker must survive the launcher —
+            # killing `repro fleet launch` (even SIGKILL) leaves the fleet
+            # running; lease expiry, not process parentage, is the
+            # liveness protocol
+            proc = subprocess.Popen(
+                list(argv),
+                stdin=subprocess.DEVNULL, stdout=log,
+                stderr=subprocess.STDOUT,
+                start_new_session=True, env=merged,
+            )
+        return proc.pid
+
+
+@LAUNCHERS.register("local")
+class LocalLauncher(_SubprocessLauncher):
+    """Worker subprocesses on this machine (the test/bench workhorse)."""
+
+    name = "local"
+
+    def build_argv(self, host: HostSpec,
+                   worker_argv: Sequence[str]) -> List[str]:
+        return [sys.executable, "-m", "repro"] + list(worker_argv)
+
+
+@LAUNCHERS.register("ssh")
+class SshLauncher(_SubprocessLauncher):
+    """Workers on a remote host over ssh (shared queue dir required).
+
+    ``BatchMode=yes`` fails fast instead of prompting for a password —
+    a launcher must never block on a tty.  The recorded PID is the local
+    ssh client process; killing it does *not* kill the remote worker
+    (lease expiry recovers its cells, same as any lost machine).
+    """
+
+    name = "ssh"
+
+    def build_argv(self, host: HostSpec,
+                   worker_argv: Sequence[str]) -> List[str]:
+        remote = " ".join(
+            shlex.quote(a)
+            for a in [host.python, "-m", "repro"] + list(worker_argv)
+        )
+        return ["ssh", "-o", "BatchMode=yes", host.host, remote]
+
+
+# -- fleet manifest ---------------------------------------------------------
+
+def fleet_dir(queue_dir) -> Path:
+    return Path(queue_dir) / "fleet"
+
+
+def fleet_manifest_path(queue_dir) -> Path:
+    return fleet_dir(queue_dir) / "manifest.json"
+
+
+def read_fleet_manifest(queue_dir) -> Optional[Dict]:
+    """The fleet manifest, or None when no fleet was ever launched."""
+    try:
+        payload = json.loads(fleet_manifest_path(queue_dir).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def worker_alive(entry: Dict) -> Optional[bool]:
+    """Whether a manifest worker's *local* process is still running.
+
+    Only meaningful on the machine that launched it (PIDs are local to
+    the launcher host); returns None when the entry has no usable PID.
+    For the ssh backend this reports the ssh client process, which is a
+    good proxy while the connection lasts.
+    """
+    pid = entry.get("pid")
+    if not isinstance(pid, int) or pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return None
+    return True
+
+
+def _worker_cli_argv(
+    queue_dir,
+    worker_id: str,
+    imports: Sequence[str] = (),
+    idle_timeout: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    cache_dir=None,
+    store_dir=None,
+    kernel_backend: Optional[str] = None,
+) -> List[str]:
+    """The ``python -m repro`` argv tail every launched worker runs."""
+    argv: List[str] = ["worker", str(queue_dir), "--worker-id", worker_id]
+    for module in imports:
+        argv += ["--import", module]
+    if idle_timeout is not None:
+        argv += ["--idle-timeout", str(idle_timeout)]
+    if max_cells is not None:
+        argv += ["--max-cells", str(max_cells)]
+    if cache_dir is not None:
+        argv += ["--cache-dir", str(cache_dir)]
+    if store_dir is not None:
+        argv += ["--store-dir", str(store_dir)]
+    if kernel_backend is not None:
+        argv += ["--kernel-backend", kernel_backend]
+    return argv
+
+
+def launch_fleet(
+    hosts: Sequence[HostSpec],
+    queue_dir,
+    imports: Sequence[str] = (),
+    idle_timeout: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    cache_dir=None,
+    store_dir=None,
+    kernel_backend: Optional[str] = None,
+    env: Optional[Dict[str, str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Start every host's workers and merge them into the fleet manifest.
+
+    Returns the updated manifest dict (also written to
+    ``<queue-dir>/fleet/manifest.json``).  The queue directory must
+    already have the work-queue layout — run ``repro fleet plan`` (or
+    ``repro run --executor queue``) first, so a typo'd path cannot grow a
+    sham queue skeleton.
+    """
+    from ..analysis.frame import is_queue_dir
+
+    queue_dir = Path(queue_dir)
+    if not is_queue_dir(queue_dir):
+        raise ValueError(
+            f"no work queue at {queue_dir} (missing queue.json) — create "
+            "it first with `repro fleet plan` or "
+            "`repro run --executor queue --queue-dir`"
+        )
+    logs_dir = fleet_dir(queue_dir) / "logs"
+    manifest = read_fleet_manifest(queue_dir) or {
+        "schema": FLEET_SCHEMA_VERSION,
+        "queue_dir": str(queue_dir),
+        "launches": 0,
+        "workers": [],
+    }
+    launch_seq = int(manifest.get("launches", 0)) + 1
+    existing = len(manifest.get("workers", []))
+    started: List[Dict] = []
+    for host in hosts:
+        launcher = LAUNCHERS.create(host.launcher_name())
+        for i in range(host.workers):
+            worker_id = f"{host.host}-w{existing + len(started)}"
+            argv = launcher.build_argv(
+                host,
+                _worker_cli_argv(
+                    queue_dir, worker_id, imports=imports,
+                    idle_timeout=idle_timeout, max_cells=max_cells,
+                    cache_dir=cache_dir, store_dir=store_dir,
+                    kernel_backend=kernel_backend,
+                ),
+            )
+            log_path = logs_dir / f"{worker_id}.log"
+            pid = launcher.spawn(argv, log_path, env=env)
+            entry = {
+                "worker_id": worker_id,
+                "host": host.host,
+                "launcher": host.launcher_name(),
+                "pid": pid,
+                "log": str(log_path.relative_to(queue_dir)),
+                "argv": list(argv),
+                "started_at": time.time(),
+                "launch": launch_seq,
+            }
+            started.append(entry)
+            if progress:
+                progress(f"launched {worker_id} on {host.host} "
+                         f"({host.launcher_name()}, pid {pid}) "
+                         f"-> {entry['log']}")
+    manifest["workers"] = list(manifest.get("workers", [])) + started
+    manifest["launches"] = launch_seq
+    manifest["updated_at"] = time.time()
+    atomic_write_text(fleet_manifest_path(queue_dir),
+                      json.dumps(manifest, indent=1))
+    return manifest

@@ -1,0 +1,183 @@
+"""The batch planner: split a sweep into audited queue submissions.
+
+``repro run --executor queue`` submits a whole sweep at once and waits for
+it; a fleet-scale sweep wants the submission itself to be durable,
+inspectable, and re-runnable.  :func:`fleet_plan` expands a
+:class:`~repro.experiment.config.SweepConfig`, splits the deduplicated
+cells into contiguous batches, submits each batch to the
+:class:`~repro.experiment.queue.WorkQueue`, and writes
+``<queue-dir>/fleet/batch_manifest.json`` recording the spec hashes of
+every batch.
+
+The manifest is the fleet's audit trail, load-bearing in two ways:
+
+* ``repro fleet verify`` cross-checks every planned hash against the
+  queue's markers and the shared cache — and because the manifest embeds
+  the full config, verify can re-derive the :class:`ExperimentSpec` for
+  any hash and re-enqueue cells whose on-disk record was lost or
+  corrupted (a bare hash could never be re-executed).
+* Planning is **idempotent**: re-running ``fleet plan`` with the same
+  config re-submits only what is missing (``submit`` skips
+  pending/leased/done cells), so a crashed planning run is simply run
+  again.  A *different* config on an already-planned queue is refused
+  unless forced — two overlapping grids sharing one queue directory would
+  make the audit trail ambiguous.
+
+Batch manifest format (docs/FORMATS.md)::
+
+    {"schema": 1, "created_at": ..., "config": {...SweepConfig...},
+     "config_hash": "<16 hex>", "batch_size": 64, "n_cells": 1000,
+     "batches": [{"index": 0, "hashes": ["...", ...],
+                  "submitted": 61, "already_done": 3, "already_queued": 0},
+                 ...]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..experiment.cache import spec_hash
+from ..experiment.config import SweepConfig
+from ..experiment.queue import WorkQueue
+from ..utils import atomic_write_text, canonical_json
+from .launcher import FLEET_SCHEMA_VERSION, fleet_dir
+
+__all__ = [
+    "batch_manifest_path",
+    "config_hash",
+    "plan_batches",
+    "fleet_plan",
+    "read_batch_manifest",
+]
+
+
+def batch_manifest_path(queue_dir) -> Path:
+    return fleet_dir(queue_dir) / "batch_manifest.json"
+
+
+def config_hash(config: SweepConfig) -> str:
+    """Stable 16-hex content hash of a sweep config (canonical JSON)."""
+    blob = canonical_json(config.to_dict())
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def read_batch_manifest(queue_dir) -> Optional[Dict]:
+    """The batch manifest, or None when the queue was never planned."""
+    try:
+        payload = json.loads(batch_manifest_path(queue_dir).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def plan_batches(specs: Sequence, batch_size: int) -> List[List]:
+    """Contiguous ``batch_size``-cell chunks of the deduplicated specs.
+
+    Expansion can repeat a hash (shared baselines); each unique cell is
+    planned exactly once, first occurrence wins, expansion order is kept
+    so a batch maps back to a contiguous slice of the grid.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    seen = set()
+    unique = []
+    for spec in specs:
+        h = spec_hash(spec)
+        if h not in seen:
+            seen.add(h)
+            unique.append(spec)
+    return [unique[i:i + batch_size]
+            for i in range(0, len(unique), batch_size)]
+
+
+def fleet_plan(
+    config: SweepConfig,
+    queue_dir,
+    batch_size: int = 64,
+    lease_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    kernel_backend: Optional[str] = None,
+    submit: bool = True,
+    force: bool = False,
+) -> Dict:
+    """Plan (and by default submit) a config into a queue; returns the
+    written batch manifest.
+
+    Queue settings come from the config's ``executor_options`` (the same
+    keys a ``--executor queue`` run would use) with explicit arguments
+    winning — so a planned queue and a ``repro run`` queue behave
+    identically for workers.  ``submit=False`` (CLI ``--dry-run``) writes
+    the manifest without touching ``pending/``.
+    """
+    queue_dir = Path(queue_dir)
+    chash = config_hash(config)
+    previous = read_batch_manifest(queue_dir)
+    if previous is not None and previous.get("config_hash") != chash \
+            and not force:
+        raise ValueError(
+            f"queue {queue_dir} is already planned from a different config "
+            f"(manifest hash {previous.get('config_hash')}, this config "
+            f"{chash}) — pass --force to replace the plan"
+        )
+    options = dict(config.executor_options)
+    if lease_timeout is None:
+        lease_timeout = options.get("lease_timeout")
+    if max_retries is None:
+        max_retries = options.get("max_retries")
+    if kernel_backend is None:
+        kernel_backend = options.get("kernel_backend")
+    queue = WorkQueue(
+        queue_dir, lease_timeout=lease_timeout, max_retries=max_retries,
+        kernel_backend=kernel_backend,
+    )
+    batches = plan_batches(config.expand(), batch_size)
+    entries: List[Dict] = []
+    n_cells = 0
+    for index, batch in enumerate(batches):
+        counts = {"submitted": 0, "already_done": 0, "already_queued": 0}
+        hashes = []
+        for spec in batch:
+            h = spec_hash(spec)
+            hashes.append(h)
+            n_cells += 1
+            state = queue.state(h)
+            if state == "done":
+                counts["already_done"] += 1
+            elif state in ("pending", "leased"):
+                counts["already_queued"] += 1
+            elif submit:
+                queue.submit(spec)  # also resurrects quarantined cells
+                counts["submitted"] += 1
+        entries.append({"index": index, "hashes": hashes, **counts})
+    manifest = {
+        "schema": FLEET_SCHEMA_VERSION,
+        "created_at": time.time(),
+        "queue_dir": str(queue_dir),
+        "config": config.to_dict(),
+        "config_hash": chash,
+        "batch_size": batch_size,
+        "n_cells": n_cells,
+        "submitted": submit,
+        "batches": entries,
+    }
+    atomic_write_text(batch_manifest_path(queue_dir),
+                      json.dumps(manifest, indent=1))
+    return manifest
+
+
+def planned_specs(manifest: Dict) -> Dict[str, object]:
+    """``hash -> ExperimentSpec`` for every cell the manifest planned.
+
+    Re-expands the embedded config — the property that makes a corrupted
+    or ghost-done cell *recoverable*: the hash alone names the cell, the
+    re-expansion supplies the spec to re-enqueue.
+    """
+    config = SweepConfig.from_dict(manifest["config"])
+    by_hash = {}
+    for spec in config.expand():
+        by_hash.setdefault(spec_hash(spec), spec)
+    return by_hash

@@ -1,0 +1,281 @@
+"""The fleet audit: cross-check queue markers against the result cache.
+
+A done marker's contract (``WorkQueue.complete``) is "the result is in the
+shared cache".  At fleet scale that contract can silently break — a worker
+crashes between the cache write and the marker (or vice versa), a file is
+truncated by a full disk, a cache dir is restored from a stale backup —
+and the sweep *looks* finished while ``ResultFrame.from_queue`` quietly
+returns the wrong rows.  :func:`verify_fleet` audits every cell and
+``--retry`` repairs what it can through the queue's ordinary machinery, so
+a drained-then-verified queue converges to exactly the rows a serial run
+would produce.
+
+Audit categories (each a list of hashes on :class:`FleetAudit`):
+
+``ghost_done``
+    done marker present, cache row absent/unreadable — the broken
+    contract.  Repair: forget the marker (``reset``) and re-enqueue.
+``corrupt_markers``
+    done marker unreadable or its payload hashes to a different cell.
+    Repair: reset + re-enqueue (spec recovered from the batch manifest).
+``orphan_cache``
+    cache row for a cell nobody planned or enqueued.  Poisonous because
+    ``ResultFrame.from_queue`` reads the *whole* cache dir — an orphan
+    row pollutes every assembled frame.  Synthesized baseline rows
+    (``baseline_spec_for``) are expected, not orphans.  Repair: the entry
+    file is removed.
+``cache_mismatches``
+    cache row whose embedded spec does not hash to its filename (bit rot,
+    hand-edited entry).  Repair: remove + re-enqueue.
+``store_missing``
+    done cells absent from the binary column store (``--store-dir``) —
+    the serving mirror lags the cache.  Detect-only: re-ingest with
+    ``repro store ingest``; re-running cells would not help.
+``missing``
+    planned cells absent from every queue state *and* the cache (lost
+    pending file, manifest from a wider grid).  Repair: re-enqueue.
+``expired``, ``failed``
+    live-queue health (stale leases, quarantine) folded into the same
+    report.  Repair: ``requeue_expired`` / ``retry_failed``.
+
+All repairs go through the existing retry budget — verify never invents a
+new execution path, it only puts cells back where workers will find them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..experiment.cache import ResultCache, SCHEMA_VERSION, spec_hash
+from ..experiment.prune import ExperimentSpec, baseline_spec_for
+from ..experiment.queue import WorkQueue
+from .plan import planned_specs, read_batch_manifest
+
+__all__ = ["FleetAudit", "verify_fleet"]
+
+
+@dataclass
+class FleetAudit:
+    """What :func:`verify_fleet` found (hash lists per category)."""
+
+    queue_dir: str = ""
+    cache_dir: str = ""
+    planned: int = 0
+    done: int = 0
+    cached: int = 0
+    ghost_done: List[str] = field(default_factory=list)
+    corrupt_markers: List[str] = field(default_factory=list)
+    orphan_cache: List[str] = field(default_factory=list)
+    cache_mismatches: List[str] = field(default_factory=list)
+    store_missing: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    expired: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    _PROBLEMS = (
+        "ghost_done", "corrupt_markers", "orphan_cache", "cache_mismatches",
+        "store_missing", "missing", "expired", "failed",
+    )
+
+    @property
+    def clean(self) -> bool:
+        return not any(getattr(self, name) for name in self._PROBLEMS)
+
+    def problems(self) -> Dict[str, List[str]]:
+        """Non-empty categories only — the actionable part of the audit."""
+        return {
+            name: list(getattr(self, name))
+            for name in self._PROBLEMS
+            if getattr(self, name)
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "queue_dir": self.queue_dir,
+            "cache_dir": self.cache_dir,
+            "planned": self.planned,
+            "done": self.done,
+            "cached": self.cached,
+            "clean": self.clean,
+            **{name: list(getattr(self, name)) for name in self._PROBLEMS},
+        }
+
+
+def _read_marker(path: Path) -> Optional[Dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _cache_entry_hashes(cache: ResultCache) -> Dict[str, Optional[str]]:
+    """``filename-hash -> embedded-spec-hash`` for every cache entry
+    (None when the entry is unreadable or schema-mismatched)."""
+    out: Dict[str, Optional[str]] = {}
+    for path in cache._entries():
+        h = path.stem
+        payload = _read_marker(path)
+        if payload is None or payload.get("schema") != SCHEMA_VERSION \
+                or not isinstance(payload.get("spec"), dict):
+            out[h] = None
+            continue
+        try:
+            out[h] = spec_hash(ExperimentSpec.from_dict(payload["spec"]))
+        except Exception:
+            out[h] = None
+    return out
+
+
+def _spec_from_payload(payload: Optional[Dict]) -> Optional[ExperimentSpec]:
+    if payload is None or not isinstance(payload.get("spec"), dict):
+        return None
+    try:
+        return ExperimentSpec.from_dict(payload["spec"])
+    except Exception:
+        return None
+
+
+def verify_fleet(
+    queue_dir,
+    cache_dir=None,
+    store_dir=None,
+    retry: bool = False,
+) -> Tuple[FleetAudit, Dict[str, List[str]]]:
+    """Audit a fleet queue; with ``retry`` also repair what is repairable.
+
+    Returns ``(audit, repairs)`` where ``audit`` describes the state
+    *before* repairs and ``repairs`` maps action -> affected hashes
+    (``requeued_expired``, ``reenqueued``, ``removed_orphans``,
+    ``retried_failed``, ``unrecoverable``).  ``unrecoverable`` lists cells
+    whose spec could not be recovered from any marker or the batch
+    manifest — those need a re-plan.
+    """
+    queue = WorkQueue(queue_dir)
+    if cache_dir is None:
+        cache_dir = Path(queue_dir) / "cache"  # the worker/run default
+    cache = ResultCache(cache_dir)
+    audit = FleetAudit(queue_dir=str(queue.root), cache_dir=str(cache.root))
+    repairs: Dict[str, List[str]] = {
+        "requeued_expired": [],
+        "reenqueued": [],
+        "removed_orphans": [],
+        "retried_failed": [],
+        "unrecoverable": [],
+    }
+
+    manifest = read_batch_manifest(queue_dir)
+    plan: Dict[str, ExperimentSpec] = {}
+    if manifest is not None:
+        try:
+            plan = planned_specs(manifest)
+        except Exception:
+            plan = {}  # unreadable config: audit degrades gracefully
+    audit.planned = len(plan)
+
+    cache_entries = _cache_entry_hashes(cache)
+    audit.cached = len(cache_entries)
+
+    # recoverable spec per hash: queue payloads first, then the plan
+    recover: Dict[str, ExperimentSpec] = dict(plan)
+
+    # -- queue-side walk: done markers, leases, quarantine ---------------
+    done_hashes: Set[str] = set()
+    queue_hashes: Set[str] = set()
+    for state, directory in (
+        ("done", queue.done_dir),
+        ("pending", queue.pending_dir),
+        ("leased", queue.leased_dir),
+        ("failed", queue.failed_dir),
+    ):
+        for path in sorted(directory.glob("*.json")):
+            h = path.stem
+            queue_hashes.add(h)
+            payload = _read_marker(path)
+            spec = _spec_from_payload(payload)
+            if spec is not None:
+                recover.setdefault(h, spec)
+            if state != "done":
+                continue
+            done_hashes.add(h)
+            if spec is None or spec_hash(spec) != h:
+                audit.corrupt_markers.append(h)
+            elif cache_entries.get(h) != h:
+                # absent, unreadable, schema-mismatched, or holding a
+                # different cell's row — the done contract is broken
+                audit.ghost_done.append(h)
+    audit.done = len(done_hashes)
+
+    stats = queue.stats()
+    audit.expired = sorted(
+        lease["hash"] for lease in stats["leases"] if lease.get("expired")
+    )
+    audit.failed = sorted(row["hash"] for row in stats["failed"])
+
+    # -- cache-side walk: orphans and integrity mismatches ---------------
+    # Workers publish a synthesized baseline row alongside each pruned
+    # cell; those hashes are expected even though no one enqueued them.
+    expected: Set[str] = set(queue_hashes) | set(plan)
+    for spec in list(recover.values()):
+        try:
+            expected.add(spec_hash(baseline_spec_for(spec)))
+        except Exception:
+            pass
+    for h, embedded in sorted(cache_entries.items()):
+        if embedded is not None and embedded != h:
+            audit.cache_mismatches.append(h)
+        elif h not in expected:
+            audit.orphan_cache.append(h)
+
+    # -- plan-side walk: cells that vanished entirely --------------------
+    for h in sorted(plan):
+        if h not in queue_hashes and h not in cache_entries:
+            audit.missing.append(h)
+
+    # -- store mirror ----------------------------------------------------
+    if store_dir is not None:
+        from ..store import ColumnStore
+
+        try:
+            stored = ColumnStore(store_dir).keys()
+        except FileNotFoundError:
+            stored = set()  # mirror never created: every done cell lags
+        audit.store_missing = sorted(
+            h for h in done_hashes
+            if h not in audit.ghost_done and h not in audit.corrupt_markers
+            and h not in stored
+        )
+
+    if not retry:
+        return audit, repairs
+
+    # -- repairs ---------------------------------------------------------
+    repairs["requeued_expired"] = [h for h, _ in queue.requeue_expired()]
+    for h in audit.ghost_done + audit.corrupt_markers:
+        spec = recover.get(h)
+        if spec is None:
+            repairs["unrecoverable"].append(h)
+            continue
+        queue.reset(h)
+        queue.submit(spec)
+        repairs["reenqueued"].append(h)
+    for h in audit.missing:
+        spec = recover.get(h)
+        if spec is None:
+            repairs["unrecoverable"].append(h)
+            continue
+        queue.submit(spec)
+        repairs["reenqueued"].append(h)
+    for h in audit.cache_mismatches + audit.orphan_cache:
+        (cache.root / h[:2] / f"{h}.json").unlink(missing_ok=True)
+        repairs["removed_orphans"].append(h)
+        if h in audit.cache_mismatches and h not in repairs["reenqueued"]:
+            spec = recover.get(h)
+            if spec is not None and queue.state(h) != "done":
+                queue.submit(spec)
+                repairs["reenqueued"].append(h)
+    repairs["retried_failed"] = queue.retry_failed()
+    return audit, repairs

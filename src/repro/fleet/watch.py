@@ -1,0 +1,180 @@
+"""The live dashboard: ``repro queue watch`` over ``WorkQueue.stats``.
+
+Rendering is split from the loop so it is testable without sleeping:
+:func:`render_watch` is a pure function from a stats snapshot (plus a
+:class:`WatchState` carrying throughput history and, optionally, the
+fleet manifest) to the dashboard text; :func:`watch_queue` just refreshes
+it on an interval.
+
+Throughput is estimated over a sliding window of ``(time, done-count)``
+samples rather than since-start, so the ETA tracks the *current* fleet —
+workers joining or dying bends the estimate within a window, not over the
+whole sweep's history.  The loop exits on its own when the queue drains
+(nothing pending or leased) so CI and scripts can ``repro queue watch``
+as a blocking progress bar; Ctrl-C exits cleanly at any point.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiment.queue import WorkQueue
+from .launcher import read_fleet_manifest, worker_alive
+
+__all__ = ["WatchState", "render_watch", "watch_queue"]
+
+#: throughput window: long enough to smooth bursty micro-cells, short
+#: enough that a dead worker shows up within a couple of refreshes
+DEFAULT_WINDOW = 60.0
+
+
+def _fmt_duration(seconds: float) -> str:
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+@dataclass
+class WatchState:
+    """Sliding-window sample history for throughput/ETA estimation."""
+
+    window: float = DEFAULT_WINDOW
+    #: (sample time, done count) pairs, oldest first
+    samples: List[Tuple[float, int]] = field(default_factory=list)
+
+    def observe(self, done: int, now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        self.samples.append((now, done))
+        cutoff = now - self.window
+        # keep one sample at-or-before the cutoff so the window rate has a
+        # full-width baseline even right after trimming
+        while len(self.samples) > 2 and self.samples[1][0] <= cutoff:
+            self.samples.pop(0)
+
+    def throughput(self) -> Optional[float]:
+        """Done cells per second over the window; None before 2 samples."""
+        if len(self.samples) < 2:
+            return None
+        (t0, d0), (t1, d1) = self.samples[0], self.samples[-1]
+        if t1 <= t0:
+            return None
+        return max(0.0, (d1 - d0) / (t1 - t0))
+
+    def eta(self, remaining: int) -> Optional[float]:
+        """Seconds until the queue drains at the current rate, or None."""
+        rate = self.throughput()
+        if rate is None or rate <= 0:
+            return None
+        return remaining / rate
+
+
+def render_watch(
+    stats: Dict,
+    state: Optional[WatchState] = None,
+    fleet: Optional[Dict] = None,
+) -> str:
+    """The dashboard text for one ``WorkQueue.stats`` snapshot.
+
+    Pure: samples must already have been fed to ``state.observe`` — this
+    only reads.  ``fleet`` is a fleet manifest dict (launched-worker
+    roster, PID liveness where local) or None for bare queues.
+    """
+    counts = stats["counts"]
+    total = sum(counts.values())
+    remaining = counts["pending"] + counts["leased"]
+    lines = [
+        f"queue {stats['root']}",
+        "  pending {pending:>5}   leased {leased:>4}   done {done:>5}   "
+        "failed {failed:>4}".format(**counts),
+    ]
+    if total:
+        pct = 100.0 * counts["done"] / total
+        bar_w = 30
+        filled = int(bar_w * counts["done"] / total)
+        lines.append(
+            f"  [{'#' * filled}{'.' * (bar_w - filled)}] "
+            f"{pct:5.1f}% of {total}"
+        )
+    if state is not None:
+        rate = state.throughput()
+        if rate is not None:
+            eta = state.eta(remaining)
+            eta_txt = _fmt_duration(eta) if eta is not None else (
+                "--" if remaining else "done")
+            lines.append(
+                f"  throughput {rate * 60:.1f} cells/min   eta {eta_txt}"
+            )
+    workers = stats.get("workers", [])
+    if workers:
+        lines.append("  workers:")
+        for row in workers:
+            flag = "  EXPIRED" if row["expired"] else ""
+            lines.append(
+                f"    {row['worker']:<24} {row['cells']:>2} leased   "
+                f"beat {_fmt_duration(row['freshest_beat'])} ago{flag}"
+            )
+    if fleet is not None:
+        workers = fleet.get("workers", [])
+        alive = [worker_alive(w) for w in workers]
+        up = sum(1 for a in alive if a)
+        down = sum(1 for a in alive if a is False)
+        lines.append(
+            f"  fleet: {len(workers)} launched, {up} running"
+            + (f", {down} exited" if down else "")
+            + f"  (launches: {fleet.get('launches', '?')})"
+        )
+    failed = stats.get("failed", [])
+    if failed:
+        lines.append(f"  quarantined ({len(failed)}):")
+        for row in failed[:5]:
+            lines.append(
+                f"    {row['hash']}  x{row['attempts']}  {row['error'][:60]}"
+            )
+        if len(failed) > 5:
+            lines.append(f"    ... and {len(failed) - 5} more")
+    return "\n".join(lines)
+
+
+def watch_queue(
+    queue_dir,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Refresh the dashboard every ``interval`` seconds until the queue
+    drains (or ``iterations`` refreshes, for tests/CI).  Returns 0 on a
+    drained queue, 1 when quarantined cells remain.
+    """
+    if out is None:
+        out = lambda text: print(text, flush=True)  # noqa: E731
+    queue = WorkQueue(queue_dir)
+    state = WatchState()
+    shown = 0
+    exit_code = 0
+    try:
+        while True:
+            stats = queue.stats()
+            state.observe(stats["counts"]["done"])
+            if clear:
+                out("\x1b[2J\x1b[H" + render_watch(
+                    stats, state, read_fleet_manifest(queue_dir)))
+            else:
+                out(render_watch(
+                    stats, state, read_fleet_manifest(queue_dir)))
+            shown += 1
+            exit_code = 1 if stats["counts"]["failed"] else 0
+            drained = (stats["counts"]["pending"]
+                       + stats["counts"]["leased"]) == 0
+            if drained or (iterations is not None and shown >= iterations):
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        out("")  # leave the cursor on a fresh line
+    return exit_code

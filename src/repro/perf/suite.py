@@ -356,6 +356,102 @@ def _bench_queue_claim():
     return claim_release, tmp.cleanup
 
 
+#: cell count for the end-to-end queue-executor bench — the ROADMAP's
+#: thousand-cell fleet target.  The push-CI smoke sets
+#: ``REPRO_QUEUE_BENCH_CELLS`` small; nightly and local acceptance runs
+#: keep the real thousand.  ``REPRO_QUEUE_BENCH_WORKERS`` sizes the
+#: launched fleet.
+QUEUE_BENCH_CELLS = int(os.environ.get("REPRO_QUEUE_BENCH_CELLS", "1000"))
+QUEUE_BENCH_WORKERS = int(os.environ.get("REPRO_QUEUE_BENCH_WORKERS", "4"))
+
+
+def _queue_bench_config(queue_dir, cells: int):
+    """A ``cells``-cell micro-experiment grid: 2 strategies x 2 seeds x
+    however many compression points it takes.  Real cells (pretrain +
+    prune + finetune on the 8px synthetic dataset, ~tens of ms each), so
+    the bench exercises the full claim/run/publish/complete path."""
+    from ..experiment.config import OptimizerConfig, SweepConfig, TrainConfig
+
+    strategies = ("global_weight", "random")
+    seeds = (0, 1)
+    points = max(1, -(-cells // (len(strategies) * len(seeds))))
+    train = TrainConfig(epochs=1, batch_size=32,
+                        optimizer=OptimizerConfig("sgd", 0.01),
+                        early_stop_patience=None)
+    # distinct ratios > 1 (no baseline dedup eating cells), bounded well
+    # under the 8px LeNet's ~63x reachable-compression cap even at the
+    # thousand-cell default (250 points -> 1.05 + 0.05*249 ~= 13.5x)
+    return SweepConfig(
+        model="lenet-300-100",
+        dataset="cifar10",
+        strategies=strategies,
+        compressions=tuple(1.05 + 0.05 * i for i in range(points)),
+        seeds=seeds,
+        model_kwargs=dict(input_size=8, in_channels=3),
+        dataset_kwargs=dict(n_train=32, n_val=16, size=8, noise=0.5),
+        pretrain=train,
+        finetune=train,
+        executor="queue",
+        executor_options=dict(queue_dir=str(queue_dir), local_workers=0),
+    )
+
+
+@benchmark("queue_executor_e2e",
+           f"end-to-end fleet sweep: plan + launch {QUEUE_BENCH_WORKERS} "
+           f"local workers + coordinate {QUEUE_BENCH_CELLS} real micro-"
+           "cells through the queue executor, then verify done-vs-cache")
+def _bench_queue_executor_e2e():
+    import shutil
+    import signal as _signal
+
+    from ..experiment.queue import QueueExecutor
+    from ..fleet import HostSpec, fleet_plan, launch_fleet, verify_fleet
+
+    tmp = tempfile.TemporaryDirectory()
+    counter = iter(range(10**9))
+    fleet_pids = []
+
+    def sweep():
+        queue_dir = os.path.join(tmp.name, f"q-{next(counter)}")
+        config = _queue_bench_config(queue_dir, QUEUE_BENCH_CELLS)
+        specs = config.expand()
+        fleet_plan(config, queue_dir, batch_size=128)
+        manifest = launch_fleet(
+            [HostSpec(host="local", workers=QUEUE_BENCH_WORKERS)],
+            queue_dir,
+            idle_timeout=10.0,
+            cache_dir=os.path.join(queue_dir, "cache"),
+        )
+        pids = [w["pid"] for w in manifest["workers"]]
+        fleet_pids.extend(pids)
+        try:
+            executor = QueueExecutor(
+                queue_dir=queue_dir, local_workers=0, wait_timeout=600.0,
+                cache=ResultCache(os.path.join(queue_dir, "cache")),
+            )
+            rows = executor.run(specs)
+            assert len(rows) == len(specs)
+            audit, _ = verify_fleet(queue_dir)
+            assert audit.clean, audit.problems()
+        finally:
+            for pid in pids:
+                try:
+                    os.kill(pid, _signal.SIGTERM)
+                except OSError:
+                    pass
+            shutil.rmtree(queue_dir, ignore_errors=True)
+
+    def cleanup():
+        for pid in fleet_pids:
+            try:
+                os.kill(pid, _signal.SIGKILL)
+            except OSError:
+                pass
+        tmp.cleanup()
+
+    return sweep, cleanup
+
+
 # --------------------------------------------------------------------------
 # analysis (ResultFrame at 100k rows)
 # --------------------------------------------------------------------------

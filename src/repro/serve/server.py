@@ -23,6 +23,9 @@ Endpoints (all JSON; schema documented in ``docs/FORMATS.md``):
 ``/summary``    grouped aggregation (``by``/``values``/``stats`` params)
 ``/query``      the JSON query language (:mod:`repro.analysis.query`):
                 ``POST`` a document, or ``GET`` with ``?q=<json>``
+``/fleet``      queue-dir sources only: live queue stats, the launched
+                fleet's worker roster (PID liveness), the batch plan, and
+                with ``?audit=1`` a full done-vs-cache verify pass
 ==============  ===========================================================
 
 Consistency and caching model
@@ -585,10 +588,12 @@ class ResultsServer:
                 return self._get_only(method, self._handle_summary, params)
             if route == "/query":
                 return self._handle_query(method, params, body)
+            if route == "/fleet":
+                return self._get_only(method, self._handle_fleet, params)
             raise _HTTPError(
                 404,
                 f"unknown endpoint {route!r}; try /healthz /frames /report "
-                "/curves /pareto /summary /query",
+                "/curves /pareto /summary /query /fleet",
             )
         except QueryError as exc:
             return _Response(400, _json_text({"error": str(exc), "status": 400}))
@@ -621,6 +626,69 @@ class ResultsServer:
             "frames": [s.describe() for s in self.sources.values()],
             "metrics": self.metrics.to_dict(),
         }
+        return _Response(200, _json_text(payload))
+
+    def _handle_fleet(self, params: Dict[str, str]) -> _Response:
+        """Live fleet health for a queue-dir source: queue stats, the
+        launched-worker roster with local PID liveness, the batch plan
+        summary, and (``?audit=1``) a full verify pass.
+
+        Always read fresh from disk and served without an ETag — fleet
+        health is exactly the thing that changes between identical
+        snapshots of the result rows.
+        """
+        self._check_params(params, ("frame", "audit"))
+        source = self._source(params.get("frame"))
+        if source.kind != "queue":
+            raise _HTTPError(
+                400,
+                f"frame {source.name!r} is a {source.kind} source; /fleet "
+                "reports on work-queue directories only",
+            )
+        from ..experiment.queue import WorkQueue
+        from ..fleet import (
+            read_batch_manifest,
+            read_fleet_manifest,
+            verify_fleet,
+            worker_alive,
+        )
+
+        payload: Dict[str, Any] = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "frame": source.name,
+            "queue": WorkQueue(source.path).stats(),
+        }
+        manifest = read_fleet_manifest(source.path)
+        if manifest is not None:
+            payload["fleet"] = {
+                "launches": manifest.get("launches"),
+                "updated_at": manifest.get("updated_at"),
+                "workers": [
+                    {
+                        "worker_id": w.get("worker_id"),
+                        "host": w.get("host"),
+                        "launcher": w.get("launcher"),
+                        "pid": w.get("pid"),
+                        "launch": w.get("launch"),
+                        # PID probe is only meaningful on the launcher's
+                        # machine; None = unknown (e.g. remote pid)
+                        "alive": worker_alive(w),
+                    }
+                    for w in manifest.get("workers", [])
+                ],
+            }
+        plan = read_batch_manifest(source.path)
+        if plan is not None:
+            payload["plan"] = {
+                "config_hash": plan.get("config_hash"),
+                "batch_size": plan.get("batch_size"),
+                "n_cells": plan.get("n_cells"),
+                "batches": len(plan.get("batches", [])),
+                "created_at": plan.get("created_at"),
+            }
+        if params.get("audit", "") not in ("", "0", "false", "no"):
+            audit, _ = verify_fleet(source.path, cache_dir=source.cache_dir)
+            payload["audit"] = audit.to_dict()
         return _Response(200, _json_text(payload))
 
     def _handle_frames(self, params: Dict[str, str]) -> _Response:

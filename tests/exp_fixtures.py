@@ -47,6 +47,9 @@ __all__ = [
     "crashy_dataset",
     "crashy_spec",
     "crashy_grid",
+    "crashy_cells",
+    "corrupt_done_marker",
+    "write_hosts_file",
     "tiny_train",
 ]
 
@@ -162,3 +165,46 @@ def crashy_grid(
         pretrain=tiny_train(),
         finetune=tiny_train(),
     )
+
+
+# -- fleet-layer helpers ----------------------------------------------------
+
+def crashy_cells(n: int, cell: str = "fleet", **behavior_kwargs):
+    """``n`` distinct healthy crashy cells (the ``cell`` label salts the
+    hash), for fleet tests that need a precise cell count rather than a
+    grid shape."""
+    return [
+        crashy_spec(cell=f"{cell}{i}", **behavior_kwargs) for i in range(n)
+    ]
+
+
+def corrupt_done_marker(queue_dir, h: str, mode: str = "garbage") -> Path:
+    """Corrupt one ``done/`` marker in place, simulating a torn write or
+    bit rot.  ``mode="garbage"`` makes it unparseable; ``mode="swap"``
+    keeps it valid JSON but for a *different* cell (hash mismatch)."""
+    path = Path(queue_dir) / "done" / f"{h}.json"
+    if mode == "garbage":
+        path.write_text("{ not json", encoding="utf-8")
+    elif mode == "swap":
+        import json
+
+        from repro.experiment.cache import spec_hash
+
+        other = crashy_spec(cell="an-impostor-cell")
+        path.write_text(json.dumps({
+            "schema": 1,
+            "hash": spec_hash(other),
+            "spec": other.to_dict(),
+            "attempts": 1,
+            "failures": [],
+        }))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path
+
+
+def write_hosts_file(path, lines=("local workers=2",)) -> Path:
+    """A hosts file for ``repro fleet launch`` tests."""
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

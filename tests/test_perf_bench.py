@@ -252,8 +252,11 @@ class TestBenchCLI:
         assert entry["name"] == "pruning_mask_apply"
         assert math.isfinite(entry["median"]) and entry["median"] >= 0
 
-        # same workload vs its own baseline: no regression
-        assert self.run_bench(*argv, "--compare", str(out)) == 0
+        # same workload vs its own baseline: no regression.  A generous
+        # threshold keeps this about the comparison plumbing, not
+        # sub-microsecond scheduler jitter on a loaded test machine.
+        assert self.run_bench(*argv, "--compare", str(out),
+                              "--threshold", "300") == 0
 
         # injected regression: baseline claims 1000x faster -> exit 1
         for b in payload["benchmarks"]:

@@ -288,6 +288,134 @@ class TestWorkQueue:
             WorkQueue(tmp_path / "b", max_retries=-1)
 
 
+class TestWorkQueueStats:
+    """``stats()`` edge cases: the dashboard must describe a sick queue
+    without touching it (no recovery, no crash)."""
+
+    def test_expired_but_unrecovered_lease_is_reported_not_recovered(
+            self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout=5.0)
+        h = queue.submit(crashy_spec(cell="stats-exp"))
+        queue.claim("dead-worker")
+        _backdate(queue._lease_path(h), 60)
+        stats = queue.stats()
+        assert stats["leases"] == [
+            {"hash": h, "worker": "dead-worker",
+             "age": pytest.approx(60, abs=5), "expired": True},
+        ]
+        assert stats["workers"][0]["expired"] is True
+        # stats is read-only: the cell is still leased afterwards
+        assert queue.state(h) == "leased"
+        assert queue.counts()["leased"] == 1
+
+    def test_future_heartbeat_clamps_to_fresh_not_negative(self, tmp_path):
+        """Clock skew on a shared filesystem can put a worker's beat mtime
+        ahead of our clock; that must read as a fresh lease, not a
+        negative age (and certainly not an expired one)."""
+        queue = WorkQueue(tmp_path / "q", lease_timeout=5.0)
+        h = queue.submit(crashy_spec(cell="stats-skew"))
+        queue.claim("skewed-worker")
+        future = time.time() + 120
+        os.utime(queue._lease_path(h), (future, future))
+        lease = queue.stats()["leases"][0]
+        assert lease["age"] == 0.0
+        assert lease["expired"] is False
+        worker = queue.stats()["workers"][0]
+        assert worker["freshest_beat"] == 0.0 and not worker["expired"]
+
+    def test_per_worker_rollup_aggregates_leases(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_timeout=30.0)
+        hashes = [queue.submit(crashy_spec(cell=f"roll{i}"))
+                  for i in range(3)]
+        queue.claim("w-a")
+        queue.claim("w-a")
+        queue.claim("w-b")
+        _backdate(queue._lease_path(hashes[0]), 10)
+        stats = queue.stats()
+        by_worker = {row["worker"]: row for row in stats["workers"]}
+        assert set(by_worker) == {"w-a", "w-b"}
+        assert by_worker["w-a"]["cells"] == 2
+        # freshest beat wins the rollup: one stale lease doesn't age w-a
+        assert by_worker["w-a"]["freshest_beat"] == pytest.approx(0, abs=2)
+        assert by_worker["w-b"]["cells"] == 1
+
+    def test_stats_tolerates_mid_recovery_and_sidecar_gaps(self, tmp_path):
+        """A `.recovering` rename in flight and a lease payload whose
+        sidecar never landed (claim-then-crash) must not crash stats —
+        the gap cell falls back to the payload mtime."""
+        queue = WorkQueue(tmp_path / "q", lease_timeout=5.0)
+        specs = [crashy_spec(cell=f"mid{i}") for i in range(2)]
+        gap, racing = [queue.submit(s) for s in specs]
+        # claim-then-crash: payload renamed into leased/, no .lease sidecar
+        os.rename(queue.pending_dir / f"{gap}.json",
+                  queue.leased_dir / f"{gap}.json")
+        _backdate(queue.leased_dir / f"{gap}.json", 60)
+        # another recoverer mid-sweep: non-.json intermediate in leased/
+        (queue.leased_dir / f"{racing}.recovering").write_text("{}")
+        stats = queue.stats()
+        assert [lease["hash"] for lease in stats["leases"]] == [gap]
+        assert stats["leases"][0]["expired"] is True
+        assert stats["leases"][0]["worker"] == "unknown"
+
+    def test_stats_tolerates_malformed_failure_entries(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", max_retries=0)
+        h = queue.submit(crashy_spec(cell="mangled"))
+        queue.fail(queue.claim("w1"), "boom")
+        # hand-edit the quarantine record into legacy/mangled shapes
+        path = queue.failed_dir / f"{h}.json"
+        payload = json.loads(path.read_text())
+        payload["failures"] = ["a bare string", {"no_error_key": 1}]
+        path.write_text(json.dumps(payload))
+        row = queue.stats()["failed"][0]
+        assert row["hash"] == h and row["error"] == ""
+
+    def test_legacy_queue_json_missing_settings_warns_and_defaults(
+            self, tmp_path):
+        """Older queue layouts lack settings keys (or hold null); opening
+        one must warn and default, not KeyError/TypeError."""
+        queue_dir = tmp_path / "q"
+        WorkQueue(queue_dir).submit(crashy_spec(cell="legacy"))
+        (queue_dir / "queue.json").write_text(json.dumps({"schema": 1}))
+        with pytest.warns(RuntimeWarning, match="missing or has invalid"):
+            reopened = WorkQueue(queue_dir)
+        from repro.experiment.queue import (
+            DEFAULT_LEASE_TIMEOUT,
+            DEFAULT_MAX_RETRIES,
+        )
+
+        assert reopened.lease_timeout == DEFAULT_LEASE_TIMEOUT
+        assert reopened.max_retries == DEFAULT_MAX_RETRIES
+        assert reopened.counts()["pending"] == 1  # cells intact
+
+    def test_legacy_queue_json_null_settings_warn_and_default(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        WorkQueue(queue_dir)
+        (queue_dir / "queue.json").write_text(json.dumps({
+            "schema": 1, "lease_timeout": None, "max_retries": None,
+        }))
+        with pytest.warns(RuntimeWarning):
+            reopened = WorkQueue(queue_dir)
+        from repro.experiment.queue import DEFAULT_LEASE_TIMEOUT
+
+        assert reopened.lease_timeout == DEFAULT_LEASE_TIMEOUT
+        # explicit arguments still win over the defaults
+        with pytest.warns(RuntimeWarning):
+            explicit = WorkQueue(queue_dir, lease_timeout=7.0)
+        assert explicit.lease_timeout == 7.0
+
+    def test_queue_stats_cli_survives_legacy_queue_json(self, tmp_path,
+                                                        capsys):
+        from repro.cli import main
+
+        queue_dir = tmp_path / "q"
+        WorkQueue(queue_dir).submit(crashy_spec(cell="legacy-cli"))
+        (queue_dir / "queue.json").write_text(json.dumps({"schema": 1}))
+        with pytest.warns(RuntimeWarning):
+            assert main(["queue", "stats", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pending" in out
+
+
 class TestQueueWorker:
     def test_worker_publishes_row_and_baseline_before_done(self, tmp_path):
         queue = WorkQueue(tmp_path / "q")

@@ -398,6 +398,103 @@ class TestReportParity:
 
 
 # ---------------------------------------------------------------------------
+# /fleet: live queue/fleet health for queue-dir sources
+# ---------------------------------------------------------------------------
+
+class TestFleetEndpoint:
+    @pytest.fixture
+    def queue_dir(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        cache = ResultCache(queue.root / "cache")
+        for row in make_rows():
+            _complete_cell(queue, cache, row)
+        queue.submit(_spec("global_weight", 8.0, 7))  # still pending
+        return queue.root
+
+    def _serve(self, sources):
+        srv = ResultsServer(sources)
+        srv.start()
+        return srv
+
+    def test_fleet_reports_queue_stats_without_manifests(self, queue_dir):
+        srv = self._serve([FrameSource("q", queue_dir)])
+        try:
+            response, payload = _request(srv, "GET", "/fleet")
+        finally:
+            srv.stop()
+        assert response.status == 200
+        assert response.getheader("ETag") is None  # live data, never cached
+        doc = json.loads(payload)
+        assert doc["frame"] == "q"
+        assert doc["queue"]["counts"] == \
+            {"pending": 1, "leased": 0, "done": 12, "failed": 0}
+        assert "fleet" not in doc and "plan" not in doc  # nothing launched
+        assert "audit" not in doc  # audit is opt-in
+
+    def test_fleet_includes_roster_and_plan_when_present(self, queue_dir):
+        from repro.fleet import fleet_manifest_path
+
+        manifest_path = fleet_manifest_path(queue_dir)
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(json.dumps({
+            "schema": 1, "queue_dir": str(queue_dir), "launches": 1,
+            "updated_at": "2026-08-08T00:00:00Z",
+            "workers": [
+                {"worker_id": "local-w0", "host": "local",
+                 "launcher": "local", "pid": os.getpid(), "launch": 1},
+                {"worker_id": "local-w1", "host": "local",
+                 "launcher": "local", "pid": 2 ** 22 + 1, "launch": 1},
+            ],
+        }))
+        from repro.fleet import batch_manifest_path
+
+        batch_manifest_path(queue_dir).write_text(json.dumps({
+            "schema": 1, "config_hash": "cafe" * 4, "batch_size": 4,
+            "n_cells": 13, "created_at": "2026-08-08T00:00:00Z",
+            "batches": [{"index": 0, "hashes": []}] * 4,
+        }))
+        srv = self._serve([FrameSource("q", queue_dir)])
+        try:
+            doc = _get_json(srv, "/fleet")
+        finally:
+            srv.stop()
+        roster = {w["worker_id"]: w for w in doc["fleet"]["workers"]}
+        assert roster["local-w0"]["alive"] is True
+        assert roster["local-w1"]["alive"] in (False, None)
+        assert doc["plan"] == {
+            "config_hash": "cafe" * 4, "batch_size": 4, "n_cells": 13,
+            "batches": 4, "created_at": "2026-08-08T00:00:00Z",
+        }
+
+    def test_fleet_audit_flags_ghost_done(self, queue_dir):
+        srv = self._serve([FrameSource("q", queue_dir)])
+        try:
+            clean = _get_json(srv, "/fleet?audit=1")
+            # break the done contract for one cell, then re-audit
+            victim = next((queue_dir / "done").glob("*.json")).stem
+            entry = queue_dir / "cache" / victim[:2] / f"{victim}.json"
+            entry.unlink()
+            broken = _get_json(srv, "/fleet?audit=1")
+        finally:
+            srv.stop()
+        assert clean["audit"]["clean"] is True
+        assert broken["audit"]["clean"] is False
+        assert broken["audit"]["ghost_done"] == [victim]
+
+    def test_fleet_rejects_non_queue_sources(self, server):
+        response, payload = _request(server, "GET", "/fleet")
+        assert response.status == 400
+        doc = json.loads(payload)
+        assert "memory source" in doc["error"]
+        assert "work-queue" in doc["error"]
+
+    def test_unknown_endpoint_mentions_fleet(self, server):
+        response, payload = _request(server, "GET", "/nope")
+        assert response.status == 404
+        assert "/fleet" in json.loads(payload)["error"]
+
+
+# ---------------------------------------------------------------------------
 # concurrent reads during background reload (no torn responses)
 # ---------------------------------------------------------------------------
 
